@@ -1,0 +1,90 @@
+// Command awbgen generates a document from an AWB model and a template,
+// with either generator implementation.
+//
+//	awbgen -demo -engine=xquery -indent
+//	awbgen -model model.xml -template report.xml -engine=native -o out.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/docgen"
+	"lopsided/internal/docgen/native"
+	"lopsided/internal/docgen/xqgen"
+	"lopsided/internal/workload"
+	"lopsided/internal/xmltree"
+)
+
+func main() {
+	modelFile := flag.String("model", "", "AWB model interchange XML")
+	tplFile := flag.String("template", "", "document template XML")
+	engine := flag.String("engine", "native", "generator implementation: native | xquery")
+	out := flag.String("o", "", "output file (default stdout)")
+	indent := flag.Bool("indent", false, "pretty-print the output")
+	demo := flag.Bool("demo", false, "use the built-in demo model and template")
+	flag.Parse()
+
+	var (
+		model *awb.Model
+		tpl   *xmltree.Node
+		err   error
+	)
+	if *demo {
+		model = workload.BuildITModel(workload.Config{Seed: 42, Users: 10, Systems: 4})
+		tpl = workload.ParseTemplate(workload.SystemContextTemplate)
+	} else {
+		if *modelFile == "" || *tplFile == "" {
+			fmt.Fprintln(os.Stderr, "usage: awbgen (-demo | -model m.xml -template t.xml) [-engine native|xquery] [-o out]")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		if model, err = awb.ImportXML(string(data)); err != nil {
+			fatal(err)
+		}
+		tdata, err := os.ReadFile(*tplFile)
+		if err != nil {
+			fatal(err)
+		}
+		if tpl, err = xmltree.ParseWith(string(tdata), xmltree.ParseOptions{TrimWhitespace: true}); err != nil {
+			fatal(err)
+		}
+	}
+
+	var gen docgen.Generator
+	switch *engine {
+	case "native":
+		gen = native.New()
+	case "xquery":
+		gen = xqgen.New()
+	default:
+		fatal(fmt.Errorf("unknown engine %q (native|xquery)", *engine))
+	}
+
+	res, err := gen.Generate(model, tpl)
+	if err != nil {
+		fatal(err)
+	}
+	text := res.DocString()
+	if *indent {
+		text = xmltree.Serialize(res.Document, xmltree.SerializeOptions{Indent: "  ", OmitDecl: true})
+	}
+	if *out == "" {
+		fmt.Println(text)
+	} else if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
+		fatal(err)
+	}
+	for _, p := range res.Problems {
+		fmt.Fprintln(os.Stderr, "problem:", p)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "awbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command awblint validates an AWB model against its metamodel and prints
+// the advisories — the command-line face of the Omissions machinery. AWB's
+// philosophy holds: everything here is a recommendation; the exit code is
+// non-zero only for unreadable input, never for a "bad" model.
+//
+//	awblint -model testdata/example-model.xml
+//	awblint -demo -severity warning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/workload"
+)
+
+func main() {
+	modelFile := flag.String("model", "", "AWB model interchange XML")
+	demo := flag.Bool("demo", false, "use the built-in demo model")
+	severity := flag.String("severity", "info", "minimum severity to print: info | warning")
+	flag.Parse()
+
+	var model *awb.Model
+	switch {
+	case *demo:
+		model = workload.BuildITModel(workload.Config{
+			Seed: 42, Users: 10, Systems: 4, Docs: 6,
+			MissingVersionEvery: 3, OverrideEvery: 3,
+			OmitSystemBeingDesigned: true,
+		})
+	case *modelFile != "":
+		data, err := os.ReadFile(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = awb.ImportXML(string(data))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: awblint (-demo | -model m.xml) [-severity info|warning]")
+		os.Exit(2)
+	}
+
+	min := awb.Info
+	switch *severity {
+	case "info":
+	case "warning":
+		min = awb.Warning
+	default:
+		fatal(fmt.Errorf("unknown severity %q", *severity))
+	}
+
+	stats := model.Stats()
+	fmt.Printf("model %q: %d nodes, %d relations\n", model.Meta.Name, stats.Nodes, stats.Relations)
+	count := 0
+	for _, adv := range model.Validate() {
+		if adv.Severity < min {
+			continue
+		}
+		count++
+		loc := ""
+		if adv.NodeID != "" {
+			loc = " [" + adv.NodeID + "]"
+		}
+		fmt.Printf("%-7s %-20s%s %s\n", adv.Severity, adv.Code, loc, adv.Message)
+	}
+	if count == 0 {
+		fmt.Println("no advisories — the model even matches the metamodel's fond hopes")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "awblint:", err)
+	os.Exit(1)
+}

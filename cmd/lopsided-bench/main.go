@@ -1,0 +1,40 @@
+// Command lopsided-bench regenerates the paper's tables and claims as
+// printed reports. Run with no arguments for every experiment, or
+// -exp=E1,E5 for a subset; -list shows the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lopsided/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var ids []string
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	} else {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+	}
+}

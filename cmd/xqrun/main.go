@@ -1,0 +1,94 @@
+// Command xqrun evaluates an XQuery program from a file or -e expression.
+//
+//	xqrun -e 'for $i in 1 to 3 return $i * $i'
+//	xqrun -ctx data.xml query.xq
+//	xqrun -O 2 -galax-trace -e 'let $d := trace("gone", 1) return 2'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lopsided/xq"
+)
+
+type varFlags map[string]string
+
+func (v varFlags) String() string { return fmt.Sprint(map[string]string(v)) }
+
+func (v varFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("-var wants name=value, got %q", s)
+	}
+	v[name] = val
+	return nil
+}
+
+func main() {
+	expr := flag.String("e", "", "inline XQuery expression (instead of a file)")
+	ctxFile := flag.String("ctx", "", "XML file to use as the context item")
+	optLevel := flag.Int("O", 2, "optimizer level (0-2)")
+	galaxTrace := flag.Bool("galax-trace", false, "treat fn:trace as pure, reproducing the dead-code bug")
+	vars := varFlags{}
+	flag.Var(vars, "var", "bind an external variable: -var name=value (repeatable)")
+	flag.Parse()
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: xqrun [-e expr | file.xq] [-ctx doc.xml] [-O n] [-var name=value]")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	opts := []xq.Option{
+		xq.WithOptLevel(xq.OptLevel(*optLevel)),
+		xq.WithTraceEffectful(!*galaxTrace),
+		xq.WithTracer(func(values []string) {
+			fmt.Fprintln(os.Stderr, "trace:", strings.Join(values, " "))
+		}),
+		xq.WithDocResolver(func(uri string) (*xq.Node, error) {
+			data, err := os.ReadFile(uri)
+			if err != nil {
+				return nil, err
+			}
+			return xq.ParseXML(string(data))
+		}),
+	}
+	q, err := xq.Compile(src, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	var ctx *xq.Node
+	if *ctxFile != "" {
+		data, err := os.ReadFile(*ctxFile)
+		if err != nil {
+			fatal(err)
+		}
+		if ctx, err = xq.ParseXML(string(data)); err != nil {
+			fatal(err)
+		}
+	}
+	external := map[string]xq.Sequence{}
+	for name, val := range vars {
+		external[name] = xq.Singleton(xq.String(val))
+	}
+	out, err := q.EvalStringWith(ctx, external)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xqrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package lopsided is a from-scratch reproduction of "Lopsided Little
+// Languages: Experience with XQuery in a Document Generation Subsystem"
+// (Bard Bloom, SIGMOD 2005): an XQuery-subset engine with the draft-2004
+// semantics the paper documents, the AWB model substrate, the query
+// calculus in both of its implementations, and the document generator both
+// ways — written in XQuery and rewritten natively.
+//
+// Public entry points: package xq (the XQuery engine). The substrates live
+// under internal/; the cmd/ tools and examples/ show them in use, and
+// cmd/lopsided-bench regenerates the paper's tables.
+package lopsided

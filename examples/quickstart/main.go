@@ -1,0 +1,64 @@
+// Quickstart: compile and run XQuery against an XML document with the
+// public xq API, and meet the quirks the paper documents.
+package main
+
+import (
+	"fmt"
+
+	"lopsided/xq"
+)
+
+const library = `
+<lib>
+  <book year="1983"><title>Little Languages</title></book>
+  <book year="2004"><title>XQuery from the Experts</title></book>
+  <book year="1999"><title>Programming Pearls</title></book>
+</lib>`
+
+func main() {
+	doc, err := xq.ParseXML(library)
+	if err != nil {
+		panic(err)
+	}
+
+	show := func(label, src string) {
+		q, err := xq.Compile(src)
+		if err != nil {
+			fmt.Printf("%-34s compile error: %v\n", label, err)
+			return
+		}
+		out, err := q.EvalStringWith(doc, nil)
+		if err != nil {
+			fmt.Printf("%-34s error: %v\n", label, err)
+			return
+		}
+		fmt.Printf("%-34s %s\n", label, out)
+	}
+
+	// The basics: paths, predicates, FLWOR.
+	show("titles:", `for $b in /lib/book order by $b/title return string($b/title)`)
+	show("books after 1990:", `count(/lib/book[@year > 1990])`)
+	show("first title:", `string((/lib/book/title)[1])`)
+
+	// Constructing new XML out of the pieces.
+	show("reshape:", `<catalog n="{count(/lib/book)}">{
+	    for $b in /lib/book return <entry y="{string($b/@year)}">{string($b/title)}</entry>
+	}</catalog>`)
+
+	// Quirk #4: = is existential. 1983 = (1983, 2004, 1999) is true.
+	show("any book from 1983:", `/lib/book/@year = "1983"`)
+
+	// Quirk #3: $n-1 is a variable named "n-1", not subtraction.
+	show("$n-1 is one variable:", `let $n-1 := "gotcha" return $n-1`)
+	show("subtraction needs space:", `let $n := 10 return $n - 1`)
+
+	// Flattening: there is no sequence of sequences.
+	show("flattening:", `(1,(2,3,4),(),(5,((6,7))))`)
+
+	// The trace that Galax's dead-code pass used to eat (see xqrun
+	// -galax-trace for the buggy behavior).
+	q := xq.MustCompile(`let $x := trace("x is", 21) return 2 * $x`,
+		xq.WithTracer(func(values []string) { fmt.Println("  trace said:", values) }))
+	out, _ := q.EvalStringWith(nil, nil)
+	fmt.Printf("%-34s %s\n", "traced computation:", out)
+}

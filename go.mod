@@ -1,0 +1,3 @@
+module lopsided
+
+go 1.22

@@ -1,0 +1,117 @@
+// Golden-corpus tests: the committed testdata/ files pin the whole pipeline
+// (model import → both generators → output and problem streams) against
+// regression, and double as ready-made inputs for the cmd/ tools:
+//
+//	go run ./cmd/awbgen -model testdata/example-model.xml -template testdata/example-template.xml
+//	go run ./cmd/awbquery -model testdata/example-model.xml -query testdata/example-query.xml
+package lopsided_test
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/awb/calculus"
+	"lopsided/internal/docgen"
+	"lopsided/internal/docgen/native"
+	"lopsided/internal/docgen/xqgen"
+	"lopsided/internal/xmltree"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+func loadCorpus(t *testing.T) (*awb.Model, *xmltree.Node) {
+	t.Helper()
+	model, err := awb.ImportXML(readFile(t, "testdata/example-model.xml"))
+	if err != nil {
+		t.Fatalf("import model: %v", err)
+	}
+	tpl, err := xmltree.ParseWith(readFile(t, "testdata/example-template.xml"),
+		xmltree.ParseOptions{TrimWhitespace: true})
+	if err != nil {
+		t.Fatalf("parse template: %v", err)
+	}
+	return model, tpl
+}
+
+func TestGoldenOutput(t *testing.T) {
+	model, tpl := loadCorpus(t)
+	wantDoc := strings.TrimRight(readFile(t, "testdata/golden-output.xml"), "\n")
+
+	for _, gen := range []docgen.Generator{native.New(), xqgen.New()} {
+		res, err := gen.Generate(model, tpl)
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		if got := res.DocString(); got != wantDoc {
+			t.Fatalf("%s output differs from golden file (regenerate testdata if the change is intended)\ngot:  %.300s\nwant: %.300s",
+				gen.Name(), got, wantDoc)
+		}
+		golden := strings.Split(strings.TrimRight(readFile(t, "testdata/golden-problems.txt"), "\n"), "\n")
+		if len(golden) == 1 && golden[0] == "" {
+			golden = nil
+		}
+		if !reflect.DeepEqual(res.Problems, golden) {
+			t.Fatalf("%s problems differ: %q vs %q", gen.Name(), res.Problems, golden)
+		}
+	}
+}
+
+func TestGoldenModelRoundTrip(t *testing.T) {
+	model, _ := loadCorpus(t)
+	back, err := awb.ImportXML(model.ExportXMLString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !awb.Equal(model, back) {
+		t.Fatal("committed model does not round-trip")
+	}
+	// The committed file is already in canonical export form.
+	if strings.TrimRight(readFile(t, "testdata/example-model.xml"), "\n") != strings.TrimRight(model.ExportXMLString(), "\n") {
+		t.Fatal("testdata/example-model.xml is not canonical")
+	}
+}
+
+func TestGoldenQueryAgreesAcrossEngines(t *testing.T) {
+	model, _ := loadCorpus(t)
+	q, err := calculus.ParseXML(readFile(t, "testdata/example-query.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := q.EvalNative(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaXQ, err := q.EvalXQuery(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nat) == 0 {
+		t.Fatal("golden query should match something")
+	}
+	if !reflect.DeepEqual(calculus.IDs(nat), viaXQ) {
+		t.Fatalf("engines disagree: %v vs %v", calculus.IDs(nat), viaXQ)
+	}
+}
+
+func TestGoldenGlassModel(t *testing.T) {
+	glass, err := awb.ImportXML(readFile(t, "testdata/glass-model.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glass.Meta.Name != "glass-catalog" {
+		t.Fatalf("metamodel = %q", glass.Meta.Name)
+	}
+	if len(glass.NodesOfType("Piece")) == 0 {
+		t.Fatal("no pieces")
+	}
+}

@@ -1,0 +1,261 @@
+// Package calculus implements the AWB query calculus — "a little calculus
+// in which one could say, for example, 'Start at this user; follow the
+// relation likes forwards; follow the relation uses but only to computer
+// programs from there; collect the results, sorted by label.'"
+//
+// The calculus exists in two implementations, exactly as in the paper: a
+// native Go evaluator over the in-memory model (the UI path) and a compiler
+// to XQuery source run against the exported model XML (the document
+// generation path). The paper's team concluded it "would, of course, be
+// insane to have two implementations of the same query language"; this
+// package preserves both so the cost of that insanity is measurable.
+package calculus
+
+import (
+	"fmt"
+	"strconv"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/xmltree"
+)
+
+// Query is one parsed calculus query: a start set and a pipeline of steps.
+type Query struct {
+	// Start selects the initial node set: all nodes of StartType (and
+	// subtypes), the single node StartID, or — inside document templates —
+	// the current focus node (StartFocus).
+	StartType  string
+	StartID    string
+	StartFocus bool
+	Steps      []Step
+}
+
+// Step is one pipeline step.
+type Step interface{ stepName() string }
+
+// Follow traverses relations of the given type (and subtypes) from every
+// node in the current set, forward or backward, optionally keeping only
+// targets of a given type.
+type Follow struct {
+	Relation   string
+	Backward   bool
+	TargetType string // "" = any
+}
+
+func (Follow) stepName() string { return "follow" }
+
+// FilterType keeps nodes whose type equals or descends from Type.
+type FilterType struct{ Type string }
+
+func (FilterType) stepName() string { return "filter-type" }
+
+// FilterProperty keeps nodes having the property (and, when Value is
+// non-nil, having that exact value).
+type FilterProperty struct {
+	Name  string
+	Value *string
+}
+
+func (FilterProperty) stepName() string { return "filter-property" }
+
+// Distinct removes duplicate nodes, keeping first occurrences — "collect
+// all the objects reached from that into a set without duplicates".
+type Distinct struct{}
+
+func (Distinct) stepName() string { return "distinct" }
+
+// SortByLabel orders nodes by label, breaking ties by ID.
+type SortByLabel struct{}
+
+func (SortByLabel) stepName() string { return "sort" }
+
+// Limit truncates the set to the first N nodes.
+type Limit struct{ N int }
+
+func (Limit) stepName() string { return "limit" }
+
+// ParseXML parses the calculus's XML syntax:
+//
+//	<query>
+//	  <start type="User"/>                <!-- or <start id="N7"/> -->
+//	  <follow relation="likes"/>
+//	  <follow relation="uses" direction="backward" target-type="Program"/>
+//	  <filter-type type="Superuser"/>
+//	  <filter-property name="version"/>
+//	  <filter-property name="state" value="done"/>
+//	  <distinct/>
+//	  <sort by="label"/>
+//	  <limit n="10"/>
+//	</query>
+func ParseXML(src string) (*Query, error) {
+	doc, err := xmltree.ParseTrimmed(src)
+	if err != nil {
+		return nil, fmt.Errorf("calculus: %w", err)
+	}
+	return ParseXMLElement(doc.DocumentElement())
+}
+
+// ParseXMLElement parses a <query> element already in a tree.
+func ParseXMLElement(root *xmltree.Node) (*Query, error) {
+	if root == nil || root.Name != "query" {
+		return nil, fmt.Errorf("calculus: root element is not <query>")
+	}
+	q := &Query{}
+	sawStart := false
+	for _, c := range root.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		switch c.Name {
+		case "start":
+			if sawStart {
+				return nil, fmt.Errorf("calculus: multiple <start> steps")
+			}
+			sawStart = true
+			q.StartType = c.AttrOr("type", "")
+			q.StartID = c.AttrOr("id", "")
+			q.StartFocus = c.AttrOr("focus", "") == "true"
+			set := 0
+			for _, on := range []bool{q.StartType != "", q.StartID != "", q.StartFocus} {
+				if on {
+					set++
+				}
+			}
+			if set != 1 {
+				return nil, fmt.Errorf("calculus: <start> needs exactly one of type=, id=, or focus=\"true\"")
+			}
+		case "follow":
+			rel, ok := c.Attr("relation")
+			if !ok {
+				return nil, fmt.Errorf("calculus: <follow> without relation")
+			}
+			dir := c.AttrOr("direction", "forward")
+			if dir != "forward" && dir != "backward" {
+				return nil, fmt.Errorf("calculus: bad direction %q", dir)
+			}
+			q.Steps = append(q.Steps, Follow{
+				Relation:   rel,
+				Backward:   dir == "backward",
+				TargetType: c.AttrOr("target-type", ""),
+			})
+		case "filter-type":
+			typ, ok := c.Attr("type")
+			if !ok {
+				return nil, fmt.Errorf("calculus: <filter-type> without type")
+			}
+			q.Steps = append(q.Steps, FilterType{Type: typ})
+		case "filter-property":
+			name, ok := c.Attr("name")
+			if !ok {
+				return nil, fmt.Errorf("calculus: <filter-property> without name")
+			}
+			fp := FilterProperty{Name: name}
+			if v, has := c.Attr("value"); has {
+				fp.Value = &v
+			}
+			q.Steps = append(q.Steps, fp)
+		case "distinct":
+			q.Steps = append(q.Steps, Distinct{})
+		case "sort":
+			if by := c.AttrOr("by", "label"); by != "label" {
+				return nil, fmt.Errorf("calculus: unsupported sort key %q", by)
+			}
+			q.Steps = append(q.Steps, SortByLabel{})
+		case "limit":
+			n, err := strconv.Atoi(c.AttrOr("n", ""))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("calculus: bad <limit n=%q>", c.AttrOr("n", ""))
+			}
+			q.Steps = append(q.Steps, Limit{N: n})
+		default:
+			return nil, fmt.Errorf("calculus: unknown step <%s>", c.Name)
+		}
+	}
+	if !sawStart {
+		return nil, fmt.Errorf("calculus: query has no <start>")
+	}
+	return q, nil
+}
+
+// EvalNative runs the query against an in-memory model (the UI path from
+// the paper). It returns matching nodes in pipeline order. Queries starting
+// at the focus need EvalNativeFrom.
+func (q *Query) EvalNative(m *awb.Model) ([]*awb.Node, error) {
+	return q.EvalNativeFrom(m, nil)
+}
+
+// EvalNativeFrom runs the query with an optional focus node for
+// <start focus="true"/> queries (the document-template form).
+func (q *Query) EvalNativeFrom(m *awb.Model, focus *awb.Node) ([]*awb.Node, error) {
+	var cur []*awb.Node
+	switch {
+	case q.StartFocus:
+		if focus == nil {
+			return nil, fmt.Errorf("calculus: <start focus=\"true\"/> with no focus node")
+		}
+		cur = []*awb.Node{focus}
+	case q.StartID != "":
+		if n, ok := m.Node(q.StartID); ok {
+			cur = []*awb.Node{n}
+		}
+	default:
+		cur = m.NodesOfType(q.StartType)
+	}
+	for _, step := range q.Steps {
+		switch s := step.(type) {
+		case Follow:
+			var next []*awb.Node
+			for _, n := range cur {
+				var reached []*awb.Node
+				if s.Backward {
+					reached = m.Incoming(n, s.Relation)
+				} else {
+					reached = m.Outgoing(n, s.Relation)
+				}
+				for _, r := range reached {
+					if s.TargetType == "" || m.Meta.IsNodeSubtype(r.Type, s.TargetType) {
+						next = append(next, r)
+					}
+				}
+			}
+			cur = next
+		case FilterType:
+			kept := cur[:0:0]
+			for _, n := range cur {
+				if m.Meta.IsNodeSubtype(n.Type, s.Type) {
+					kept = append(kept, n)
+				}
+			}
+			cur = kept
+		case FilterProperty:
+			kept := cur[:0:0]
+			for _, n := range cur {
+				v, has := n.Prop(s.Name)
+				if has && (s.Value == nil || v == *s.Value) {
+					kept = append(kept, n)
+				}
+			}
+			cur = kept
+		case Distinct:
+			cur = awb.DedupNodes(cur)
+		case SortByLabel:
+			cur = awb.SortNodesByLabel(append([]*awb.Node(nil), cur...))
+		case Limit:
+			if len(cur) > s.N {
+				cur = cur[:s.N]
+			}
+		default:
+			return nil, fmt.Errorf("calculus: unknown step %T", step)
+		}
+	}
+	return cur, nil
+}
+
+// IDs extracts node IDs, the comparable form shared with the XQuery path.
+func IDs(nodes []*awb.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}

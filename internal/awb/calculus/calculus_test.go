@@ -1,0 +1,198 @@
+package calculus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lopsided/internal/awb"
+)
+
+// paperModel builds the graph behind the paper's canonical query: "Start at
+// this user; follow the relation likes forwards; follow the relation uses
+// but only to computer programs from there; collect the results, sorted by
+// label."
+func paperModel(t *testing.T) (*awb.Model, *awb.Node) {
+	t.Helper()
+	meta := awb.NewMetamodel("it")
+	must := func(_ interface{}, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(meta.DefineNodeType("Entity", ""))
+	must(meta.DefineNodeType("User", "Entity"))
+	must(meta.DefineNodeType("Superuser", "User"))
+	must(meta.DefineNodeType("Program", "Entity"))
+	must(meta.DefineNodeType("System", "Entity"))
+	must(meta.DefineRelationType("related-to", ""))
+	must(meta.DefineRelationType("likes", "related-to"))
+	must(meta.DefineRelationType("favors", "likes"))
+	must(meta.DefineRelationType("uses", "related-to"))
+
+	m := awb.NewModel(meta)
+	mk := func(typ, label string) *awb.Node {
+		n := m.NewNode(typ)
+		n.SetProp("label", label)
+		return n
+	}
+	alice := mk("User", "Alice")
+	bob := mk("User", "Bob")
+	carol := mk("Superuser", "Carol")
+	zprog := mk("Program", "Zeta")
+	aprog := mk("Program", "Alpha")
+	sys := mk("System", "Payments")
+
+	m.Connect("likes", alice, bob)
+	m.Connect("favors", alice, carol) // favors is-a likes
+	m.Connect("uses", bob, zprog)
+	m.Connect("uses", bob, sys) // not a Program: filtered by target-type
+	m.Connect("uses", carol, aprog)
+	m.Connect("uses", carol, zprog) // duplicate target via another path
+	return m, alice
+}
+
+const paperQueryXML = `
+<query>
+  <start id="%ID%"/>
+  <follow relation="likes"/>
+  <follow relation="uses" target-type="Program"/>
+  <distinct/>
+  <sort by="label"/>
+</query>`
+
+func TestPaperQueryNative(t *testing.T) {
+	m, alice := paperModel(t)
+	q, err := ParseXML(strings.ReplaceAll(paperQueryXML, "%ID%", alice.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := q.EvalNative(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(out))
+	for i, n := range out {
+		labels[i] = n.Label()
+	}
+	if strings.Join(labels, " ") != "Alpha Zeta" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+// TestNativeAndXQueryAgree is the central two-implementations check: both
+// evaluators must return identical ID lists for a battery of queries.
+func TestNativeAndXQueryAgree(t *testing.T) {
+	m, alice := paperModel(t)
+	queries := []string{
+		strings.ReplaceAll(paperQueryXML, "%ID%", alice.ID),
+		`<query><start type="User"/></query>`,
+		`<query><start type="User"/><sort by="label"/></query>`,
+		`<query><start type="Entity"/><filter-type type="Program"/><sort by="label"/></query>`,
+		`<query><start type="User"/><follow relation="likes"/></query>`,
+		`<query><start type="User"/><follow relation="uses"/><distinct/></query>`,
+		`<query><start type="User"/><follow relation="uses" direction="backward"/></query>`,
+		`<query><start type="Program"/><follow relation="uses" direction="backward"/><distinct/><sort by="label"/></query>`,
+		`<query><start type="Entity"/><filter-property name="label" value="Bob"/></query>`,
+		`<query><start type="Entity"/><filter-property name="label"/><limit n="3"/></query>`,
+		`<query><start type="Entity"/><sort by="label"/><limit n="2"/></query>`,
+		`<query><start id="N999"/></query>`, // nonexistent start
+		`<query><start type="User"/><follow relation="nonexistent"/></query>`,
+	}
+	for _, src := range queries {
+		t.Run(src, func(t *testing.T) {
+			q, err := ParseXML(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native, err := q.EvalNative(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaXQ, err := q.EvalXQuery(m)
+			if err != nil {
+				t.Fatalf("xquery eval: %v", err)
+			}
+			nativeIDs := IDs(native)
+			if len(nativeIDs) == 0 && len(viaXQ) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(nativeIDs, viaXQ) {
+				t.Fatalf("disagreement:\n native: %v\n xquery: %v\n source:\n%s",
+					nativeIDs, viaXQ, q.CompileXQuery())
+			}
+		})
+	}
+}
+
+func TestRelationSubtypingInFollow(t *testing.T) {
+	m, alice := paperModel(t)
+	// likes must include favors edges: Alice likes Bob and favors Carol.
+	q, _ := ParseXML(`<query><start id="` + alice.ID + `"/><follow relation="likes"/><sort by="label"/></query>`)
+	out, _ := q.EvalNative(m)
+	labels := []string{}
+	for _, n := range out {
+		labels = append(labels, n.Label())
+	}
+	if strings.Join(labels, " ") != "Bob Carol" {
+		t.Fatalf("labels = %v", labels)
+	}
+	ids, err := q.EvalXQuery(m)
+	if err != nil || !reflect.DeepEqual(ids, IDs(out)) {
+		t.Fatalf("xquery disagrees: %v vs %v (%v)", ids, IDs(out), err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<notquery/>`,
+		`<query/>`, // no start
+		`<query><start/></query>`,
+		`<query><start type="a" id="b"/></query>`,
+		`<query><start type="a"/><start type="b"/></query>`,
+		`<query><start type="a"/><follow/></query>`,
+		`<query><start type="a"/><follow relation="r" direction="sideways"/></query>`,
+		`<query><start type="a"/><filter-type/></query>`,
+		`<query><start type="a"/><filter-property/></query>`,
+		`<query><start type="a"/><sort by="weight"/></query>`,
+		`<query><start type="a"/><limit n="x"/></query>`,
+		`<query><start type="a"/><mystery/></query>`,
+	}
+	for _, src := range cases {
+		if _, err := ParseXML(src); err == nil {
+			t.Errorf("ParseXML(%q) should fail", src)
+		}
+	}
+}
+
+func TestCompiledReuse(t *testing.T) {
+	m, _ := paperModel(t)
+	q, _ := ParseXML(`<query><start type="User"/><sort by="label"/></query>`)
+	compiled, err := q.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := m.ExportXML()
+	first, err := compiled.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := compiled.Run(doc)
+	if err != nil || !reflect.DeepEqual(first, second) {
+		t.Fatalf("reuse: %v vs %v (%v)", first, second, err)
+	}
+}
+
+func TestLimitAndDistinctSemantics(t *testing.T) {
+	m, _ := paperModel(t)
+	q, _ := ParseXML(`<query><start type="Entity"/><limit n="0"/></query>`)
+	out, _ := q.EvalNative(m)
+	if len(out) != 0 {
+		t.Fatal("limit 0")
+	}
+	q, _ = ParseXML(`<query><start type="Entity"/><limit n="100"/></query>`)
+	out, _ = q.EvalNative(m)
+	if len(out) != 6 {
+		t.Fatalf("limit beyond size: %d", len(out))
+	}
+}

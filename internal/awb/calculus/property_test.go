@@ -1,0 +1,103 @@
+package calculus
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lopsided/internal/awb"
+)
+
+// randomModel builds a random small model over the paperModel metamodel.
+func randomModel(t *testing.T, seed int64) *awb.Model {
+	t.Helper()
+	base, _ := paperModel(t)
+	meta := base.Meta
+	r := rand.New(rand.NewSource(seed))
+	m := awb.NewModel(meta)
+	types := []string{"User", "Superuser", "Program", "System"}
+	labels := []string{"ant", "bee", "cat", "dog", "eel", "fox", "ant"} // duplicate labels on purpose
+	n := 3 + r.Intn(10)
+	nodes := make([]*awb.Node, 0, n)
+	for i := 0; i < n; i++ {
+		node := m.NewNode(types[r.Intn(len(types))])
+		if r.Intn(4) > 0 { // some nodes have no label (fall back to ID)
+			node.SetProp("label", labels[r.Intn(len(labels))])
+		}
+		if r.Intn(3) == 0 {
+			node.SetProp("version", fmt.Sprintf("%d", r.Intn(3)))
+		}
+		nodes = append(nodes, node)
+	}
+	rels := []string{"likes", "favors", "uses"}
+	for i := 0; i < n*2; i++ {
+		m.Connect(rels[r.Intn(len(rels))], nodes[r.Intn(n)], nodes[r.Intn(n)])
+	}
+	return m
+}
+
+// randomQuery builds a random pipeline.
+func randomQuery(r *rand.Rand) *Query {
+	q := &Query{}
+	if r.Intn(4) == 0 {
+		q.StartID = fmt.Sprintf("N%d", 1+r.Intn(12))
+	} else {
+		q.StartType = []string{"User", "Entity", "Program"}[r.Intn(3)]
+	}
+	val := "1"
+	steps := []Step{
+		Follow{Relation: "likes"},
+		Follow{Relation: "uses", TargetType: "Program"},
+		Follow{Relation: "uses", Backward: true},
+		FilterType{Type: "User"},
+		FilterProperty{Name: "label"},
+		FilterProperty{Name: "version", Value: &val},
+		Distinct{},
+		SortByLabel{},
+		Limit{N: r.Intn(6)},
+	}
+	for i := 0; i < 1+r.Intn(4); i++ {
+		q.Steps = append(q.Steps, steps[r.Intn(len(steps))])
+	}
+	return q
+}
+
+// TestQuickNativeXQueryEquivalence is the repository's strongest property:
+// for random models and random pipelines, the native evaluator and the
+// compiled-to-XQuery evaluator agree exactly. This pins down that the two
+// implementations the paper's team refused to maintain really do compute
+// the same language.
+func TestQuickNativeXQueryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interpreted XQuery is slow; skipped in -short")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomModel(t, seed)
+		q := randomQuery(r)
+		native, err := q.EvalNative(m)
+		if err != nil {
+			t.Logf("native error: %v", err)
+			return false
+		}
+		viaXQ, err := q.EvalXQuery(m)
+		if err != nil {
+			t.Logf("xquery error: %v\n%s", err, q.CompileXQuery())
+			return false
+		}
+		nIDs := IDs(native)
+		if len(nIDs) == 0 && len(viaXQ) == 0 {
+			return true
+		}
+		if !reflect.DeepEqual(nIDs, viaXQ) {
+			t.Logf("seed %d: native=%v xquery=%v\n%s", seed, nIDs, viaXQ, q.CompileXQuery())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

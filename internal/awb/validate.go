@@ -1,0 +1,136 @@
+package awb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Severity grades an advisory. AWB never rejects a model: "it will display
+// a meek warning message in a corner of the screen".
+type Severity int
+
+// Advisory severities.
+const (
+	Info Severity = iota
+	Warning
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "info"
+}
+
+// Advisory is one validation finding. Advisories are recommendations, never
+// errors — downstream consumers (like the document generator) must cope
+// with models that violate the metamodel.
+type Advisory struct {
+	Severity Severity
+	Code     string // stable machine-readable code
+	NodeID   string // "" for model-level advisories
+	Message  string
+}
+
+// Advisory codes.
+const (
+	CodeSingletonMissing  = "singleton-missing"
+	CodeSingletonMultiple = "singleton-multiple"
+	CodeUnknownType       = "unknown-type"
+	CodeUnknownRelation   = "unknown-relation"
+	CodeEndpointMismatch  = "endpoint-mismatch"
+	CodeMissingProperty   = "missing-property"
+	CodeUndeclaredProp    = "undeclared-property"
+	CodeBadPropertyValue  = "bad-property-value"
+)
+
+// Validate checks the model against its metamodel and returns advisories.
+// This is the machinery behind the Omissions window: incomplete or
+// unexpected parts of the model, surfaced but never enforced.
+func (m *Model) Validate() []Advisory {
+	var out []Advisory
+	// Singleton expectations (the SystemBeingDesigned rule).
+	for _, typ := range m.Meta.Singletons {
+		n := len(m.NodesOfType(typ))
+		switch {
+		case n == 0:
+			out = append(out, Advisory{Severity: Warning, Code: CodeSingletonMissing,
+				Message: fmt.Sprintf("you might want to ensure that there is exactly one %s node; there are none", typ)})
+		case n > 1:
+			out = append(out, Advisory{Severity: Warning, Code: CodeSingletonMultiple,
+				Message: fmt.Sprintf("you might want to ensure that there is exactly one %s node; there are %d", typ, n)})
+		}
+	}
+	for _, node := range m.Nodes() {
+		out = append(out, m.validateNode(node)...)
+	}
+	for _, rel := range m.Relations() {
+		out = append(out, m.validateRelation(rel)...)
+	}
+	return out
+}
+
+func (m *Model) validateNode(node *Node) []Advisory {
+	var out []Advisory
+	if _, known := m.Meta.NodeType(node.Type); !known {
+		out = append(out, Advisory{Severity: Info, Code: CodeUnknownType, NodeID: node.ID,
+			Message: fmt.Sprintf("node %s has type %q, which the metamodel does not describe", node.ID, node.Type)})
+		return out
+	}
+	decls := m.Meta.DeclaredProperties(node.Type)
+	declared := map[string]PropertyDecl{}
+	for _, d := range decls {
+		declared[d.Name] = d
+	}
+	for _, d := range decls {
+		if !d.Recommended {
+			continue
+		}
+		if _, set := node.Prop(d.Name); !set {
+			out = append(out, Advisory{Severity: Warning, Code: CodeMissingProperty, NodeID: node.ID,
+				Message: fmt.Sprintf("%s %q has no %s", node.Type, node.Label(), d.Name)})
+		}
+	}
+	for _, name := range node.PropNames() {
+		d, known := declared[name]
+		if !known {
+			out = append(out, Advisory{Severity: Info, Code: CodeUndeclaredProp, NodeID: node.ID,
+				Message: fmt.Sprintf("node %s has user-added property %q", node.ID, name)})
+			continue
+		}
+		v, _ := node.Prop(name)
+		if !propValueOK(d.Kind, v) {
+			out = append(out, Advisory{Severity: Warning, Code: CodeBadPropertyValue, NodeID: node.ID,
+				Message: fmt.Sprintf("property %q of node %s is not a valid %s: %q", name, node.ID, d.Kind, v)})
+		}
+	}
+	return out
+}
+
+func (m *Model) validateRelation(rel *Relation) []Advisory {
+	var out []Advisory
+	if _, known := m.Meta.RelationType(rel.Type); !known {
+		out = append(out, Advisory{Severity: Info, Code: CodeUnknownRelation,
+			Message: fmt.Sprintf("relation %s has type %q, which the metamodel does not describe", rel.ID, rel.Type)})
+		return out
+	}
+	if !m.Meta.EndpointAdvised(rel.Type, rel.Source.Type, rel.Target.Type) {
+		// "Presumably the user thinks that this makes sense" — warn only.
+		out = append(out, Advisory{Severity: Warning, Code: CodeEndpointMismatch,
+			Message: fmt.Sprintf("relation %s connects %s to %s, which the metamodel does not suggest for %q",
+				rel.ID, rel.Source.Type, rel.Target.Type, rel.Type)})
+	}
+	return out
+}
+
+func propValueOK(kind PropKind, v string) bool {
+	switch kind {
+	case PropInteger:
+		_, err := strconv.ParseInt(v, 10, 64)
+		return err == nil
+	case PropBoolean:
+		return v == "true" || v == "false"
+	}
+	return true // strings and HTML accept anything
+}

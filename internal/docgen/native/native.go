@@ -1,0 +1,513 @@
+// Package native is the document generator the paper's team wrote after
+// abandoning XQuery — the "Java rewrite", transliterated to Go.
+//
+// Its shape follows the paper's description: a straightforward recursive
+// walk over the template; a rich GenTrouble error carrying "a string
+// describing what the error was, plus the inputs that went into causing the
+// error", thrown from utility functions like requiredAttr and caught only
+// at the top; a mutable visited set and table-of-contents list filled
+// during the single generation pass; and a modest second phase that crams
+// the computed tables into place "by modifying the in-memory XML data
+// structures".
+package native
+
+import (
+	"fmt"
+	"strings"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/awb/calculus"
+	"lopsided/internal/docgen"
+	"lopsided/internal/xmltree"
+)
+
+// GenTrouble is the generator's error type: "an exception carrying quite a
+// bit of data — a string describing what the error was, plus the inputs
+// that went into causing the error."
+type GenTrouble struct {
+	Msg       string
+	Directive string // template directive being processed
+	FocusID   string // focus node, "" when none
+}
+
+// Error implements the error interface.
+func (e *GenTrouble) Error() string {
+	var b strings.Builder
+	b.WriteString("docgen: ")
+	b.WriteString(e.Msg)
+	if e.Directive != "" {
+		fmt.Fprintf(&b, " (while processing <%s>", e.Directive)
+		if e.FocusID != "" {
+			fmt.Fprintf(&b, ", focus %s", e.FocusID)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Generator is the native document generator. The zero value is usable.
+type Generator struct{}
+
+// New returns a native generator.
+func New() *Generator { return &Generator{} }
+
+// Name implements docgen.Generator.
+func (*Generator) Name() string { return "native" }
+
+// Generate implements docgen.Generator.
+func (*Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Result, error) {
+	root := template
+	if root.Kind == xmltree.DocumentNode {
+		root = root.DocumentElement()
+	}
+	if root == nil || root.Name != "template" {
+		return nil, &GenTrouble{Msg: "template root element is not <template>"}
+	}
+	r := &run{
+		model:        model,
+		visited:      map[string]bool{},
+		replacements: map[string][]*xmltree.Node{},
+	}
+	doc := xmltree.NewDocument()
+	kids, err := r.genChildren(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kids {
+		doc.AppendChild(k)
+	}
+	// The mutation phases — trivial in an imperative host, the whole
+	// motivation for the rewrite.
+	r.fillOmissions(doc)
+	r.fillTOC(doc)
+	r.spliceMarkers(doc)
+	return &docgen.Result{Document: doc, Problems: r.problems}, nil
+}
+
+// run is the mutable generation state the functional implementation could
+// not have: a visited set, a problems list, and marker replacements.
+type run struct {
+	model        *awb.Model
+	visited      map[string]bool
+	problems     []string
+	replacements map[string][]*xmltree.Node
+	markerOrder  []string
+}
+
+func trouble(t *xmltree.Node, focus *awb.Node, format string, args ...interface{}) error {
+	e := &GenTrouble{Msg: fmt.Sprintf(format, args...)}
+	if t != nil {
+		e.Directive = t.Name
+	}
+	if focus != nil {
+		e.FocusID = focus.ID
+	}
+	return e
+}
+
+// requiredAttr is the paper's requiredChild pattern: fetch or throw, with
+// the focus passed along "so that it can throw a more comprehensive error
+// message".
+func requiredAttr(t *xmltree.Node, name string, focus *awb.Node) (string, error) {
+	v, ok := t.Attr(name)
+	if !ok {
+		return "", trouble(t, focus, "missing required attribute %q", name)
+	}
+	return v, nil
+}
+
+func requiredChild(t *xmltree.Node, name string, focus *awb.Node) (*xmltree.Node, error) {
+	for _, c := range t.Children {
+		if c.Kind == xmltree.ElementNode && c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, trouble(t, focus, "missing required child <%s>", name)
+}
+
+func optionalChild(t *xmltree.Node, name string) *xmltree.Node {
+	for _, c := range t.Children {
+		if c.Kind == xmltree.ElementNode && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// genChildren generates all children of a template element. Note the
+// contrast with the XQuery version's gen-seq: no per-call error checks —
+// errors simply propagate.
+func (r *run) genChildren(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	for _, c := range t.Children {
+		part, err := r.gen(c, focus)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// gen generates one template node: "a quite straightforward recursive walk
+// over the XML structure of the template, inspecting each XML element in
+// turn", dispatching directives and copying everything else.
+func (r *run) gen(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	switch t.Kind {
+	case xmltree.TextNode:
+		return []*xmltree.Node{xmltree.NewText(t.Data)}, nil
+	case xmltree.CommentNode:
+		return []*xmltree.Node{xmltree.NewComment(t.Data)}, nil
+	case xmltree.PINode:
+		return []*xmltree.Node{xmltree.NewPI(t.Name, t.Data)}, nil
+	case xmltree.ElementNode:
+		switch t.Name {
+		case docgen.DirFor:
+			return r.genFor(t, focus)
+		case docgen.DirIf:
+			return r.genIf(t, focus)
+		case docgen.DirLabel:
+			return r.genLabel(t, focus)
+		case docgen.DirProperty:
+			return r.genProperty(t, focus)
+		case docgen.DirPropHTML:
+			return r.genPropertyHTML(t, focus)
+		case docgen.DirSection:
+			return r.genSection(t, focus)
+		case docgen.DirHeading:
+			return nil, trouble(t, focus, "<heading> outside <section>")
+		case docgen.DirTocHere, docgen.DirOmissions:
+			// Placeholders survive generation; the mutation phases
+			// replace them.
+			return []*xmltree.Node{t.Clone()}, nil
+		case docgen.DirMatrix:
+			return r.genMatrix(t, focus)
+		case docgen.DirMarker:
+			name, err := requiredAttr(t, "name", focus)
+			if err != nil {
+				return nil, err
+			}
+			return []*xmltree.Node{xmltree.NewText(name)}, nil
+		case docgen.DirReplaceM:
+			return nil, r.genReplaceMarker(t, focus)
+		default:
+			return r.genCopy(t, focus)
+		}
+	}
+	return nil, nil
+}
+
+// genCopy copies a non-directive element, generating its children.
+func (r *run) genCopy(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	el := xmltree.NewElement(t.Name)
+	for _, a := range t.Attrs {
+		el.SetAttr(a.Name, a.Data)
+	}
+	kids, err := r.genChildren(t, focus)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kids {
+		el.AppendChild(k)
+	}
+	return []*xmltree.Node{el}, nil
+}
+
+func (r *run) genFor(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	set, err := r.forSet(t, focus)
+	if err != nil {
+		return nil, err
+	}
+	var out []*xmltree.Node
+	for _, n := range set {
+		r.visited[n.ID] = true
+		for _, c := range t.Children {
+			if c.Kind == xmltree.ElementNode && c.Name == docgen.DirQuery {
+				continue // the query element is the iteration source
+			}
+			part, err := r.gen(c, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+	}
+	return out, nil
+}
+
+func (r *run) forSet(t *xmltree.Node, focus *awb.Node) ([]*awb.Node, error) {
+	if qe := optionalChild(t, docgen.DirQuery); qe != nil {
+		q, err := calculus.ParseXMLElement(qe)
+		if err != nil {
+			return nil, trouble(t, focus, "bad <query>: %v", err)
+		}
+		set, err := q.EvalNativeFrom(r.model, focus)
+		if err != nil {
+			return nil, trouble(t, focus, "%v", err)
+		}
+		return set, nil
+	}
+	sel, ok := t.Attr("nodes")
+	if !ok {
+		return nil, trouble(t, focus, "<for> needs a nodes attribute or a <query> child")
+	}
+	return r.selectNodes(sel, t, focus)
+}
+
+// selectNodes evaluates a selector expression.
+func (r *run) selectNodes(sel string, t *xmltree.Node, focus *awb.Node) ([]*awb.Node, error) {
+	switch {
+	case strings.HasPrefix(sel, "all."):
+		return r.model.NodesOfType(strings.TrimPrefix(sel, "all.")), nil
+	case strings.HasPrefix(sel, "followback."):
+		if focus == nil {
+			return nil, trouble(t, focus, "selector %q requires a focus", sel)
+		}
+		return r.model.Incoming(focus, strings.TrimPrefix(sel, "followback.")), nil
+	case strings.HasPrefix(sel, "follow."):
+		if focus == nil {
+			return nil, trouble(t, focus, "selector %q requires a focus", sel)
+		}
+		rest := strings.TrimPrefix(sel, "follow.")
+		rel, targetType := rest, ""
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			rel, targetType = rest[:i], rest[i+1:]
+		}
+		reached := r.model.Outgoing(focus, rel)
+		if targetType == "" {
+			return reached, nil
+		}
+		var out []*awb.Node
+		for _, n := range reached {
+			if r.model.Meta.IsNodeSubtype(n.Type, targetType) {
+				out = append(out, n)
+			}
+		}
+		return out, nil
+	}
+	return nil, trouble(t, focus, "bad selector: %s", sel)
+}
+
+func (r *run) genIf(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	testEl, err := requiredChild(t, docgen.DirTest, focus)
+	if err != nil {
+		return nil, err
+	}
+	thenEl, err := requiredChild(t, docgen.DirThen, focus)
+	if err != nil {
+		return nil, err
+	}
+	pass, err := r.conditionsHold(testEl, focus)
+	if err != nil {
+		return nil, err
+	}
+	if pass {
+		return r.genChildren(thenEl, focus)
+	}
+	if elseEl := optionalChild(t, docgen.DirElse); elseEl != nil {
+		return r.genChildren(elseEl, focus)
+	}
+	return nil, nil
+}
+
+// conditionsHold evaluates all condition children of an element (implicit
+// conjunction).
+func (r *run) conditionsHold(t *xmltree.Node, focus *awb.Node) (bool, error) {
+	for _, c := range t.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		ok, err := r.condition(c, focus)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (r *run) condition(c *xmltree.Node, focus *awb.Node) (bool, error) {
+	switch c.Name {
+	case "focus-is-type":
+		typ, err := requiredAttr(c, "type", focus)
+		if err != nil {
+			return false, err
+		}
+		if focus == nil {
+			return false, trouble(c, focus, "<focus-is-type> with no focus")
+		}
+		return r.model.Meta.IsNodeSubtype(focus.Type, typ), nil
+	case "has-property":
+		name, err := requiredAttr(c, "name", focus)
+		if err != nil {
+			return false, err
+		}
+		if focus == nil {
+			return false, trouble(c, focus, "<has-property> with no focus")
+		}
+		_, has := focus.Prop(name)
+		return has, nil
+	case "property-equals":
+		name, err := requiredAttr(c, "name", focus)
+		if err != nil {
+			return false, err
+		}
+		want, err := requiredAttr(c, "value", focus)
+		if err != nil {
+			return false, err
+		}
+		if focus == nil {
+			return false, trouble(c, focus, "<property-equals> with no focus")
+		}
+		v, has := r.propText(focus, name)
+		return has && v == want, nil
+	case "nonempty":
+		sel, err := requiredAttr(c, "nodes", focus)
+		if err != nil {
+			return false, err
+		}
+		set, err := r.selectNodes(sel, c, focus)
+		if err != nil {
+			return false, err
+		}
+		return len(set) > 0, nil
+	case "not":
+		inner, err := r.conditionsHold(c, focus)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	}
+	return false, trouble(c, focus, "unknown condition <%s>", c.Name)
+}
+
+func (r *run) genLabel(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	if focus == nil {
+		return nil, trouble(t, focus, "<label> with no focus")
+	}
+	r.visited[focus.ID] = true
+	return []*xmltree.Node{xmltree.NewText(focus.Label())}, nil
+}
+
+func (r *run) genProperty(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	name, err := requiredAttr(t, "name", focus)
+	if err != nil {
+		return nil, err
+	}
+	if focus == nil {
+		return nil, trouble(t, focus, "<property> with no focus")
+	}
+	v, has := r.propText(focus, name)
+	if !has {
+		if t.AttrOr("required", "") == "true" {
+			return nil, trouble(t, focus, "node %s has no required property %q", focus.ID, name)
+		}
+		r.problems = append(r.problems, docgen.ProblemMissingProperty(focus.ID, name))
+		return nil, nil
+	}
+	return []*xmltree.Node{xmltree.NewText(v)}, nil
+}
+
+// propText returns the property's text view — the string value it has in
+// the exported interchange XML. HTML-kind properties lose their markup here
+// (text content only), exactly what the XQuery generator sees when it
+// atomizes the exported <property> element. Mirroring the export rule keeps
+// the two generators byte-identical.
+func (r *run) propText(focus *awb.Node, name string) (string, bool) {
+	v, has := focus.Prop(name)
+	if !has {
+		return "", false
+	}
+	if r.propKind(focus, name) == awb.PropHTML && v != "" {
+		if frag, err := xmltree.ParseFragment(v); err == nil {
+			var b strings.Builder
+			for _, f := range frag {
+				b.WriteString(f.StringValue())
+			}
+			return b.String(), true
+		}
+	}
+	return v, true
+}
+
+func (r *run) propKind(focus *awb.Node, name string) awb.PropKind {
+	for _, d := range r.model.Meta.DeclaredProperties(focus.Type) {
+		if d.Name == name {
+			return d.Kind
+		}
+	}
+	return awb.PropString
+}
+
+func (r *run) genPropertyHTML(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	name, err := requiredAttr(t, "name", focus)
+	if err != nil {
+		return nil, err
+	}
+	if focus == nil {
+		return nil, trouble(t, focus, "<property-html> with no focus")
+	}
+	v, has := focus.Prop(name)
+	if !has {
+		r.problems = append(r.problems, docgen.ProblemMissingProperty(focus.ID, name))
+		return nil, nil
+	}
+	// Inline parsed markup only for declared HTML properties that parse,
+	// matching the interchange export rule (and therefore what the XQuery
+	// generator copies out of the exported <property> element).
+	if r.propKind(focus, name) == awb.PropHTML && v != "" {
+		if frag, err := xmltree.ParseFragment(v); err == nil {
+			return frag, nil
+		}
+	}
+	if v == "" {
+		return nil, nil
+	}
+	return []*xmltree.Node{xmltree.NewText(v)}, nil
+}
+
+func (r *run) genSection(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	div := xmltree.NewElement("div")
+	div.SetAttr("class", docgen.SectionClass)
+	for _, c := range t.Children {
+		if c.Kind == xmltree.ElementNode && c.Name == docgen.DirHeading {
+			h2 := xmltree.NewElement("h2")
+			h2.SetAttr("class", docgen.HeadingClass)
+			kids, err := r.genChildren(c, focus)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kids {
+				h2.AppendChild(k)
+			}
+			div.AppendChild(h2)
+			continue
+		}
+		part, err := r.gen(c, focus)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range part {
+			div.AppendChild(k)
+		}
+	}
+	return []*xmltree.Node{div}, nil
+}
+
+func (r *run) genReplaceMarker(t *xmltree.Node, focus *awb.Node) error {
+	marker, err := requiredAttr(t, "marker", focus)
+	if err != nil {
+		return err
+	}
+	content, err := r.genChildren(t, focus)
+	if err != nil {
+		return err
+	}
+	if _, seen := r.replacements[marker]; !seen {
+		r.markerOrder = append(r.markerOrder, marker)
+	}
+	r.replacements[marker] = content
+	return nil
+}

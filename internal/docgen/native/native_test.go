@@ -1,0 +1,245 @@
+package native
+
+import (
+	"strings"
+	"testing"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/workload"
+	"lopsided/internal/xmltree"
+)
+
+func itModel(t *testing.T) *awb.Model {
+	t.Helper()
+	return awb.NewModel(workload.ITMetamodel())
+}
+
+func gen(t *testing.T, m *awb.Model, tpl string) string {
+	t.Helper()
+	res, err := New().Generate(m, workload.ParseTemplate(tpl))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return res.DocString()
+}
+
+func genErr(m *awb.Model, tpl string) error {
+	_, err := New().Generate(m, workload.ParseTemplate(tpl))
+	return err
+}
+
+func TestCopyThrough(t *testing.T) {
+	m := itModel(t)
+	got := gen(t, m, `<template><html lang="en"><p class="x">hi <b>there</b></p><!--c--><?pi d?></html></template>`)
+	want := `<html lang="en"><p class="x">hi <b>there</b></p><!--c--><?pi d?></html>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestForSelectors(t *testing.T) {
+	m := itModel(t)
+	u := m.NewNode("User")
+	u.SetProp("label", "u")
+	s := m.NewNode("System")
+	s.SetProp("label", "s")
+	p := m.NewNode("Program")
+	p.SetProp("label", "p")
+	m.Connect("uses", u, s)
+	m.Connect("uses", u, p)
+
+	if got := gen(t, m, `<template><for nodes="all.User"><i><label/></i></for></template>`); got != `<i>u</i>` {
+		t.Fatalf("all: %s", got)
+	}
+	// Nested for with follow.
+	got := gen(t, m, `<template><for nodes="all.User"><for nodes="follow.uses"><i><label/></i></for></for></template>`)
+	if got != `<i>s</i><i>p</i>` {
+		t.Fatalf("follow: %s", got)
+	}
+	// Target-type filter.
+	got = gen(t, m, `<template><for nodes="all.User"><for nodes="follow.uses.Program"><i><label/></i></for></for></template>`)
+	if got != `<i>p</i>` {
+		t.Fatalf("follow with type: %s", got)
+	}
+	// Backward.
+	got = gen(t, m, `<template><for nodes="all.Program"><for nodes="followback.uses"><i><label/></i></for></for></template>`)
+	if got != `<i>u</i>` {
+		t.Fatalf("followback: %s", got)
+	}
+}
+
+func TestForErrors(t *testing.T) {
+	m := itModel(t)
+	m.NewNode("User")
+	cases := []struct{ tpl, want string }{
+		{`<template><for><p/></for></template>`, "nodes attribute or a <query>"},
+		{`<template><for nodes="bogus"><p/></for></template>`, "bad selector"},
+		{`<template><for nodes="follow.uses"><p/></for></template>`, "requires a focus"},
+		{`<template><label/></template>`, "no focus"},
+		{`<template><for nodes="all.User"><property/></for></template>`, `"name"`},
+		{`<template><heading>x</heading></template>`, "outside <section>"},
+		{`<template><if><then>x</then></if></template>`, "<test>"},
+		{`<template><if><test/></if></template>`, "<then>"},
+		{`<template><for nodes="all.User"><if><test><mystery/></test><then/></if></for></template>`, "unknown condition"},
+		{`<template><replace-marker>x</replace-marker></template>`, `"marker"`},
+		{`<template><matrix cols="all.User" relation="uses"/></template>`, `"rows"`},
+		{`<template><for><query><bad/></query><p/></for></template>`, "bad <query>"},
+	}
+	for _, c := range cases {
+		err := genErr(m, c.tpl)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("template %q: err = %v, want containing %q", c.tpl, err, c.want)
+		}
+		if _, ok := err.(*GenTrouble); !ok {
+			t.Errorf("template %q: error type %T, want *GenTrouble", c.tpl, err)
+		}
+	}
+	// Wrong root.
+	doc := xmltree.MustParse(`<nope/>`)
+	if _, err := New().Generate(m, doc); err == nil {
+		t.Fatal("wrong root should fail")
+	}
+}
+
+func TestGenTroubleCarriesContext(t *testing.T) {
+	m := itModel(t)
+	u := m.NewNode("User")
+	u.SetProp("label", "u")
+	err := genErr(m, `<template><for nodes="all.User"><property name="ghost" required="true"/></for></template>`)
+	gt, ok := err.(*GenTrouble)
+	if !ok {
+		t.Fatalf("type %T", err)
+	}
+	if gt.FocusID != u.ID || gt.Directive != "property" || !strings.Contains(gt.Msg, "ghost") {
+		t.Fatalf("GenTrouble = %+v", gt)
+	}
+	if !strings.Contains(gt.Error(), u.ID) {
+		t.Fatal("Error() should mention the focus")
+	}
+}
+
+func TestConditions(t *testing.T) {
+	m := itModel(t)
+	u := m.NewNode("Superuser")
+	u.SetProp("label", "root")
+	u.SetProp("shell", "ksh")
+	s := m.NewNode("System")
+	s.SetProp("label", "sys")
+	m.Connect("uses", u, s)
+
+	cases := []struct{ test, want string }{
+		{`<focus-is-type type="User"/>`, "y"}, // Superuser is-a User
+		{`<focus-is-type type="System"/>`, "n"},
+		{`<has-property name="shell"/>`, "y"},
+		{`<has-property name="ghost"/>`, "n"},
+		{`<property-equals name="shell" value="ksh"/>`, "y"},
+		{`<property-equals name="shell" value="bash"/>`, "n"},
+		{`<property-equals name="ghost" value="x"/>`, "n"},
+		{`<nonempty nodes="follow.uses"/>`, "y"},
+		{`<nonempty nodes="follow.likes"/>`, "n"},
+		{`<not><has-property name="ghost"/></not>`, "y"},
+		{`<not><not><has-property name="shell"/></not></not>`, "y"},
+		// Implicit conjunction of multiple conditions.
+		{`<has-property name="shell"/><focus-is-type type="User"/>`, "y"},
+		{`<has-property name="shell"/><focus-is-type type="System"/>`, "n"},
+	}
+	for _, c := range cases {
+		tpl := `<template><for nodes="all.User"><if><test>` + c.test +
+			`</test><then>y</then><else>n</else></if></for></template>`
+		if got := gen(t, m, tpl); got != c.want {
+			t.Errorf("test %s = %q, want %q", c.test, got, c.want)
+		}
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	m := itModel(t)
+	m.NewNode("User")
+	got := gen(t, m, `<template><for nodes="all.User"><if><test><has-property name="x"/></test><then>y</then></if></for></template>`)
+	if got != "" {
+		t.Fatalf("missing else should yield nothing: %q", got)
+	}
+}
+
+func TestSectionNumbering(t *testing.T) {
+	m := itModel(t)
+	got := gen(t, m, `<template><toc-here/><section><heading>A</heading><section><heading>B</heading></section></section></template>`)
+	for _, want := range []string{
+		`id="sec-1">A</h2>`, `id="sec-2">B</h2>`,
+		`<a href="#sec-1">A</a>`, `<a href="#sec-2">B</a>`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %s", want, got)
+		}
+	}
+}
+
+func TestVisitedViaQueryIteration(t *testing.T) {
+	m := itModel(t)
+	a := m.NewNode("User")
+	a.SetProp("label", "a")
+	b := m.NewNode("User")
+	b.SetProp("label", "b")
+	_ = b
+	tpl := `<template><for><query><start id="` + a.ID + `"/></query><label/></for><table-of-omissions types="User"/></template>`
+	got := gen(t, m, tpl)
+	if !strings.Contains(got, "User: b") {
+		t.Fatalf("b should be an omission: %s", got)
+	}
+	if strings.Contains(got, "User: a") {
+		t.Fatalf("a was visited: %s", got)
+	}
+}
+
+func TestMarkerDirective(t *testing.T) {
+	m := itModel(t)
+	got := gen(t, m, `<template><p><marker name="X-HERE"/></p></template>`)
+	if got != `<p>X-HERE</p>` {
+		t.Fatalf("marker: %s", got)
+	}
+}
+
+func TestReplaceMarkerLastWins(t *testing.T) {
+	m := itModel(t)
+	got := gen(t, m, `<template>
+	  <replace-marker marker="M"><b>first</b></replace-marker>
+	  <replace-marker marker="M"><i>second</i></replace-marker>
+	  <p>M</p></template>`)
+	if !strings.Contains(got, "<i>second</i>") || strings.Contains(got, "first") {
+		t.Fatalf("last registration should win: %s", got)
+	}
+}
+
+func TestSpliceMultipleMarkersEarliestFirst(t *testing.T) {
+	m := itModel(t)
+	got := gen(t, m, `<template>
+	  <replace-marker marker="AA"><b>1</b></replace-marker>
+	  <replace-marker marker="BB"><i>2</i></replace-marker>
+	  <p>x BB y AA z</p></template>`)
+	if !strings.Contains(got, `<p>x <i>2</i> y <b>1</b> z</p>`) {
+		t.Fatalf("splice order: %s", got)
+	}
+}
+
+func TestPropertyHTMLKinds(t *testing.T) {
+	m := itModel(t)
+	u := m.NewNode("Actor")
+	u.SetProp("label", "a")
+	u.SetProp("biography", "<p>bold <b>move</b></p>")
+	u.SetProp("plain", "<not><parsed>")
+	// Declared HTML property inlines as markup.
+	got := gen(t, m, `<template><for nodes="all.Actor"><property-html name="biography"/></for></template>`)
+	if got != `<p>bold <b>move</b></p>` {
+		t.Fatalf("html property: %s", got)
+	}
+	// Undeclared (string) property with markup-looking value stays text.
+	got = gen(t, m, `<template><for nodes="all.Actor"><property-html name="plain"/></for></template>`)
+	if got != `&lt;not&gt;&lt;parsed&gt;` {
+		t.Fatalf("string property via property-html: %s", got)
+	}
+	// <property> on an HTML property yields the text view.
+	got = gen(t, m, `<template><for nodes="all.Actor"><property name="biography"/></for></template>`)
+	if got != `bold move` {
+		t.Fatalf("text view of html property: %s", got)
+	}
+}

@@ -1,0 +1,228 @@
+package native
+
+import (
+	"fmt"
+	"strings"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/docgen"
+	"lopsided/internal/xmltree"
+)
+
+// genMatrix builds the paper's row/col table the way the Java rewrite did:
+// "We constructed the skeleton of the table, the <tr> and <td> elements
+// (with nothing inside them), in a straightforward loop, and stored
+// references to the <td>s in a two-dimensional array. Then we filled in the
+// corner, the row titles, the column titles, and the values, each in a
+// separate loop. There was no need to mingle the computations of row titles
+// and cell values."
+func (r *run) genMatrix(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	rowsSel, err := requiredAttr(t, "rows", focus)
+	if err != nil {
+		return nil, err
+	}
+	colsSel, err := requiredAttr(t, "cols", focus)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := requiredAttr(t, "relation", focus)
+	if err != nil {
+		return nil, err
+	}
+	corner := t.AttrOr("corner", `row\col`)
+	mark := t.AttrOr("mark", "X")
+	rows, err := r.selectNodes(rowsSel, t, focus)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := r.selectNodes(colsSel, t, focus)
+	if err != nil {
+		return nil, err
+	}
+
+	// Skeleton: (rows+1) x (cols+1) empty cells, references in a 2-D array.
+	table := xmltree.NewElement("table")
+	table.SetAttr("class", docgen.MatrixClass)
+	cells := make([][]*xmltree.Node, len(rows)+1)
+	for i := range cells {
+		tr := xmltree.NewElement("tr")
+		table.AppendChild(tr)
+		cells[i] = make([]*xmltree.Node, len(cols)+1)
+		for j := range cells[i] {
+			td := xmltree.NewElement("td")
+			tr.AppendChild(td)
+			cells[i][j] = td
+		}
+	}
+	// Corner.
+	cells[0][0].AppendChild(xmltree.NewText(corner))
+	// Column titles.
+	for j, c := range cols {
+		cells[0][j+1].AppendChild(xmltree.NewText(c.Label()))
+	}
+	// Row titles.
+	for i, rw := range rows {
+		cells[i+1][0].AppendChild(xmltree.NewText(rw.Label()))
+	}
+	// Values.
+	for i, rw := range rows {
+		for j, c := range cols {
+			if r.related(rw, c, rel) {
+				cells[i+1][j+1].AppendChild(xmltree.NewText(mark))
+			}
+		}
+	}
+	return []*xmltree.Node{table}, nil
+}
+
+func (r *run) related(from, to *awb.Node, rel string) bool {
+	for _, n := range r.model.Outgoing(from, rel) {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Mutation phases ----
+// "A very modest second phase of computation lets us modify the produced
+// document, cramming in the tables at the appropriate places by modifying
+// the in-memory XML data structures."
+
+// collectElements gathers elements by name in document order.
+func collectElements(doc *xmltree.Node, name string) []*xmltree.Node {
+	var out []*xmltree.Node
+	xmltree.Walk(doc, func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.ElementNode && n.Name == name {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+func replaceElement(old, new_ *xmltree.Node) {
+	parent := old.Parent
+	parent.ReplaceChildAt(parent.ChildIndex(old), new_)
+}
+
+// fillOmissions replaces every <table-of-omissions> placeholder with the
+// list of unvisited nodes of the requested types.
+func (r *run) fillOmissions(doc *xmltree.Node) {
+	for _, placeholder := range collectElements(doc, docgen.DirOmissions) {
+		types := strings.Fields(placeholder.AttrOr("types", ""))
+		var cand []*awb.Node
+		for _, typ := range types {
+			cand = append(cand, r.model.NodesOfType(typ)...)
+		}
+		cand = awb.DedupNodes(cand)
+		var missing []*awb.Node
+		for _, n := range cand {
+			if !r.visited[n.ID] {
+				missing = append(missing, n)
+			}
+		}
+		awb.SortNodesByLabel(missing)
+		ul := xmltree.NewElement("ul")
+		ul.SetAttr("class", docgen.OmissionsClass)
+		for _, n := range missing {
+			li := xmltree.NewElement("li")
+			li.AppendChild(xmltree.NewText(fmt.Sprintf("%s: %s (%s)", n.Type, n.Label(), n.ID)))
+			ul.AppendChild(li)
+		}
+		replaceElement(placeholder, ul)
+	}
+}
+
+// fillTOC assigns sequential ids to section headings in document order and
+// replaces every <toc-here> placeholder with the table of contents.
+func (r *run) fillTOC(doc *xmltree.Node) {
+	type entry struct{ id, title string }
+	var entries []entry
+	i := 0
+	xmltree.Walk(doc, func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.ElementNode && n.Name == "h2" && n.AttrOr("class", "") == docgen.HeadingClass {
+			i++
+			id := fmt.Sprintf("sec-%d", i)
+			n.SetAttr("id", id)
+			entries = append(entries, entry{id: id, title: n.StringValue()})
+		}
+		return true
+	})
+	for _, placeholder := range collectElements(doc, docgen.DirTocHere) {
+		ol := xmltree.NewElement("ol")
+		ol.SetAttr("class", docgen.TocClass)
+		for _, e := range entries {
+			li := xmltree.NewElement("li")
+			a := xmltree.NewElement("a")
+			a.SetAttr("href", "#"+e.id)
+			a.AppendChild(xmltree.NewText(e.title))
+			li.AppendChild(a)
+			ol.AppendChild(li)
+		}
+		replaceElement(placeholder, ol)
+	}
+}
+
+// spliceMarkers finds registered marker phrases inside text nodes and
+// splices the replacement content into the gap — the paper's "rip that node
+// apart and shove Table 1's HTML bodily into the gap". Spliced-in content
+// is not rescanned.
+func (r *run) spliceMarkers(n *xmltree.Node) {
+	if len(r.markerOrder) == 0 {
+		return
+	}
+	if n.Kind != xmltree.ElementNode && n.Kind != xmltree.DocumentNode {
+		return
+	}
+	var rebuilt []*xmltree.Node
+	changed := false
+	for _, c := range n.Children {
+		if c.Kind == xmltree.TextNode {
+			if marker, _ := r.earliestMarker(c.Data); marker != "" {
+				rebuilt = append(rebuilt, r.spliceText(c.Data)...)
+				changed = true
+				continue
+			}
+		}
+		r.spliceMarkers(c)
+		rebuilt = append(rebuilt, c)
+	}
+	if changed {
+		n.Children = rebuilt
+		for _, c := range n.Children {
+			c.Parent = n
+		}
+	}
+}
+
+// earliestMarker returns the registered marker with the smallest index in
+// text (ties broken by registration order) and its index, or ("", -1).
+func (r *run) earliestMarker(text string) (string, int) {
+	best, bestIdx := "", -1
+	for _, m := range r.markerOrder {
+		if i := strings.Index(text, m); i >= 0 && (bestIdx < 0 || i < bestIdx) {
+			best, bestIdx = m, i
+		}
+	}
+	return best, bestIdx
+}
+
+func (r *run) spliceText(text string) []*xmltree.Node {
+	marker, idx := r.earliestMarker(text)
+	if marker == "" {
+		if text == "" {
+			return nil
+		}
+		return []*xmltree.Node{xmltree.NewText(text)}
+	}
+	var out []*xmltree.Node
+	if before := text[:idx]; before != "" {
+		out = append(out, xmltree.NewText(before))
+	}
+	for _, c := range r.replacements[marker] {
+		out = append(out, c.Clone())
+	}
+	out = append(out, r.spliceText(text[idx+len(marker):])...)
+	return out
+}

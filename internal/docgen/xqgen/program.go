@@ -1,0 +1,561 @@
+package xqgen
+
+// This file holds the document generator as the paper's team first built
+// it: an XQuery program. Phase 1 is "a quite straightforward recursive walk
+// over the XML structure of the template", written in the paper's
+// error-handling style — every function that can fail returns either its
+// value or an <error gen-error="true"> element, and every caller checks,
+// which is exactly the "one small piece of computation every few lines,
+// hidden behind billows of error messages" the paper complains about.
+//
+// Later phases implement the INTERNAL-DATA pipeline: "Phase 1 would
+// generate the whole document ... <INTERNAL-DATA><VISITED node-id=...> ...
+// Phase 2 constructs the table of omissions ... Phase 3 constructs the
+// table of contents, similarly ... The final phase walks over the document
+// and destroys all <INTERNAL-DATA> tags."
+
+// xqModelHelpers is the shared prelude over the exported model document.
+const xqModelHelpers = `
+declare function local:mm() { $model/awb-model/metamodel };
+
+declare function local:is-node-subtype($t, $anc) {
+  if ($t = $anc) then true()
+  else
+    let $nt := local:mm()/node-type[@name = $t]
+    return
+      if (empty($nt)) then false()
+      else if (empty($nt[1]/@parent)) then false()
+      else local:is-node-subtype(string($nt[1]/@parent), $anc)
+};
+
+declare function local:is-rel-subtype($t, $anc) {
+  if ($t = $anc) then true()
+  else
+    let $rt := local:mm()/relation-type[@name = $t]
+    return
+      if (empty($rt)) then false()
+      else if (empty($rt[1]/@parent)) then false()
+      else local:is-rel-subtype(string($rt[1]/@parent), $anc)
+};
+
+declare function local:label($n) {
+  if ($n/property[@name = "label"]) then string($n/property[@name = "label"][1])
+  else if ($n/property[@name = "name"]) then string($n/property[@name = "name"][1])
+  else string($n/@id)
+};
+
+declare function local:nodes-of-type($t) {
+  for $n in $model/awb-model/node
+  where local:is-node-subtype(string($n/@type), $t)
+  return $n
+};
+`
+
+// xqErrorConvention is the error machinery from the paper's "Error
+// Detection and Handling" section, <location> clue included.
+const xqErrorConvention = `
+declare function local:err($msg, $where, $focus) {
+  <error gen-error="true">
+    <message>{$msg}</message>
+    <location>{$where}</location>
+    <focus>{if (empty($focus)) then "" else string($focus[1]/@id)}</focus>
+  </error>
+};
+
+declare function local:is-error($v) {
+  some $x in $v satisfies
+    (if ($x instance of element(error)) then exists($x[@gen-error = "true"]) else false())
+};
+
+declare function local:first-error($v) {
+  (for $x in $v
+   return if ($x instance of element(error))
+          then (if (exists($x[@gen-error = "true"])) then $x else ())
+          else ())[1]
+};
+`
+
+// phase1Src is the generator proper.
+const phase1Src = `
+declare variable $model external;
+declare variable $template external;
+` + xqErrorConvention + xqModelHelpers + `
+
+(: ---- model traversal ---- :)
+
+declare function local:follow($focus, $rel, $backward, $tt) {
+  for $r in (if ($backward) then $model/awb-model/relation[@target = string($focus/@id)]
+             else $model/awb-model/relation[@source = string($focus/@id)])
+  where local:is-rel-subtype(string($r/@type), $rel)
+  return
+    let $other := if ($backward) then $model/awb-model/node[@id = string($r/@source)]
+                  else $model/awb-model/node[@id = string($r/@target)]
+    return if ($tt = "" or local:is-node-subtype(string($other/@type), $tt))
+           then $other else ()
+};
+
+(: selector: "all.T" | "follow.R" | "follow.R.T" | "followback.R" :)
+declare function local:select($sel, $focus) {
+  if (starts-with($sel, "all."))
+  then local:nodes-of-type(substring-after($sel, "all."))
+  else if (starts-with($sel, "followback."))
+  then
+    if (empty($focus)) then local:err(concat("selector ", $sel, " requires a focus"), "for", $focus)
+    else local:follow($focus, substring-after($sel, "followback."), true(), "")
+  else if (starts-with($sel, "follow."))
+  then
+    if (empty($focus)) then local:err(concat("selector ", $sel, " requires a focus"), "for", $focus)
+    else
+      let $rest := substring-after($sel, "follow.")
+      return
+        if (contains($rest, "."))
+        then local:follow($focus, substring-before($rest, "."), false(), substring-after($rest, "."))
+        else local:follow($focus, $rest, false(), "")
+  else local:err(concat("bad selector: ", $sel), "for", $focus)
+};
+
+(: ---- the embedded query calculus, interpreted in XQuery ---- :)
+
+declare function local:step-follow($s, $cur) {
+  for $n in $cur
+  return local:follow($n, string($s/@relation),
+                      string($s/@direction) = "backward",
+                      string($s/@target-type))
+};
+
+declare function local:apply-steps($steps, $cur) {
+  if (empty($steps)) then $cur
+  else
+    let $s := $steps[1]
+    let $next :=
+      if (name($s) = "follow") then local:step-follow($s, $cur)
+      else if (name($s) = "filter-type") then
+        (for $n in $cur
+         where local:is-node-subtype(string($n/@type), string($s/@type))
+         return $n)
+      else if (name($s) = "filter-property") then
+        (if (exists($s/@value))
+         then for $n in $cur
+              where exists($n/property[@name = string($s/@name)][string(.) = string($s/@value)])
+              return $n
+         else for $n in $cur
+              where exists($n/property[@name = string($s/@name)])
+              return $n)
+      else if (name($s) = "distinct") then
+        (for $n at $i in $cur
+         where empty(($cur[position() lt $i])[@id = string($n/@id)])
+         return $n)
+      else if (name($s) = "sort") then
+        (for $n in $cur order by local:label($n), string($n/@id) return $n)
+      else if (name($s) = "limit") then
+        $cur[position() le xs:integer(string($s/@n))]
+      else local:err(concat("unknown query step ", name($s)), "query", ())
+    return
+      if (local:is-error($next)) then local:first-error($next)
+      else local:apply-steps($steps[position() gt 1], $next)
+};
+
+declare function local:eval-query($q, $focus) {
+  let $start :=
+    if (string($q/start[1]/@focus) = "true")
+    then (if (empty($focus))
+          then local:err("query starts at focus but there is none", "query", $focus)
+          else $focus)
+    else if (exists($q/start[1]/@id))
+    then $model/awb-model/node[@id = string($q/start[1]/@id)]
+    else if (exists($q/start[1]/@type))
+    then local:nodes-of-type(string($q/start[1]/@type))
+    else local:err("query has no usable start", "query", $focus)
+  return
+    if (local:is-error($start)) then local:first-error($start)
+    else local:apply-steps($q/*[not(self::start)], $start)
+};
+
+(: ---- properties, as seen through the interchange format ---- :)
+
+declare function local:prop($focus, $name) {
+  $focus/property[@name = $name]
+};
+
+(: ---- conditions: boolean or error ---- :)
+
+declare function local:eval-cond($c, $focus) {
+  if (name($c) = "focus-is-type") then
+    if (empty($c/@type)) then local:err("missing required attribute ""type""", name($c), $focus)
+    else if (empty($focus)) then local:err("focus-is-type with no focus", name($c), $focus)
+    else local:is-node-subtype(string($focus/@type), string($c/@type))
+  else if (name($c) = "has-property") then
+    if (empty($c/@name)) then local:err("missing required attribute ""name""", name($c), $focus)
+    else if (empty($focus)) then local:err("has-property with no focus", name($c), $focus)
+    else exists(local:prop($focus, string($c/@name)))
+  else if (name($c) = "property-equals") then
+    if (empty($c/@name)) then local:err("missing required attribute ""name""", name($c), $focus)
+    else if (empty($c/@value)) then local:err("missing required attribute ""value""", name($c), $focus)
+    else if (empty($focus)) then local:err("property-equals with no focus", name($c), $focus)
+    else
+      let $p := local:prop($focus, string($c/@name))
+      return exists($p) and string($p[1]) = string($c/@value)
+  else if (name($c) = "nonempty") then
+    if (empty($c/@nodes)) then local:err("missing required attribute ""nodes""", name($c), $focus)
+    else
+      let $set := local:select(string($c/@nodes), $focus)
+      return if (local:is-error($set)) then local:first-error($set) else exists($set)
+  else if (name($c) = "not") then
+    let $inner := local:eval-conds($c/*, $focus)
+    return if (local:is-error($inner)) then $inner else not($inner)
+  else local:err(concat("unknown condition ", name($c)), name($c), $focus)
+};
+
+declare function local:eval-conds($cs, $focus) {
+  if (empty($cs)) then true()
+  else
+    let $h := local:eval-cond($cs[1], $focus)
+    return
+      if (local:is-error($h)) then $h
+      else if (not($h)) then false()
+      else local:eval-conds($cs[position() gt 1], $focus)
+};
+
+(: ---- the recursive walk ---- :)
+
+declare function local:gen-seq($ts, $focus) {
+  let $parts := for $t in $ts return local:gen($t, $focus)
+  return
+    if (local:is-error($parts)) then local:first-error($parts)
+    else $parts
+};
+
+declare function local:gen($t, $focus) {
+  if ($t instance of text()) then text { string($t) }
+  else if ($t instance of comment()) then $t
+  else if ($t instance of processing-instruction()) then $t
+  else if ($t instance of element()) then local:gen-element($t, $focus)
+  else ()
+};
+
+declare function local:gen-element($t, $focus) {
+  let $name := name($t)
+  return
+  if ($name = "for") then local:gen-for($t, $focus)
+  else if ($name = "if") then local:gen-if($t, $focus)
+  else if ($name = "label") then local:gen-label($t, $focus)
+  else if ($name = "property") then local:gen-property($t, $focus)
+  else if ($name = "property-html") then local:gen-property-html($t, $focus)
+  else if ($name = "section") then local:gen-section($t, $focus)
+  else if ($name = "heading") then local:err("heading outside section", $name, $focus)
+  else if ($name = "toc-here") then $t
+  else if ($name = "table-of-omissions") then $t
+  else if ($name = "matrix") then local:gen-matrix($t, $focus)
+  else if ($name = "marker") then
+    (if (empty($t/@name)) then local:err("missing required attribute ""name""", $name, $focus)
+     else text { string($t/@name) })
+  else if ($name = "replace-marker") then local:gen-replace-marker($t, $focus)
+  else local:gen-copy($t, $focus)
+};
+
+declare function local:gen-copy($t, $focus) {
+  let $kids := local:gen-seq($t/node(), $focus)
+  return
+    if (local:is-error($kids)) then $kids
+    else element {name($t)} {
+      (for $a in $t/@* return attribute {name($a)} {string($a)}),
+      $kids
+    }
+};
+
+declare function local:for-set($t, $focus) {
+  if (exists($t/query)) then local:eval-query($t/query[1], $focus)
+  else if (exists($t/@nodes)) then local:select(string($t/@nodes), $focus)
+  else local:err("for needs a nodes attribute or a query child", "for", $focus)
+};
+
+declare function local:gen-for($t, $focus) {
+  let $set := local:for-set($t, $focus)
+  return
+    if (local:is-error($set)) then local:first-error($set)
+    else
+      let $parts :=
+        for $n in $set
+        return (
+          <INTERNAL-DATA><VISITED node-id="{string($n/@id)}"/></INTERNAL-DATA>,
+          local:gen-seq($t/node()[not(self::query)], $n)
+        )
+      return
+        if (local:is-error($parts)) then local:first-error($parts)
+        else $parts
+};
+
+declare function local:gen-if($t, $focus) {
+  if (empty($t/test)) then local:err("missing required child <test>", "if", $focus)
+  else if (empty($t/then)) then local:err("missing required child <then>", "if", $focus)
+  else
+    let $cond := local:eval-conds($t/test[1]/*, $focus)
+    return
+      if (local:is-error($cond)) then $cond
+      else if ($cond) then local:gen-seq($t/then[1]/node(), $focus)
+      else if (exists($t/else)) then local:gen-seq($t/else[1]/node(), $focus)
+      else ()
+};
+
+declare function local:gen-label($t, $focus) {
+  if (empty($focus)) then local:err("label with no focus", "label", $focus)
+  else (
+    <INTERNAL-DATA><VISITED node-id="{string($focus/@id)}"/></INTERNAL-DATA>,
+    text { local:label($focus) }
+  )
+};
+
+declare function local:gen-property($t, $focus) {
+  if (empty($t/@name)) then local:err("missing required attribute ""name""", "property", $focus)
+  else if (empty($focus)) then local:err("property with no focus", "property", $focus)
+  else
+    let $p := local:prop($focus, string($t/@name))
+    return
+      if (empty($p)) then
+        (if (string($t/@required) = "true")
+         then local:err(concat("node ", string($focus/@id), " has no required property """,
+                               string($t/@name), """"), "property", $focus)
+         else <INTERNAL-DATA><PROBLEM>{concat("node ", string($focus/@id),
+                " has no property """, string($t/@name), """")}</PROBLEM></INTERNAL-DATA>)
+      else text { string($p[1]) }
+};
+
+declare function local:gen-property-html($t, $focus) {
+  if (empty($t/@name)) then local:err("missing required attribute ""name""", "property-html", $focus)
+  else if (empty($focus)) then local:err("property-html with no focus", "property-html", $focus)
+  else
+    let $p := local:prop($focus, string($t/@name))
+    return
+      if (empty($p))
+      then <INTERNAL-DATA><PROBLEM>{concat("node ", string($focus/@id),
+             " has no property """, string($t/@name), """")}</PROBLEM></INTERNAL-DATA>
+      else for $c in $p[1]/node() return $c
+};
+
+declare function local:gen-section($t, $focus) {
+  let $parts :=
+    for $c in $t/node()
+    return
+      if ($c instance of element(heading))
+      then
+        let $kids := local:gen-seq($c/node(), $focus)
+        return
+          if (local:is-error($kids)) then $kids
+          else <h2 class="section-heading">{$kids}</h2>
+      else local:gen($c, $focus)
+  return
+    if (local:is-error($parts)) then local:first-error($parts)
+    else <div class="section">{$parts}</div>
+};
+
+declare function local:related($r, $c, $rel) {
+  exists($model/awb-model/relation[@source = string($r/@id)]
+                                  [@target = string($c/@id)]
+                                  [local:is-rel-subtype(string(@type), $rel)])
+};
+
+(: The row/col table, produced "in its entirety, all at once" — the paper's
+   "large and somewhat intricate segment of code". :)
+declare function local:gen-matrix($t, $focus) {
+  if (empty($t/@rows)) then local:err("missing required attribute ""rows""", "matrix", $focus)
+  else if (empty($t/@cols)) then local:err("missing required attribute ""cols""", "matrix", $focus)
+  else if (empty($t/@relation)) then local:err("missing required attribute ""relation""", "matrix", $focus)
+  else
+    let $rows := local:select(string($t/@rows), $focus)
+    return
+      if (local:is-error($rows)) then local:first-error($rows)
+      else
+        let $cols := local:select(string($t/@cols), $focus)
+        return
+          if (local:is-error($cols)) then local:first-error($cols)
+          else
+            let $corner := if (exists($t/@corner)) then string($t/@corner) else "row\col"
+            let $mark := if (exists($t/@mark)) then string($t/@mark) else "X"
+            let $rel := string($t/@relation)
+            return
+              <table class="matrix">
+                <tr><td>{$corner}</td>{
+                  for $c in $cols return <td>{local:label($c)}</td>
+                }</tr>
+                {for $r in $rows return
+                  <tr><td>{local:label($r)}</td>{
+                    for $c in $cols return
+                      <td>{if (local:related($r, $c, $rel)) then $mark else ()}</td>
+                  }</tr>}
+              </table>
+};
+
+declare function local:gen-replace-marker($t, $focus) {
+  if (empty($t/@marker)) then local:err("missing required attribute ""marker""", "replace-marker", $focus)
+  else
+    let $content := local:gen-seq($t/node(), $focus)
+    return
+      if (local:is-error($content)) then $content
+      else <INTERNAL-DATA><REPLACEMENT marker="{string($t/@marker)}">{$content}</REPLACEMENT></INTERNAL-DATA>
+};
+
+(: ---- main ---- :)
+
+let $root := $template/template
+return
+  if (empty($root)) then local:err("template root element is not <template>", "template", ())
+  else
+    let $body := local:gen-seq($root/node(), ())
+    return
+      if (local:is-error($body)) then local:first-error($body)
+      else <GEN-ROOT>{$body}</GEN-ROOT>
+`
+
+// phase2Src builds the table of omissions from the //VISITED markers.
+const phase2Src = `
+declare variable $model external;
+` + xqModelHelpers + `
+
+declare function local:omissions($t) {
+  let $visited := for $v in root($t)//VISITED return string($v/@node-id)
+  let $types := tokenize(string($t/@types), " +")[. != ""]
+  let $missing :=
+    for $n in $model/awb-model/node
+    where (some $ty in $types satisfies local:is-node-subtype(string($n/@type), $ty))
+          and not($n/@id = $visited)
+    return $n
+  let $sorted := for $n in $missing order by local:label($n), string($n/@id) return $n
+  return
+    <ul class="omissions">{
+      for $n in $sorted
+      return <li>{concat(string($n/@type), ": ", local:label($n), " (", string($n/@id), ")")}</li>
+    }</ul>
+};
+
+declare function local:copy($n) {
+  if ($n instance of element(INTERNAL-DATA)) then $n
+  else if ($n instance of element(table-of-omissions)) then local:omissions($n)
+  else if ($n instance of element()) then
+    element {name($n)} {
+      (for $a in $n/@* return attribute {name($a)} {string($a)}),
+      (for $c in $n/node() return local:copy($c))
+    }
+  else $n
+};
+
+local:copy(/GEN-ROOT)
+`
+
+// phase3Src assigns section-heading ids and builds the table of contents.
+const phase3Src = `
+declare function local:heads($n) {
+  root($n)//h2[@class = "section-heading"][empty(ancestor::INTERNAL-DATA)]
+};
+
+declare function local:copy($n) {
+  if ($n instance of element(INTERNAL-DATA)) then $n
+  else if ($n instance of element(h2) and string($n/@class) = "section-heading") then
+    let $idx := count(local:heads($n)[. << $n]) + 1
+    return element h2 {
+      (for $a in $n/@*[name(.) != "id"] return attribute {name($a)} {string($a)}),
+      attribute id { concat("sec-", $idx) },
+      (for $c in $n/node() return local:copy($c))
+    }
+  else if ($n instance of element(toc-here)) then
+    <ol class="toc">{
+      for $h at $i in local:heads($n)
+      return <li><a href="#sec-{$i}">{string($h)}</a></li>
+    }</ol>
+  else if ($n instance of element()) then
+    element {name($n)} {
+      (for $a in $n/@* return attribute {name($a)} {string($a)}),
+      (for $c in $n/node() return local:copy($c))
+    }
+  else $n
+};
+
+local:copy(/GEN-ROOT)
+`
+
+// phase4Src splices replacement content into marker phrases inside text
+// nodes — the paper's "rip that node apart and shove Table 1's HTML bodily
+// into the gap", as a whole-document copy because nothing can be mutated.
+const phase4Src = `
+declare function local:repls($n) {
+  root($n)//REPLACEMENT
+};
+
+declare function local:markers($n) {
+  let $rs := local:repls($n)
+  return
+    for $r at $i in $rs
+    where empty(($rs[position() lt $i])[@marker = string($r/@marker)])
+    return string($r/@marker)
+};
+
+(: replacement content for a marker, with INTERNAL-DATA stripped so spliced
+   copies do not duplicate VISITED/PROBLEM records :)
+declare function local:strip-internal($n) {
+  if ($n instance of element(INTERNAL-DATA)) then ()
+  else if ($n instance of element()) then
+    element {name($n)} {
+      (for $a in $n/@* return attribute {name($a)} {string($a)}),
+      (for $c in $n/node() return local:strip-internal($c))
+    }
+  else $n
+};
+
+declare function local:content-for($n, $m) {
+  for $c in (local:repls($n)[@marker = $m])[last()]/node()
+  return local:strip-internal($c)
+};
+
+declare function local:earliest-rec($s, $ms, $best, $bestIdx) {
+  if (empty($ms)) then $best
+  else
+    let $m := $ms[1]
+    let $idx := if (contains($s, $m)) then string-length(substring-before($s, $m)) else -1
+    return
+      if ($idx ge 0 and ($bestIdx lt 0 or $idx lt $bestIdx))
+      then local:earliest-rec($s, $ms[position() gt 1], $m, $idx)
+      else local:earliest-rec($s, $ms[position() gt 1], $best, $bestIdx)
+};
+
+declare function local:splice-text($s, $ctx) {
+  let $m := local:earliest-rec($s, local:markers($ctx), "", -1)
+  return
+    if ($m = "") then (if ($s = "") then () else text { $s })
+    else (
+      (if (substring-before($s, $m) != "") then text { substring-before($s, $m) } else ()),
+      local:content-for($ctx, $m),
+      local:splice-text(substring($s, string-length(substring-before($s, $m)) + string-length($m) + 1), $ctx)
+    )
+};
+
+declare function local:copy($n) {
+  if ($n instance of element(INTERNAL-DATA)) then $n
+  else if ($n instance of text()) then local:splice-text(string($n), $n)
+  else if ($n instance of element()) then
+    element {name($n)} {
+      (for $a in $n/@* return attribute {name($a)} {string($a)}),
+      (for $c in $n/node() return local:copy($c))
+    }
+  else $n
+};
+
+if (empty(//REPLACEMENT)) then /GEN-ROOT else local:copy(/GEN-ROOT)
+`
+
+// phase5Src destroys the INTERNAL-DATA plumbing and splits the output
+// streams — the paper's workaround for XQuery's single output stream.
+const phase5Src = `
+declare function local:strip($n) {
+  if ($n instance of element(INTERNAL-DATA)) then ()
+  else if ($n instance of element()) then
+    element {name($n)} {
+      (for $a in $n/@* return attribute {name($a)} {string($a)}),
+      (for $c in $n/node() return local:strip($c))
+    }
+  else $n
+};
+
+<SPLIT-OUTPUT>
+  <document>{ for $c in /GEN-ROOT/node() return local:strip($c) }</document>
+  <problems>{ for $p in //INTERNAL-DATA/PROBLEM return <problem>{string($p)}</problem> }</problems>
+</SPLIT-OUTPUT>
+`

@@ -1,0 +1,201 @@
+// Package xqgen is the document generator as the paper's team first built
+// it: a program written in XQuery, executed on the lopsided engine, driven
+// through the multi-phase INTERNAL-DATA pipeline. Package native is the
+// rewrite that replaced it; the two must produce byte-identical results.
+package xqgen
+
+import (
+	"fmt"
+	"sync"
+
+	"lopsided/internal/awb"
+	"lopsided/internal/docgen"
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xslt"
+	"lopsided/xq"
+)
+
+// GenError is a fatal generation error surfaced from the XQuery program's
+// <error gen-error="true"> convention.
+type GenError struct {
+	Message  string
+	Location string // directive name, the <location> clue
+	FocusID  string
+}
+
+// Error implements the error interface.
+func (e *GenError) Error() string {
+	s := "docgen(xquery): " + e.Message
+	if e.Location != "" {
+		s += " (while processing <" + e.Location + ">"
+		if e.FocusID != "" {
+			s += ", focus " + e.FocusID
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Generator runs the XQuery document generator. Construct with New; the
+// five phase programs compile once per generator.
+type Generator struct {
+	opts    []xq.Option
+	once    sync.Once
+	err     error
+	phases  [5]*xq.Query
+	sources [5]string
+	// xsltSplit switches the final stream split from the host-language
+	// helper to the paper's literal pipeline: "a little XSLT program could
+	// split them apart".
+	xsltSplit bool
+}
+
+// UseXSLTSplitter selects how the phase-5 <SPLIT-OUTPUT> bundle is
+// unbundled: false (default) uses the Go helper; true runs the two little
+// XSLT programs from internal/xslt, as the paper's system actually did.
+// Both must produce identical results.
+func (g *Generator) UseXSLTSplitter(on bool) { g.xsltSplit = on }
+
+// New returns an XQuery generator. Options are passed to the underlying
+// engine (optimizer level, duplicate-attribute policy, tracer) — used by
+// the ablation benchmarks.
+func New(opts ...xq.Option) *Generator {
+	return &Generator{opts: opts}
+}
+
+// Name implements docgen.Generator.
+func (*Generator) Name() string { return "xquery" }
+
+// PhaseSources exposes the embedded XQuery programs (for LoC accounting in
+// the experiment harness).
+func PhaseSources() []string {
+	return []string{phase1Src, phase2Src, phase3Src, phase4Src, phase5Src}
+}
+
+func (g *Generator) compile() error {
+	g.once.Do(func() {
+		g.sources = [5]string{phase1Src, phase2Src, phase3Src, phase4Src, phase5Src}
+		for i, src := range g.sources {
+			q, err := xq.Compile(src, g.opts...)
+			if err != nil {
+				g.err = fmt.Errorf("xqgen: phase %d does not compile: %w", i+1, err)
+				return
+			}
+			g.phases[i] = q
+		}
+	})
+	return g.err
+}
+
+// Generate implements docgen.Generator.
+func (g *Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Result, error) {
+	if err := g.compile(); err != nil {
+		return nil, err
+	}
+	modelDoc := model.ExportXML()
+	tplDoc := template
+	if tplDoc.Kind != xmltree.DocumentNode {
+		tplDoc = xmltree.NewDocument()
+		tplDoc.AppendChild(template.Clone())
+	}
+	vars := map[string]xq.Sequence{
+		"model":    xq.Singleton(xq.NewNodeItem(modelDoc)),
+		"template": xq.Singleton(xq.NewNodeItem(tplDoc)),
+	}
+	// Phase 1: generate, with INTERNAL-DATA plumbing.
+	cur, err := g.runPhase(0, nil, vars)
+	if err != nil {
+		return nil, err
+	}
+	// Phases 2-4 re-copy the whole document each time — "fairly
+	// inefficient, requiring multiple copies of the entire output".
+	modelOnly := map[string]xq.Sequence{"model": vars["model"]}
+	if cur, err = g.runPhase(1, cur, modelOnly); err != nil {
+		return nil, err
+	}
+	if cur, err = g.runPhase(2, cur, nil); err != nil {
+		return nil, err
+	}
+	if cur, err = g.runPhase(3, cur, nil); err != nil {
+		return nil, err
+	}
+	split, err := g.runPhase(4, cur, nil)
+	if err != nil {
+		return nil, err
+	}
+	if g.xsltSplit {
+		doc, problems, err := xslt.SplitStreams(split)
+		if err != nil {
+			return nil, fmt.Errorf("xqgen: XSLT splitter: %w", err)
+		}
+		return &docgen.Result{Document: doc, Problems: problems}, nil
+	}
+	return splitResult(split)
+}
+
+// runPhase evaluates one phase. ctxRoot, when non-nil, is the <GEN-ROOT>
+// element from the previous phase, wrapped as the context document.
+func (g *Generator) runPhase(i int, ctxRoot *xmltree.Node, vars map[string]xq.Sequence) (*xmltree.Node, error) {
+	var ctx *xmltree.Node
+	if ctxRoot != nil {
+		ctx = xmltree.NewDocument()
+		ctx.AppendChild(ctxRoot)
+	}
+	out, err := g.phases[i].EvalWith(ctx, vars)
+	if err != nil {
+		return nil, fmt.Errorf("xqgen: phase %d failed: %w", i+1, err)
+	}
+	if len(out) != 1 {
+		return nil, fmt.Errorf("xqgen: phase %d returned %d items, want 1", i+1, len(out))
+	}
+	n, ok := xdm.IsNode(out[0])
+	if !ok {
+		return nil, fmt.Errorf("xqgen: phase %d returned a non-node", i+1)
+	}
+	if n.Kind == xmltree.ElementNode && n.Name == "error" && n.AttrOr("gen-error", "") == "true" {
+		return nil, errorFromElement(n)
+	}
+	return n, nil
+}
+
+func errorFromElement(n *xmltree.Node) error {
+	e := &GenError{}
+	for _, c := range n.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		switch c.Name {
+		case "message":
+			e.Message = c.StringValue()
+		case "location":
+			e.Location = c.StringValue()
+		case "focus":
+			e.FocusID = c.StringValue()
+		}
+	}
+	return e
+}
+
+// splitResult unbundles the phase-5 <SPLIT-OUTPUT> into the two streams.
+func splitResult(split *xmltree.Node) (*docgen.Result, error) {
+	res := &docgen.Result{Document: xmltree.NewDocument()}
+	for _, c := range split.Children {
+		if c.Kind != xmltree.ElementNode {
+			continue
+		}
+		switch c.Name {
+		case "document":
+			for _, k := range c.Children {
+				res.Document.AppendChild(k.Clone())
+			}
+		case "problems":
+			for _, p := range c.Children {
+				if p.Kind == xmltree.ElementNode && p.Name == "problem" {
+					res.Problems = append(res.Problems, p.StringValue())
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every empirical artifact of the paper:
+// its illustrative tables (sequence indexing, attribute folding, the
+// row/col table) and its quantified or quantifiable claims (error-handling
+// blowup, multi-phase overhead, XQuery-vs-native runtime, the trace
+// dead-code anecdote, set-encoding costs, engine parity). The lopsided-bench
+// command prints these reports; EXPERIMENTS.md records them against the
+// paper's statements.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	ID      string // e.g. "E1"
+	Title   string
+	Paper   string // what the paper says
+	Text    string // the regenerated table/series
+	Verdict string // one-line comparison against the paper's claim
+}
+
+// runner produces a report.
+type runner struct {
+	id    string
+	title string
+	run   func() Report
+}
+
+var registry []runner
+
+func register(id, title string, run func() Report) {
+	registry = append(registry, runner{id: id, title: title, run: run})
+	// Keep a stable, human order (E1..E10, then F1) regardless of the
+	// per-file init order.
+	sort.Slice(registry, func(i, j int) bool {
+		ki, kj := idKey(registry[i].id), idKey(registry[j].id)
+		if ki != kj {
+			return ki < kj
+		}
+		return registry[i].id < registry[j].id
+	})
+}
+
+// idKey orders experiment IDs: E-series first by number, then F-series.
+func idKey(id string) int {
+	if len(id) < 2 {
+		return 1 << 20
+	}
+	n := 0
+	fmt.Sscanf(id[1:], "%d", &n)
+	if id[0] == 'F' {
+		n += 1000
+	}
+	return n
+}
+
+// IDs lists registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (Report, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.run(), nil
+		}
+	}
+	return Report{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// RunAll executes every experiment in registration order.
+func RunAll() []Report {
+	out := make([]Report, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r.run())
+	}
+	return out
+}
+
+// String renders a report for the terminal.
+func (r Report) String() string {
+	return fmt.Sprintf("== %s: %s ==\npaper: %s\n\n%s\nverdict: %s\n",
+		r.ID, r.Title, r.Paper, r.Text, r.Verdict)
+}
+
+// medianTime runs f `runs` times and returns the median duration — stable
+// enough for the shape comparisons the reproduction needs.
+func medianTime(runs int, f func()) time.Duration {
+	if runs < 1 {
+		runs = 1
+	}
+	ds := make([]time.Duration, runs)
+	for i := range ds {
+		start := time.Now()
+		f()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%dµs", d.Microseconds())
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "F1"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := Run("E99"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestFastExperiments runs the cheap, fully-deterministic experiments and
+// checks their key assertions (the timing-heavy ones run via
+// lopsided-bench and the benchmarks).
+func TestFastExperiments(t *testing.T) {
+	t.Run("E1", func(t *testing.T) {
+		rep, err := Run("E1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(rep.Verdict, "6/7") {
+			t.Fatalf("E1 verdict: %s", rep.Verdict)
+		}
+		if !strings.Contains(rep.Text, "XQTY0024") {
+			t.Fatal("E1 should show the element-rep error")
+		}
+	})
+	t.Run("E2", func(t *testing.T) {
+		rep, err := Run("E2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{`<el troubles="1"/>`, `a="1" a="2"`, "XQDY0025", "XQTY0024"} {
+			if !strings.Contains(rep.Text, want) {
+				t.Fatalf("E2 missing %q:\n%s", want, rep.Text)
+			}
+		}
+	})
+	t.Run("E7", func(t *testing.T) {
+		rep, err := Run("E7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The buggy configuration fires zero traces and eliminates one let.
+		if !strings.Contains(rep.Text, "Galax-era O2, trace pure      50      0             1") {
+			t.Fatalf("E7 table:\n%s", rep.Text)
+		}
+	})
+	t.Run("E9", func(t *testing.T) {
+		rep, err := Run("E9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(rep.Verdict, "4/4") {
+			t.Fatalf("E9 verdict: %s", rep.Verdict)
+		}
+	})
+	t.Run("E3", func(t *testing.T) {
+		rep, err := Run("E3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(rep.Text, "== xquery (all-at-once): true") {
+			t.Fatalf("E3 parity:\n%s", rep.Text)
+		}
+	})
+}
+
+func TestChainProgramsAgree(t *testing.T) {
+	// The generated E4 programs must stay runnable and consistent.
+	for _, k := range []int{1, 3} {
+		xqSrc := XQueryChainProgram(k)
+		if !strings.Contains(xqSrc, "local:required-child") {
+			t.Fatal("chain program shape")
+		}
+		goSrc := GoChainProgram(k)
+		if !strings.Contains(goSrc, "requiredChild") {
+			t.Fatal("go chain shape")
+		}
+	}
+	doc := chainDoc(3)
+	out, err := GoChainRun(doc, 3)
+	if err != nil || out != "c3" {
+		t.Fatal(out, err)
+	}
+	if _, err := GoChainRun(chainDoc(2), 3); err == nil {
+		t.Fatal("missing child should error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{ID: "EX", Title: "T", Paper: "P", Text: "body", Verdict: "V"}
+	s := rep.String()
+	for _, want := range []string{"EX", "T", "P", "body", "V"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Report.String missing %q", want)
+		}
+	}
+}
+
+func TestCompiledSourcePreview(t *testing.T) {
+	if !strings.Contains(CompiledSourcePreview(), "declare function local:is-node-subtype") {
+		t.Fatal("preview should show the compiled prelude")
+	}
+}

@@ -1,0 +1,116 @@
+// Package textkit provides small text utilities shared by the experiment
+// harness: fixed-width table rendering and source-line accounting.
+package textkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows as an aligned fixed-width text table with a header row
+// and a separator, the format EXPERIMENTS.md embeds.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CountLines counts non-blank, non-comment-only source lines. Comment
+// syntax is configured by prefixes (e.g. "//" for Go) and bracket pairs
+// (e.g. "(:" ":)" for XQuery); bracket comments are assumed non-nested for
+// counting purposes, which matches how the sources here use them.
+type CountOptions struct {
+	LinePrefixes []string
+	BlockOpen    string
+	BlockClose   string
+}
+
+// GoCount counts Go source lines.
+func GoCount(src string) int {
+	return CountLines(src, CountOptions{LinePrefixes: []string{"//"}, BlockOpen: "/*", BlockClose: "*/"})
+}
+
+// XQueryCount counts XQuery source lines.
+func XQueryCount(src string) int {
+	return CountLines(src, CountOptions{BlockOpen: "(:", BlockClose: ":)"})
+}
+
+// CountLines implements the counting.
+func CountLines(src string, opts CountOptions) int {
+	count := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if inBlock {
+			if opts.BlockClose != "" && strings.Contains(s, opts.BlockClose) {
+				inBlock = false
+				rest := s[strings.Index(s, opts.BlockClose)+len(opts.BlockClose):]
+				if strings.TrimSpace(rest) != "" {
+					count++
+				}
+			}
+			continue
+		}
+		if s == "" {
+			continue
+		}
+		skip := false
+		for _, p := range opts.LinePrefixes {
+			if strings.HasPrefix(s, p) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		if opts.BlockOpen != "" && strings.HasPrefix(s, opts.BlockOpen) {
+			if !strings.Contains(s[len(opts.BlockOpen):], opts.BlockClose) {
+				inBlock = true
+			}
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// Ratio formats a/b as "N.Nx" (or "inf" when b is zero).
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}

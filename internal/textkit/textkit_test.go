@@ -1,0 +1,78 @@
+package textkit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"xxxxx", "1"},
+		{"y", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a    ") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// All lines align to the same widths.
+	if len(lines[2]) < len("xxxxx  1") {
+		t.Fatalf("row: %q", lines[2])
+	}
+	// Short rows are padded, not dropped.
+	out = Table([]string{"a", "b"}, [][]string{{"only-a"}})
+	if !strings.Contains(out, "only-a") {
+		t.Fatal("short row")
+	}
+}
+
+func TestGoCount(t *testing.T) {
+	src := `// comment
+package x
+
+/* block
+comment */
+func f() int { // trailing comment counts as code
+	return 1
+}
+`
+	if got := GoCount(src); got != 4 {
+		t.Fatalf("GoCount = %d, want 4", got)
+	}
+}
+
+func TestXQueryCount(t *testing.T) {
+	src := `(: header comment :)
+declare function local:f() {
+
+  (: inner
+     comment :)
+  1 + 2
+};
+local:f()`
+	if got := XQueryCount(src); got != 4 {
+		t.Fatalf("XQueryCount = %d, want 4", got)
+	}
+}
+
+func TestCountBlockCloseWithTrailingCode(t *testing.T) {
+	src := "a\n/* c\nstill c */ b\n"
+	got := CountLines(src, CountOptions{BlockOpen: "/*", BlockClose: "*/"})
+	if got != 2 {
+		t.Fatalf("got %d, want 2 (a and b)", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != "2.5x" {
+		t.Fatal("ratio")
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Fatal("div by zero")
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"lopsided/internal/xmltree"
+)
+
+// QuickTemplate is the paper's introductory example, verbatim in spirit:
+// a numbered list of users with superusers bolded.
+const QuickTemplate = `<template>
+<html><body>
+<ol>
+  <for nodes="all.User">
+    <li>
+      <if>
+        <test><focus-is-type type="Superuser"/></test>
+        <then><b><label/></b></then>
+        <else><label/></else>
+      </if>
+    </li>
+  </for>
+</ol>
+</body></html>
+</template>`
+
+// SystemContextTemplate is a full "System Context document"-style template
+// exercising every directive: table of contents, omissions, sections per
+// system, HTML properties, a row/col matrix, an embedded calculus query,
+// and marker replacement inside a messy text blob.
+const SystemContextTemplate = `<template>
+<html>
+<head><title>System Context</title></head>
+<body>
+<h1>System Context</h1>
+<toc-here/>
+<section>
+  <heading>Users</heading>
+  <ol>
+    <for nodes="all.User">
+      <li>
+        <if>
+          <test><focus-is-type type="Superuser"/></test>
+          <then><b><label/></b> (superuser)</then>
+          <else><label/></else>
+        </if>
+      </li>
+    </for>
+  </ol>
+</section>
+<section>
+  <heading>Systems</heading>
+  <for nodes="all.System">
+    <section>
+      <heading><label/></heading>
+      <property-html name="description"/>
+      <p>Users of this system:</p>
+      <ul>
+        <for nodes="followback.uses">
+          <li><label/></li>
+        </for>
+      </ul>
+    </section>
+  </for>
+</section>
+<section>
+  <heading>Usage Matrix</heading>
+  <matrix rows="all.User" cols="all.System" relation="uses" corner="user\system" mark="&#x2713;"/>
+</section>
+<section>
+  <heading>Documents</heading>
+  <ul>
+    <for nodes="all.Document">
+      <li><label/> v<property name="version"/></li>
+    </for>
+  </ul>
+</section>
+<section>
+  <heading>Who Likes Whom</heading>
+  <ul>
+    <for>
+      <query>
+        <start type="User"/>
+        <follow relation="likes"/>
+        <distinct/>
+        <sort by="label"/>
+      </query>
+      <li>liked: <label/></li>
+    </for>
+  </ul>
+</section>
+<section>
+  <heading>Pasted Blob</heading>
+  <replace-marker marker="TABLE-1-GOES-HERE">
+    <matrix rows="all.Server" cols="all.Program" relation="runs" corner="server\program" mark="*"/>
+  </replace-marker>
+  <div class="blob">Some messy pasted text where TABLE-1-GOES-HERE and then the prose rambles on.</div>
+</section>
+<section>
+  <heading>Omissions</heading>
+  <table-of-omissions types="User Program Document"/>
+</section>
+</body>
+</html>
+</template>`
+
+// GlassCatalogTemplate documents the antique-glass retargeting.
+const GlassCatalogTemplate = `<template>
+<html><body>
+<h1>Catalog of Fine Glass</h1>
+<toc-here/>
+<for nodes="all.Maker">
+  <section>
+    <heading>Pieces by <label/></heading>
+    <ul>
+      <for nodes="followback.made-by">
+        <li><label/> (<property name="period"/>) — $<property name="price"/></li>
+      </for>
+    </ul>
+  </section>
+</for>
+<section>
+  <heading>Unsold Pieces</heading>
+  <table-of-omissions types="Piece"/>
+</section>
+</body></html>
+</template>`
+
+// ParseTemplate parses template source, stripping indentation-only
+// whitespace so authored layout does not leak into output.
+func ParseTemplate(src string) *xmltree.Node {
+	doc, err := xmltree.ParseWith(src, xmltree.ParseOptions{TrimWhitespace: true})
+	if err != nil {
+		panic(fmt.Sprintf("workload: bad template: %v", err))
+	}
+	return doc
+}
+
+// ScalingTemplate builds a template with n sections, each iterating all
+// users — the knob the scaling benchmarks turn.
+func ScalingTemplate(n int) *xmltree.Node {
+	var b strings.Builder
+	b.WriteString("<template><html><body><h1>Scale</h1><toc-here/>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<section><heading>Part %d</heading><ul><for nodes="all.User"><li><label/></li></for></ul></section>`, i+1)
+	}
+	b.WriteString(`<table-of-omissions types="User"/></body></html></template>`)
+	return ParseTemplate(b.String())
+}
+
+// ErrorTemplate deliberately trips the required-property error path at a
+// controllable depth of nesting — the C1 error-handling experiment.
+func ErrorTemplate(depth int) *xmltree.Node {
+	var b strings.Builder
+	b.WriteString("<template><body>")
+	for i := 0; i < depth; i++ {
+		b.WriteString("<div>")
+	}
+	b.WriteString(`<for nodes="all.Document"><property name="version" required="true"/></for>`)
+	for i := 0; i < depth; i++ {
+		b.WriteString("</div>")
+	}
+	b.WriteString("</body></template>")
+	return ParseTemplate(b.String())
+}

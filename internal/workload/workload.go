@@ -1,0 +1,282 @@
+// Package workload builds deterministic synthetic AWB models and document
+// templates for tests, examples, and the experiment harness.
+//
+// The paper's models are unavailable (AWB was an internal IBM tool), so the
+// generator produces graphs with the same structural features the paper
+// describes: an IT-architecture metamodel (Systems that `has` Servers,
+// Subsystems and Users "in dozens of ways"), advisory-violating edges and
+// user-added properties (the overrides AWB had to tolerate), documents with
+// missing version information (the Omissions scenario), and HTML-valued
+// properties (the schema-drift source). A seeded RNG makes every workload
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lopsided/internal/awb"
+)
+
+// ITMetamodel builds the IT-architecture metamodel the paper's AWB shipped
+// with (reconstructed from the paper's examples).
+func ITMetamodel() *awb.Metamodel {
+	m := awb.NewMetamodel("it-architecture")
+	nt := func(name, parent string, props ...awb.PropertyDecl) {
+		if _, err := m.DefineNodeType(name, parent, props...); err != nil {
+			panic(err)
+		}
+	}
+	rt := func(name, parent string, eps ...awb.Endpoint) {
+		if _, err := m.DefineRelationType(name, parent, eps...); err != nil {
+			panic(err)
+		}
+	}
+	label := awb.PropertyDecl{Name: "label", Kind: awb.PropString, Recommended: true}
+	nt("Entity", "", label)
+	nt("Actor", "Entity", awb.PropertyDecl{Name: "biography", Kind: awb.PropHTML})
+	nt("User", "Actor")
+	nt("Superuser", "User")
+	nt("System", "Entity", awb.PropertyDecl{Name: "description", Kind: awb.PropHTML})
+	nt("SystemBeingDesigned", "System")
+	nt("Subsystem", "System")
+	nt("Server", "Entity")
+	nt("Program", "Entity")
+	nt("Requirement", "Entity")
+	nt("PerformanceRequirement", "Requirement")
+	nt("Document", "Entity", awb.PropertyDecl{Name: "version", Kind: awb.PropString, Recommended: true})
+
+	rt("related-to", "")
+	rt("has", "related-to",
+		awb.Endpoint{Source: "System", Target: "Server"},
+		awb.Endpoint{Source: "System", Target: "Subsystem"},
+		awb.Endpoint{Source: "System", Target: "User"},
+		awb.Endpoint{Source: "System", Target: "Requirement"})
+	rt("uses", "related-to",
+		awb.Endpoint{Source: "Actor", Target: "System"},
+		awb.Endpoint{Source: "System", Target: "Program"})
+	rt("runs", "related-to", awb.Endpoint{Source: "Server", Target: "Program"})
+	rt("likes", "related-to", awb.Endpoint{Source: "Actor", Target: "Actor"})
+	rt("favors", "likes")
+	rt("documents", "related-to", awb.Endpoint{Source: "Document", Target: "Entity"})
+
+	m.Singletons = []string{"SystemBeingDesigned"}
+	return m
+}
+
+// GlassMetamodel builds the antique-glass-dealer metamodel — the paper's
+// proof that AWB "has retargeted" cleanly.
+func GlassMetamodel() *awb.Metamodel {
+	m := awb.NewMetamodel("glass-catalog")
+	nt := func(name, parent string, props ...awb.PropertyDecl) {
+		if _, err := m.DefineNodeType(name, parent, props...); err != nil {
+			panic(err)
+		}
+	}
+	rt := func(name, parent string, eps ...awb.Endpoint) {
+		if _, err := m.DefineRelationType(name, parent, eps...); err != nil {
+			panic(err)
+		}
+	}
+	label := awb.PropertyDecl{Name: "label", Kind: awb.PropString, Recommended: true}
+	nt("Thing", "", label)
+	nt("Piece", "Thing",
+		awb.PropertyDecl{Name: "period", Kind: awb.PropString},
+		awb.PropertyDecl{Name: "notes", Kind: awb.PropHTML},
+		awb.PropertyDecl{Name: "price", Kind: awb.PropInteger})
+	nt("Goblet", "Piece")
+	nt("Vase", "Piece")
+	nt("Paperweight", "Piece")
+	nt("Maker", "Thing")
+	nt("Customer", "Thing")
+
+	rt("related-to", "")
+	rt("made-by", "related-to", awb.Endpoint{Source: "Piece", Target: "Maker"})
+	rt("bought", "related-to", awb.Endpoint{Source: "Customer", Target: "Piece"})
+	rt("admires", "related-to", awb.Endpoint{Source: "Customer", Target: "Maker"})
+	// No SystemBeingDesigned singleton here: "the glass catalog doesn't
+	// have a SystemBeingDesigned node at all, nor a warning about it."
+	return m
+}
+
+// Config sizes a synthetic IT model. The zero value is adjusted to a small
+// but non-trivial model.
+type Config struct {
+	Seed     int64
+	Users    int
+	Systems  int
+	Servers  int
+	Programs int
+	Docs     int
+	// OmitSystemBeingDesigned leaves out the singleton (exercises the
+	// advisory machinery and error paths).
+	OmitSystemBeingDesigned bool
+	// MissingVersionEvery makes every k-th document lack its version
+	// property (the Omissions window scenario); 0 disables.
+	MissingVersionEvery int
+	// OverrideEvery adds a metamodel-violating edge and a user-added
+	// property on every k-th user; 0 disables.
+	OverrideEvery int
+}
+
+func (c *Config) fill() {
+	if c.Users == 0 {
+		c.Users = 8
+	}
+	if c.Systems == 0 {
+		c.Systems = 3
+	}
+	if c.Servers == 0 {
+		c.Servers = 4
+	}
+	if c.Programs == 0 {
+		c.Programs = 5
+	}
+	if c.Docs == 0 {
+		c.Docs = 4
+	}
+	if c.MissingVersionEvery == 0 {
+		c.MissingVersionEvery = 3
+	}
+	if c.OverrideEvery == 0 {
+		c.OverrideEvery = 4
+	}
+}
+
+var firstNames = []string{
+	"Alice", "Bard", "Carol", "Dmitri", "Elena", "Farid", "Grace", "Hugo",
+	"Iris", "Jorge", "Kiran", "Lena", "Marta", "Nils", "Oksana", "Priya",
+	"Quentin", "Rosa", "Sven", "Tomoko", "Uma", "Viktor", "Wanda", "Ximena",
+	"Yusuf", "Zelda",
+}
+
+var systemWords = []string{
+	"Payments", "Inventory", "Ledger", "Catalog", "Dispatch", "Billing",
+	"Archive", "Gateway", "Telemetry", "Provisioning", "Scheduler", "Registry",
+}
+
+var programWords = []string{
+	"parser", "indexer", "renderer", "collector", "planner", "migrator",
+	"watcher", "reporter", "balancer", "resolver",
+}
+
+// BuildITModel generates a deterministic synthetic model.
+func BuildITModel(cfg Config) *awb.Model {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := awb.NewModel(ITMetamodel())
+
+	var sbd *awb.Node
+	if !cfg.OmitSystemBeingDesigned {
+		sbd = m.NewNode("SystemBeingDesigned")
+		sbd.SetProp("label", "The Grand Design")
+		sbd.SetProp("description", "<p>The system <b>being designed</b>, per the metamodel's fond hopes.</p>")
+	}
+
+	systems := make([]*awb.Node, 0, cfg.Systems)
+	for i := 0; i < cfg.Systems; i++ {
+		s := m.NewNode("System")
+		s.SetProp("label", fmt.Sprintf("%s System %02d", systemWords[rng.Intn(len(systemWords))], i+1))
+		s.SetProp("description", fmt.Sprintf("<p>Subsystem count: <i>%d</i></p>", rng.Intn(5)))
+		systems = append(systems, s)
+		if sbd != nil {
+			m.Connect("has", sbd, s)
+		}
+	}
+	servers := make([]*awb.Node, 0, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		s := m.NewNode("Server")
+		s.SetProp("label", fmt.Sprintf("srv-%03d", i+1))
+		servers = append(servers, s)
+		if len(systems) > 0 {
+			m.Connect("has", systems[rng.Intn(len(systems))], s)
+		}
+	}
+	programs := make([]*awb.Node, 0, cfg.Programs)
+	for i := 0; i < cfg.Programs; i++ {
+		p := m.NewNode("Program")
+		p.SetProp("label", fmt.Sprintf("%s-%02d", programWords[rng.Intn(len(programWords))], i+1))
+		programs = append(programs, p)
+		if len(servers) > 0 {
+			m.Connect("runs", servers[rng.Intn(len(servers))], p)
+		}
+		if len(systems) > 0 {
+			m.Connect("uses", systems[rng.Intn(len(systems))], p)
+		}
+	}
+	users := make([]*awb.Node, 0, cfg.Users)
+	for i := 0; i < cfg.Users; i++ {
+		typ := "User"
+		if i%5 == 4 {
+			typ = "Superuser"
+		}
+		u := m.NewNode(typ)
+		u.SetProp("label", fmt.Sprintf("%s %c.", firstNames[rng.Intn(len(firstNames))], 'A'+rng.Intn(26)))
+		u.SetProp("biography", fmt.Sprintf("<p>Joined in <b>%d</b>.</p>", 1990+rng.Intn(15)))
+		users = append(users, u)
+		if len(systems) > 0 {
+			m.Connect("uses", u, systems[rng.Intn(len(systems))])
+			m.Connect("has", systems[rng.Intn(len(systems))], u)
+		}
+	}
+	for i, u := range users {
+		if len(users) > 1 {
+			other := users[rng.Intn(len(users))]
+			if other != u {
+				rel := "likes"
+				if rng.Intn(3) == 0 {
+					rel = "favors"
+				}
+				m.Connect(rel, u, other)
+			}
+		}
+		if cfg.OverrideEvery > 0 && i%cfg.OverrideEvery == cfg.OverrideEvery-1 {
+			// The paper's user overrides: an undeclared property and a
+			// metamodel-unsanctioned edge (Person uses Program directly).
+			u.SetProp("middleName", string(rune('A'+rng.Intn(26))))
+			if len(programs) > 0 {
+				m.Connect("uses", u, programs[rng.Intn(len(programs))])
+			}
+		}
+	}
+	for i := 0; i < cfg.Docs; i++ {
+		d := m.NewNode("Document")
+		d.SetProp("label", fmt.Sprintf("Work Product %02d", i+1))
+		if cfg.MissingVersionEvery <= 0 || i%cfg.MissingVersionEvery != cfg.MissingVersionEvery-1 {
+			d.SetProp("version", fmt.Sprintf("%d.%d", 1+rng.Intn(3), rng.Intn(10)))
+		}
+		if len(systems) > 0 {
+			m.Connect("documents", d, systems[rng.Intn(len(systems))])
+		}
+	}
+	return m
+}
+
+// BuildGlassModel generates a small antique-glass catalog model.
+func BuildGlassModel(seed int64) *awb.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := awb.NewModel(GlassMetamodel())
+	makers := make([]*awb.Node, 3)
+	for i := range makers {
+		mk := m.NewNode("Maker")
+		mk.SetProp("label", []string{"Tiffany Studios", "Lalique", "Galle"}[i])
+		makers[i] = mk
+	}
+	kinds := []string{"Goblet", "Vase", "Paperweight"}
+	periods := []string{"Art Nouveau", "Art Deco", "Victorian"}
+	for i := 0; i < 9; i++ {
+		p := m.NewNode(kinds[i%len(kinds)])
+		p.SetProp("label", fmt.Sprintf("%s no. %d", kinds[i%len(kinds)], i+1))
+		p.SetProp("period", periods[rng.Intn(len(periods))])
+		p.SetProp("price", fmt.Sprintf("%d", 100+rng.Intn(900)))
+		p.SetProp("notes", fmt.Sprintf("<p>Acquired lot <b>%d</b>.</p>", rng.Intn(50)))
+		m.Connect("made-by", p, makers[rng.Intn(len(makers))])
+	}
+	c := m.NewNode("Customer")
+	c.SetProp("label", "A Discerning Collector")
+	for _, piece := range m.NodesOfType("Piece")[:3] {
+		m.Connect("bought", c, piece)
+	}
+	m.Connect("admires", c, makers[0])
+	return m
+}

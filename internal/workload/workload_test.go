@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"lopsided/internal/awb"
+)
+
+func TestITModelDeterministic(t *testing.T) {
+	a := BuildITModel(Config{Seed: 5, Users: 20})
+	b := BuildITModel(Config{Seed: 5, Users: 20})
+	if !awb.Equal(a, b) {
+		t.Fatal("same seed must build identical models")
+	}
+	c := BuildITModel(Config{Seed: 6, Users: 20})
+	if awb.Equal(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestITModelShape(t *testing.T) {
+	m := BuildITModel(Config{Seed: 1, Users: 10, Systems: 3, Docs: 6, MissingVersionEvery: 3})
+	if got := len(m.NodesOfType("User")); got != 10 {
+		t.Fatalf("users = %d", got)
+	}
+	// Superusers are a subset of users (every 5th).
+	if got := len(m.NodesOfType("Superuser")); got != 2 {
+		t.Fatalf("superusers = %d", got)
+	}
+	// Exactly one SystemBeingDesigned by default...
+	if got := len(m.NodesOfType("SystemBeingDesigned")); got != 1 {
+		t.Fatalf("sbd = %d", got)
+	}
+	// ...and NodesOfType(System) includes it plus the 3 systems.
+	if got := len(m.NodesOfType("System")); got != 4 {
+		t.Fatalf("systems = %d", got)
+	}
+	// Every third document lacks a version.
+	missing := 0
+	for _, d := range m.NodesOfType("Document") {
+		if _, ok := d.Prop("version"); !ok {
+			missing++
+		}
+	}
+	if missing != 2 {
+		t.Fatalf("missing versions = %d", missing)
+	}
+}
+
+func TestOmitSystemBeingDesigned(t *testing.T) {
+	m := BuildITModel(Config{Seed: 2, OmitSystemBeingDesigned: true})
+	if len(m.NodesOfType("SystemBeingDesigned")) != 0 {
+		t.Fatal("should omit the singleton")
+	}
+	found := false
+	for _, adv := range m.Validate() {
+		if adv.Code == awb.CodeSingletonMissing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing singleton should be advised")
+	}
+}
+
+func TestOverridesProduceAdvisories(t *testing.T) {
+	m := BuildITModel(Config{Seed: 3, Users: 8, OverrideEvery: 2})
+	var mismatches, undeclared int
+	for _, adv := range m.Validate() {
+		switch adv.Code {
+		case awb.CodeEndpointMismatch:
+			mismatches++
+		case awb.CodeUndeclaredProp:
+			undeclared++
+		}
+	}
+	if mismatches == 0 || undeclared == 0 {
+		t.Fatalf("overrides should warn: %d mismatches, %d undeclared", mismatches, undeclared)
+	}
+}
+
+func TestModelExportsAndReimports(t *testing.T) {
+	m := BuildITModel(Config{Seed: 8, Users: 15})
+	back, err := awb.ImportXML(m.ExportXMLString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !awb.Equal(m, back) {
+		t.Fatal("workload model does not round-trip")
+	}
+}
+
+func TestGlassModel(t *testing.T) {
+	m := BuildGlassModel(1)
+	if len(m.NodesOfType("Piece")) != 9 {
+		t.Fatalf("pieces = %d", len(m.NodesOfType("Piece")))
+	}
+	if len(m.NodesOfType("Maker")) != 3 {
+		t.Fatal("makers")
+	}
+	// No singleton expectation in the glass metamodel.
+	for _, adv := range m.Validate() {
+		if adv.Code == awb.CodeSingletonMissing {
+			t.Fatal("glass catalog must not warn about SystemBeingDesigned")
+		}
+	}
+	// Deterministic.
+	if !awb.Equal(m, BuildGlassModel(1)) {
+		t.Fatal("glass model not deterministic")
+	}
+}
+
+func TestTemplatesParse(t *testing.T) {
+	for name, src := range map[string]string{
+		"quick":   QuickTemplate,
+		"context": SystemContextTemplate,
+		"glass":   GlassCatalogTemplate,
+	} {
+		doc := ParseTemplate(src)
+		if doc.DocumentElement().Name != "template" {
+			t.Fatalf("%s: root is %q", name, doc.DocumentElement().Name)
+		}
+	}
+	if ScalingTemplate(3) == nil || ErrorTemplate(2) == nil {
+		t.Fatal("generated templates")
+	}
+}
+
+func TestParseTemplatePanicsOnBadXML(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParseTemplate("<template>")
+}

@@ -1,0 +1,279 @@
+package xdm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"lopsided/internal/xmltree"
+)
+
+// Occurrence is a sequence-type occurrence indicator.
+type Occurrence int
+
+// Occurrence indicators: exactly one, ? (zero or one), * (zero or more),
+// + (one or more).
+const (
+	One Occurrence = iota
+	Optional
+	ZeroOrMore
+	OneOrMore
+)
+
+// String returns the indicator's spelling ("" for exactly-one).
+func (o Occurrence) String() string {
+	switch o {
+	case Optional:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	}
+	return ""
+}
+
+// ItemTestKind classifies an item test.
+type ItemTestKind int
+
+// Item test kinds: item(), atomic type names, and the node kind tests.
+const (
+	TestAnyItem ItemTestKind = iota
+	TestAtomic               // a named atomic type, e.g. xs:string
+	TestAnyNode
+	TestElement // element() or element(name)
+	TestAttribute
+	TestText
+	TestComment
+	TestPI
+	TestDocument
+	TestEmptySequence // empty-sequence()
+)
+
+// SequenceType is a parsed sequence type: an item test plus occurrence.
+type SequenceType struct {
+	Kind       ItemTestKind
+	TypeName   string // for TestAtomic: "xs:string" etc.
+	NodeName   string // for TestElement/TestAttribute: required name, "" = any
+	Occurrence Occurrence
+}
+
+// AnySequence is the sequence type item()*.
+var AnySequence = SequenceType{Kind: TestAnyItem, Occurrence: ZeroOrMore}
+
+// String renders the sequence type in XQuery syntax.
+func (t SequenceType) String() string {
+	var core string
+	switch t.Kind {
+	case TestAnyItem:
+		core = "item()"
+	case TestAtomic:
+		core = t.TypeName
+	case TestAnyNode:
+		core = "node()"
+	case TestElement:
+		core = "element(" + t.NodeName + ")"
+	case TestAttribute:
+		core = "attribute(" + t.NodeName + ")"
+	case TestText:
+		core = "text()"
+	case TestComment:
+		core = "comment()"
+	case TestPI:
+		core = "processing-instruction()"
+	case TestDocument:
+		core = "document-node()"
+	case TestEmptySequence:
+		return "empty-sequence()"
+	}
+	return core + t.Occurrence.String()
+}
+
+// MatchesItem reports whether a single item satisfies the item test.
+func (t SequenceType) MatchesItem(it Item) bool {
+	switch t.Kind {
+	case TestAnyItem:
+		return true
+	case TestEmptySequence:
+		return false
+	case TestAtomic:
+		return atomicMatches(it, t.TypeName)
+	}
+	n, ok := IsNode(it)
+	if !ok {
+		return false
+	}
+	switch t.Kind {
+	case TestAnyNode:
+		return true
+	case TestElement:
+		return n.Kind == xmltree.ElementNode && (t.NodeName == "" || t.NodeName == "*" || n.Name == t.NodeName)
+	case TestAttribute:
+		return n.Kind == xmltree.AttributeNode && (t.NodeName == "" || t.NodeName == "*" || n.Name == t.NodeName)
+	case TestText:
+		return n.Kind == xmltree.TextNode
+	case TestComment:
+		return n.Kind == xmltree.CommentNode
+	case TestPI:
+		return n.Kind == xmltree.PINode && (t.NodeName == "" || n.Name == t.NodeName)
+	case TestDocument:
+		return n.Kind == xmltree.DocumentNode
+	}
+	return false
+}
+
+func atomicMatches(it Item, typeName string) bool {
+	switch typeName {
+	case "xs:anyAtomicType", "xdt:anyAtomicType":
+		_, isNode := IsNode(it)
+		return !isNode
+	case "xs:string":
+		_, ok := it.(String)
+		return ok
+	case "xs:untypedAtomic", "xdt:untypedAtomic":
+		_, ok := it.(Untyped)
+		return ok
+	case "xs:boolean":
+		_, ok := it.(Boolean)
+		return ok
+	case "xs:integer", "xs:int", "xs:long", "xs:nonNegativeInteger", "xs:positiveInteger":
+		i, ok := it.(Integer)
+		if !ok {
+			return false
+		}
+		switch typeName {
+		case "xs:nonNegativeInteger":
+			return i >= 0
+		case "xs:positiveInteger":
+			return i > 0
+		}
+		return true
+	case "xs:decimal":
+		switch it.(type) {
+		case Integer, Decimal:
+			return true
+		}
+		return false
+	case "xs:double", "xs:float":
+		_, ok := it.(Double)
+		return ok
+	case "xs:numeric":
+		return IsNumeric(it)
+	}
+	return false
+}
+
+// Matches reports whether a sequence satisfies the sequence type.
+func (t SequenceType) Matches(s Sequence) bool {
+	if t.Kind == TestEmptySequence {
+		return len(s) == 0
+	}
+	switch t.Occurrence {
+	case One:
+		if len(s) != 1 {
+			return false
+		}
+	case Optional:
+		if len(s) > 1 {
+			return false
+		}
+	case OneOrMore:
+		if len(s) == 0 {
+			return false
+		}
+	}
+	for _, it := range s {
+		if !t.MatchesItem(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// CastTo casts an atomic item to a named atomic type, per `cast as` and the
+// xs: constructor functions. Unknown target types and failed conversions
+// return errors (FORG0001/XPST0051).
+func CastTo(it Item, typeName string) (Item, error) {
+	s := strings.TrimSpace(it.StringValue())
+	switch typeName {
+	case "xs:string":
+		return String(it.StringValue()), nil
+	case "xs:untypedAtomic", "xdt:untypedAtomic":
+		return Untyped(it.StringValue()), nil
+	case "xs:boolean":
+		switch v := it.(type) {
+		case Boolean:
+			return v, nil
+		case Integer:
+			return Boolean(v != 0), nil
+		case Decimal:
+			return Boolean(v != 0), nil
+		case Double:
+			return Boolean(float64(v) != 0 && !math.IsNaN(float64(v))), nil
+		}
+		switch s {
+		case "true", "1":
+			return Boolean(true), nil
+		case "false", "0":
+			return Boolean(false), nil
+		}
+		return nil, Errf("FORG0001", "cannot cast %q to xs:boolean", s)
+	case "xs:integer", "xs:int", "xs:long":
+		switch v := it.(type) {
+		case Integer:
+			return v, nil
+		case Decimal:
+			return Integer(int64(v)), nil
+		case Double:
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, Errf("FOCA0002", "cannot cast %s to xs:integer", it.StringValue())
+			}
+			return Integer(int64(f)), nil
+		case Boolean:
+			if v {
+				return Integer(1), nil
+			}
+			return Integer(0), nil
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, Errf("FORG0001", "cannot cast %q to xs:integer", s)
+		}
+		return Integer(i), nil
+	case "xs:decimal":
+		f, ok := castToFloat(it, s)
+		if !ok || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, Errf("FORG0001", "cannot cast %q to xs:decimal", s)
+		}
+		return Decimal(f), nil
+	case "xs:double", "xs:float":
+		f, ok := castToFloat(it, s)
+		if !ok {
+			return nil, Errf("FORG0001", "cannot cast %q to xs:double", s)
+		}
+		return Double(f), nil
+	}
+	return nil, Errf("XPST0051", "unknown atomic type %s", typeName)
+}
+
+func castToFloat(it Item, s string) (float64, bool) {
+	switch v := it.(type) {
+	case Integer:
+		return float64(v), true
+	case Decimal:
+		return float64(v), true
+	case Double:
+		return float64(v), true
+	case Boolean:
+		if v {
+			return 1, true
+		}
+		return 0, true
+	}
+	f := parseDouble(s)
+	if math.IsNaN(f) && s != "NaN" {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,451 @@
+// Package xmltree implements a from-scratch XML document object model:
+// parsing, navigation, mutation, and serialization of XML trees.
+//
+// The model is deliberately close to the XQuery/XPath data model's view of
+// XML: six node kinds (document, element, attribute, text, comment,
+// processing instruction), parent links everywhere, attributes modeled as
+// nodes (the paper's "illogically, it caused us a great deal of trouble"
+// attribute nodes), and a total document order over all nodes of a tree.
+//
+// It intentionally does not use encoding/xml: the reproduction builds every
+// substrate from scratch, and the XQuery engine needs direct control over
+// node identity, attribute nodes, and document order.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind identifies which of the six XML node kinds a Node is.
+type NodeKind int
+
+// The six node kinds of the XML data model.
+const (
+	DocumentNode NodeKind = iota
+	ElementNode
+	AttributeNode
+	TextNode
+	CommentNode
+	PINode
+)
+
+// String returns the XPath kind-test spelling of the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case DocumentNode:
+		return "document-node()"
+	case ElementNode:
+		return "element()"
+	case AttributeNode:
+		return "attribute()"
+	case TextNode:
+		return "text()"
+	case CommentNode:
+		return "comment()"
+	case PINode:
+		return "processing-instruction()"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a single node of an XML tree. One concrete struct represents all
+// six kinds; fields that do not apply to a kind are empty.
+//
+//   - DocumentNode: Children holds the top-level nodes.
+//   - ElementNode: Name is the element name, Attrs its attribute nodes,
+//     Children its content.
+//   - AttributeNode: Name is the attribute name, Data its string value.
+//   - TextNode, CommentNode: Data is the text.
+//   - PINode: Name is the target, Data the instruction body.
+//
+// Nodes have identity: two distinct Node pointers are distinct nodes even if
+// structurally equal, exactly as in the XQuery data model.
+type Node struct {
+	Kind     NodeKind
+	Name     string // element/attribute name or PI target (as written, possibly prefix:local)
+	Data     string // text, comment or PI content, or attribute value
+	Parent   *Node
+	Attrs    []*Node // element attributes, each with Kind == AttributeNode
+	Children []*Node // document/element content
+}
+
+// NewDocument returns an empty document node.
+func NewDocument() *Node { return &Node{Kind: DocumentNode} }
+
+// NewElement returns a parentless element node with the given name.
+func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
+
+// NewText returns a parentless text node with the given content.
+func NewText(data string) *Node { return &Node{Kind: TextNode, Data: data} }
+
+// NewComment returns a parentless comment node.
+func NewComment(data string) *Node { return &Node{Kind: CommentNode, Data: data} }
+
+// NewAttr returns a free-standing attribute node. Free-standing attribute
+// nodes are first-class values in XQuery (`attribute a {1}`) and are the
+// source of the paper's attribute-folding behaviors.
+func NewAttr(name, value string) *Node {
+	return &Node{Kind: AttributeNode, Name: name, Data: value}
+}
+
+// NewPI returns a parentless processing-instruction node.
+func NewPI(target, data string) *Node { return &Node{Kind: PINode, Name: target, Data: data} }
+
+// AppendChild appends c to n's content and sets its parent. It panics if n
+// cannot have children or if c is an attribute node (attributes are attached
+// with SetAttr, never as children).
+func (n *Node) AppendChild(c *Node) {
+	if n.Kind != ElementNode && n.Kind != DocumentNode {
+		panic(fmt.Sprintf("xmltree: %v cannot have children", n.Kind))
+	}
+	if c.Kind == AttributeNode {
+		panic("xmltree: attribute node appended as child; use SetAttr")
+	}
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// InsertChildAt inserts c at index i of n's children (0 ≤ i ≤ len).
+func (n *Node) InsertChildAt(i int, c *Node) {
+	if i < 0 || i > len(n.Children) {
+		panic(fmt.Sprintf("xmltree: InsertChildAt index %d out of range [0,%d]", i, len(n.Children)))
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChildAt removes and returns the child at index i, clearing its parent.
+func (n *Node) RemoveChildAt(i int) *Node {
+	c := n.Children[i]
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return c
+}
+
+// ReplaceChildAt replaces the child at index i with c and returns the old child.
+func (n *Node) ReplaceChildAt(i int, c *Node) *Node {
+	old := n.Children[i]
+	old.Parent = nil
+	c.Parent = n
+	n.Children[i] = c
+	return old
+}
+
+// ChildIndex returns the index of c in n's children, or -1.
+func (n *Node) ChildIndex(c *Node) int {
+	for i, k := range n.Children {
+		if k == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetAttr sets attribute name to value on element n, replacing any existing
+// attribute of the same name, and returns the attribute node.
+func (n *Node) SetAttr(name, value string) *Node {
+	if n.Kind != ElementNode {
+		panic("xmltree: SetAttr on non-element")
+	}
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			a.Data = value
+			return a
+		}
+	}
+	a := NewAttr(name, value)
+	a.Parent = n
+	n.Attrs = append(n.Attrs, a)
+	return a
+}
+
+// AttachAttr attaches an existing free-standing attribute node to element n.
+// If an attribute with the same name exists it is replaced and returned;
+// otherwise AttachAttr returns nil.
+func (n *Node) AttachAttr(a *Node) *Node {
+	if n.Kind != ElementNode || a.Kind != AttributeNode {
+		panic("xmltree: AttachAttr kind mismatch")
+	}
+	a.Parent = n
+	for i, old := range n.Attrs {
+		if old.Name == a.Name {
+			n.Attrs[i] = a
+			old.Parent = nil
+			return old
+		}
+	}
+	n.Attrs = append(n.Attrs, a)
+	return nil
+}
+
+// Attr returns the string value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Data, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute's value, or def if absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// AttrNode returns the named attribute node, or nil.
+func (n *Node) AttrNode(name string) *Node {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RemoveAttr removes the named attribute if present, reporting whether it was.
+func (n *Node) RemoveAttr(name string) bool {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			copy(n.Attrs[i:], n.Attrs[i+1:])
+			n.Attrs = n.Attrs[:len(n.Attrs)-1]
+			a.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Root returns the topmost ancestor of n (the node itself if parentless).
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Document returns the owning document node, or nil if the tree is not
+// rooted in a document.
+func (n *Node) Document() *Node {
+	r := n.Root()
+	if r.Kind == DocumentNode {
+		return r
+	}
+	return nil
+}
+
+// DocumentElement returns the first element child of a document node, or nil.
+func (n *Node) DocumentElement() *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// StringValue returns the node's string value per the XQuery data model:
+// concatenated descendant text for documents and elements, the literal value
+// for attributes, text, comments and PIs.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case DocumentNode, ElementNode:
+		var b strings.Builder
+		n.appendText(&b)
+		return b.String()
+	default:
+		return n.Data
+	}
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	for _, c := range n.Children {
+		switch c.Kind {
+		case TextNode:
+			b.WriteString(c.Data)
+		case ElementNode:
+			c.appendText(b)
+		}
+	}
+}
+
+// LocalName returns the local part of the node's name (after any prefix).
+func (n *Node) LocalName() string {
+	if i := strings.IndexByte(n.Name, ':'); i >= 0 {
+		return n.Name[i+1:]
+	}
+	return n.Name
+}
+
+// Prefix returns the namespace prefix of the node's name, or "".
+func (n *Node) Prefix() string {
+	if i := strings.IndexByte(n.Name, ':'); i >= 0 {
+		return n.Name[:i]
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy is
+// parentless; all copied nodes are new identities (as required by XQuery
+// element construction, which copies content).
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]*Node, len(n.Attrs))
+		for i, a := range n.Attrs {
+			ca := a.Clone()
+			ca.Parent = c
+			c.Attrs[i] = ca
+		}
+	}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, k := range n.Children {
+			ck := k.Clone()
+			ck.Parent = c
+			c.Children[i] = ck
+		}
+	}
+	return c
+}
+
+// Equal reports deep structural equality of two subtrees (kind, name, data,
+// attributes in order, children in order). Node identity is ignored.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data ||
+		len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if !Equal(a.Attrs[i], b.Attrs[i]) {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// path returns the child-index path from the root to n. Attribute nodes sort
+// just after their owner element and before its children, matching the
+// XQuery document-order rule.
+func (n *Node) path() []int {
+	var p []int
+	for n.Parent != nil {
+		par := n.Parent
+		if n.Kind == AttributeNode {
+			ai := 0
+			for i, a := range par.Attrs {
+				if a == n {
+					ai = i
+					break
+				}
+			}
+			// Attributes order before children: index encodes position
+			// as a negative offset so attr i < child 0.
+			p = append(p, ai-len(par.Attrs))
+		} else {
+			p = append(p, par.ChildIndex(n))
+		}
+		n = par
+	}
+	// reverse
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// CompareDocOrder orders two nodes of the same tree: -1 if a precedes b,
+// 0 if a == b, +1 if a follows b. Nodes of different trees are ordered by an
+// arbitrary but consistent tiebreak (root pointer comparison via path length
+// then pointer formatting), so sorting mixed sequences is deterministic
+// within a process.
+func CompareDocOrder(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := a.Root(), b.Root()
+	if ra != rb {
+		// Different trees: arbitrary consistent order.
+		sa, sb := fmt.Sprintf("%p", ra), fmt.Sprintf("%p", rb)
+		if sa < sb {
+			return -1
+		}
+		return 1
+	}
+	pa, pb := a.path(), b.path()
+	for i := 0; i < len(pa) && i < len(pb); i++ {
+		if pa[i] != pb[i] {
+			if pa[i] < pb[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	// One is ancestor of the other: ancestor first.
+	if len(pa) < len(pb) {
+		return -1
+	}
+	return 1
+}
+
+// SortDocOrder sorts nodes into document order in place and removes
+// duplicates (by identity), returning the possibly-shortened slice. This is
+// the normalization applied to every XPath step result.
+func SortDocOrder(nodes []*Node) []*Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		return CompareDocOrder(nodes[i], nodes[j]) < 0
+	})
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Walk visits n and every descendant (attributes included, before children)
+// in document order, calling f on each. If f returns false the walk stops.
+func Walk(n *Node, f func(*Node) bool) bool {
+	if !f(n) {
+		return false
+	}
+	for _, a := range n.Attrs {
+		if !f(a) {
+			return false
+		}
+	}
+	for _, c := range n.Children {
+		if !Walk(c, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNodes returns the number of nodes in the subtree (attributes included).
+func CountNodes(n *Node) int {
+	count := 0
+	Walk(n, func(*Node) bool { count++; return true })
+	return count
+}

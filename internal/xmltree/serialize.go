@@ -1,0 +1,172 @@
+package xmltree
+
+import (
+	"strings"
+)
+
+// SerializeOptions controls XML output.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints element content with the given
+	// unit of indentation. Text nodes containing non-whitespace suppress
+	// indentation inside their parent (mixed content is preserved verbatim).
+	Indent string
+	// OmitDecl suppresses the leading <?xml ...?> declaration for documents.
+	OmitDecl bool
+}
+
+// String serializes the subtree rooted at n compactly.
+func (n *Node) String() string {
+	var b strings.Builder
+	serialize(&b, n, SerializeOptions{OmitDecl: true}, 0)
+	return b.String()
+}
+
+// Serialize renders the subtree rooted at n with the given options.
+func Serialize(n *Node, opts SerializeOptions) string {
+	var b strings.Builder
+	if n.Kind == DocumentNode && !opts.OmitDecl {
+		b.WriteString("<?xml version=\"1.0\" encoding=\"UTF-8\"?>")
+		if opts.Indent != "" {
+			b.WriteByte('\n')
+		}
+	}
+	serialize(&b, n, opts, 0)
+	return b.String()
+}
+
+// EscapeText escapes text-node content for inclusion in XML.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes attribute-value content (double-quote delimited).
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<>&"`+"\n\t") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func hasMixedText(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == TextNode && strings.TrimSpace(c.Data) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func serialize(b *strings.Builder, n *Node, opts SerializeOptions, depth int) {
+	ind := func(d int) {
+		if opts.Indent != "" {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			for i := 0; i < d; i++ {
+				b.WriteString(opts.Indent)
+			}
+		}
+	}
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			serialize(b, c, opts, depth)
+		}
+	case ElementNode:
+		ind(depth)
+		b.WriteByte('<')
+		b.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Data))
+			b.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		if opts.Indent != "" && !hasMixedText(n) {
+			for _, c := range n.Children {
+				if c.Kind == TextNode && strings.TrimSpace(c.Data) == "" {
+					continue
+				}
+				serialize(b, c, opts, depth+1)
+			}
+			b.WriteByte('\n')
+			for i := 0; i < depth; i++ {
+				b.WriteString(opts.Indent)
+			}
+		} else {
+			inner := opts
+			inner.Indent = ""
+			for _, c := range n.Children {
+				serialize(b, c, inner, depth+1)
+			}
+		}
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteByte('>')
+	case TextNode:
+		b.WriteString(EscapeText(n.Data))
+	case CommentNode:
+		ind(depth)
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case PINode:
+		ind(depth)
+		b.WriteString("<?")
+		b.WriteString(n.Name)
+		if n.Data != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Data)
+		}
+		b.WriteString("?>")
+	case AttributeNode:
+		// A free-standing attribute serializes as name="value"; XQuery
+		// serialization of bare attributes is an error in the spec, but the
+		// debugging story in the paper depends on being able to print them.
+		b.WriteString(n.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeAttr(n.Data))
+		b.WriteByte('"')
+	}
+}

@@ -1,0 +1,462 @@
+// Package ast defines the abstract syntax tree for the XQuery subset: the
+// expression forms of the 2004 working drafts that the paper's program used,
+// plus the prolog (function and variable declarations).
+package ast
+
+import (
+	"lopsided/internal/xdm"
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// Expr is any XQuery expression.
+type Expr interface {
+	Pos() Pos
+	exprNode()
+}
+
+type Base struct{ P Pos }
+
+// Pos returns the expression's source position.
+func (b Base) Pos() Pos { return b.P }
+func (Base) exprNode()  {}
+
+// ---- Literals and primaries ----
+
+// StringLit is a string literal.
+type StringLit struct {
+	Base
+	Value string
+}
+
+// IntLit is an xs:integer literal.
+type IntLit struct {
+	Base
+	Value int64
+}
+
+// DecimalLit is an xs:decimal literal (digits with a decimal point).
+type DecimalLit struct {
+	Base
+	Value float64
+}
+
+// DoubleLit is an xs:double literal (exponent form).
+type DoubleLit struct {
+	Base
+	Value float64
+}
+
+// VarRef is a variable reference $name. Name may contain '-', the paper's
+// quirk #3: $n-1 is a single three-character variable name.
+type VarRef struct {
+	Base
+	Name string
+}
+
+// ContextItem is the expression "." (the current node, Galax's $glx:dot).
+type ContextItem struct{ Base }
+
+// EmptySeq is the literal empty sequence "()".
+type EmptySeq struct{ Base }
+
+// SequenceExpr is the comma operator; evaluation concatenates (flattens).
+type SequenceExpr struct {
+	Base
+	Items []Expr
+}
+
+// RangeExpr is "Lo to Hi".
+type RangeExpr struct {
+	Base
+	Lo, Hi Expr
+}
+
+// ---- Operators ----
+
+// BinOpKind classifies binary operators.
+type BinOpKind int
+
+// Binary operator kinds.
+const (
+	OpOr BinOpKind = iota
+	OpAnd
+	OpGeneralComp // =, !=, <, <=, >, >= (existential)
+	OpValueComp   // eq, ne, lt, le, gt, ge (singleton)
+	OpNodeIs      // is
+	OpNodeBefore  // <<
+	OpNodeAfter   // >>
+	OpArith       // + - * div idiv mod
+	OpUnion       // union, |
+	OpIntersect
+	OpExcept
+	OpConcat // string concatenation (||, late addition; parsed for convenience)
+)
+
+// Binary is a binary operator expression. For comparisons Cmp is set; for
+// arithmetic Arith is set.
+type Binary struct {
+	Base
+	Kind  BinOpKind
+	Cmp   xdm.CompareOp
+	Arith xdm.ArithOp
+	L, R  Expr
+}
+
+// Unary is unary plus/minus.
+type Unary struct {
+	Base
+	Minus   bool
+	Operand Expr
+}
+
+// ---- Paths ----
+
+// Axis identifies an XPath axis.
+type Axis int
+
+// The axes of the subset.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisAttribute
+	AxisSelf
+	AxisDescendantOrSelf
+	AxisFollowingSibling
+	AxisFollowing
+	AxisParent
+	AxisAncestor
+	AxisPrecedingSibling
+	AxisPreceding
+	AxisAncestorOrSelf
+)
+
+// String returns the axis name as written in XPath.
+func (a Axis) String() string {
+	switch a {
+	case AxisChild:
+		return "child"
+	case AxisDescendant:
+		return "descendant"
+	case AxisAttribute:
+		return "attribute"
+	case AxisSelf:
+		return "self"
+	case AxisDescendantOrSelf:
+		return "descendant-or-self"
+	case AxisFollowingSibling:
+		return "following-sibling"
+	case AxisFollowing:
+		return "following"
+	case AxisParent:
+		return "parent"
+	case AxisAncestor:
+		return "ancestor"
+	case AxisPrecedingSibling:
+		return "preceding-sibling"
+	case AxisPreceding:
+		return "preceding"
+	case AxisAncestorOrSelf:
+		return "ancestor-or-self"
+	}
+	return "?"
+}
+
+// Reverse reports whether the axis is a reverse axis (position counts
+// backward from the context node).
+func (a Axis) Reverse() bool {
+	switch a {
+	case AxisParent, AxisAncestor, AxisPrecedingSibling, AxisPreceding, AxisAncestorOrSelf:
+		return true
+	}
+	return false
+}
+
+// NodeTest is a name test or kind test applied by an axis step.
+type NodeTest struct {
+	// Name is the name test: "x", "pre:x", "*", "pre:*", or "*:local".
+	// Empty when Kind is set.
+	Name string
+	// Kind, when non-nil, is a kind test such as text() or element(a).
+	Kind *xdm.SequenceType
+}
+
+// Step is one step of a path: either an axis step (Axis+Test) or a filter
+// step (Primary non-nil), each with predicates.
+type Step struct {
+	// Axis step fields.
+	Axis Axis
+	Test NodeTest
+	// Primary, when non-nil, makes this a filter step (a primary expression
+	// with predicates), and Axis/Test are ignored.
+	Primary Expr
+	Preds   []Expr
+	P       Pos
+}
+
+// PathRoot describes how a path is rooted.
+type PathRoot int
+
+// Path rootings: relative, "/..." (document root), "//..." (root then
+// descendant-or-self).
+const (
+	RootNone PathRoot = iota
+	RootSlash
+	RootSlashSlash
+)
+
+// PathExpr is a path: optional rooting followed by steps. A lone "/" is
+// Root=RootSlash with no steps.
+type PathExpr struct {
+	Base
+	Root  PathRoot
+	Steps []Step
+}
+
+// ---- FLWOR ----
+
+// ForClause binds Var (and optionally PosVar via "at") to items of In.
+type ForClause struct {
+	Var    string
+	PosVar string // "" if no "at $p"
+	In     Expr
+	P      Pos
+}
+
+// LetClause binds Var to the value of the expression.
+type LetClause struct {
+	Var string
+	Val Expr
+	P   Pos
+}
+
+// FLWORClause is either a ForClause or a LetClause.
+type FLWORClause interface{ flworClause() }
+
+func (ForClause) flworClause() {}
+func (LetClause) flworClause() {}
+
+// OrderSpec is one "order by" key.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+	EmptyLeast bool
+}
+
+// FLWOR is a for/let/where/order by/return expression.
+type FLWOR struct {
+	Base
+	Clauses []FLWORClause
+	Where   Expr // nil if absent
+	OrderBy []OrderSpec
+	Stable  bool
+	Return  Expr
+}
+
+// Quantified is "some/every $v in E (, ...) satisfies E".
+type Quantified struct {
+	Base
+	Every   bool
+	Vars    []ForClause // PosVar unused
+	Satisfy Expr
+}
+
+// IfExpr is if (Cond) then Then else Else.
+type IfExpr struct {
+	Base
+	Cond, Then, Else Expr
+}
+
+// TypeswitchCase is one case of a typeswitch.
+type TypeswitchCase struct {
+	Var  string // "" if no variable binding
+	Type xdm.SequenceType
+	Ret  Expr
+}
+
+// Typeswitch is "typeswitch (E) case ... default ...".
+type Typeswitch struct {
+	Base
+	Operand    Expr
+	Cases      []TypeswitchCase
+	DefaultVar string
+	Default    Expr
+}
+
+// ---- Function calls and type operators ----
+
+// FunctionCall is a static function call.
+type FunctionCall struct {
+	Base
+	Name string
+	Args []Expr
+}
+
+// InstanceOf is "E instance of T".
+type InstanceOf struct {
+	Base
+	Operand Expr
+	Type    xdm.SequenceType
+}
+
+// CastableAs is "E castable as T".
+type CastableAs struct {
+	Base
+	Operand  Expr
+	TypeName string
+	Optional bool
+}
+
+// CastAs is "E cast as T".
+type CastAs struct {
+	Base
+	Operand  Expr
+	TypeName string
+	Optional bool
+}
+
+// TryCatch is "try { E } catch ($v)? { E }" — the rudimentary exception
+// handling the paper's lesson #4 calls for ("a single type 'Exception'
+// capable of holding a map with arbitrary data in it"). It is an extension
+// over the 2004 draft (XQuery did not grow try/catch until 3.0); the
+// engine implements it so the ablation experiment can measure what the
+// paper's team was missing. CatchVar, when set, binds the error's
+// description string; CatchCodeVar binds the error code.
+type TryCatch struct {
+	Base
+	Try          Expr
+	CatchVar     string // "" if unbound
+	CatchCodeVar string // "" if unbound
+	Catch        Expr
+}
+
+// TreatAs is "E treat as T" (dynamic type assertion).
+type TreatAs struct {
+	Base
+	Operand Expr
+	Type    xdm.SequenceType
+}
+
+// ---- Constructors ----
+
+// DirAttr is one attribute of a direct element constructor; its value is a
+// concatenation of literal string parts and enclosed expressions.
+type DirAttr struct {
+	Name  string
+	Parts []Expr // StringLit for literal runs, arbitrary Expr for {...}
+	P     Pos
+}
+
+// DirElem is a direct element constructor <name attr="...">content</name>.
+// Content items are StringLit (literal text runs), nested constructors, and
+// enclosed expressions.
+type DirElem struct {
+	Base
+	Name    string
+	Attrs   []DirAttr
+	Content []Expr
+	// LiteralText marks which Content entries are literal text runs from
+	// the constructor body (candidates for boundary-whitespace stripping),
+	// as opposed to enclosed string expressions.
+	LiteralText []bool
+}
+
+// DirComment is a direct comment constructor <!-- ... -->.
+type DirComment struct {
+	Base
+	Data string
+}
+
+// DirPI is a direct processing-instruction constructor <?target data?>.
+type DirPI struct {
+	Base
+	Target, Data string
+}
+
+// CompElem is a computed element constructor: element {NameExpr} {Content}
+// or element name {Content}.
+type CompElem struct {
+	Base
+	Name     string // static name, "" when NameExpr used
+	NameExpr Expr
+	Content  Expr // nil for empty
+}
+
+// CompAttr is a computed attribute constructor.
+type CompAttr struct {
+	Base
+	Name     string
+	NameExpr Expr
+	Content  Expr
+}
+
+// CompText is a computed text node constructor: text {E}.
+type CompText struct {
+	Base
+	Content Expr
+}
+
+// CompComment is a computed comment constructor: comment {E}.
+type CompComment struct {
+	Base
+	Content Expr
+}
+
+// CompPI is a computed processing-instruction constructor.
+type CompPI struct {
+	Base
+	Target  string
+	Content Expr
+}
+
+// CompDoc is a computed document constructor: document {E}.
+type CompDoc struct {
+	Base
+	Content Expr
+}
+
+// ---- Prolog and module ----
+
+// Param is a declared function parameter.
+type Param struct {
+	Name string
+	Type xdm.SequenceType // AnySequence when undeclared
+}
+
+// FuncDecl is a user function declaration from the prolog.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    xdm.SequenceType
+	Body   Expr
+	P      Pos
+}
+
+// VarDecl is a prolog variable declaration.
+type VarDecl struct {
+	Name string
+	Val  Expr // nil for "external"
+	P    Pos
+}
+
+// Module is a parsed main module: prolog plus body expression.
+type Module struct {
+	// Namespaces maps declared prefixes to URIs. The subset records them
+	// but matches names textually (prefix-literal matching), which is how
+	// the untyped AWB pipeline behaved in practice.
+	Namespaces map[string]string
+	// BoundarySpacePreserve reflects "declare boundary-space preserve".
+	BoundarySpacePreserve bool
+	Functions             []*FuncDecl
+	Vars                  []*VarDecl
+	Body                  Expr
+}
+
+// NewPos is a convenience constructor for positions.
+func NewPos(line, col int) Pos { return Pos{Line: line, Col: col} }
+
+// At builds a Base with the given position; used by the parser.
+func At(p Pos) Base { return Base{P: p} }

@@ -1,0 +1,268 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders an expression as a compact S-expression, for diagnostics
+// and optimizer tests. It is not XQuery syntax and is not parseable back;
+// it exists so humans (and tests) can see what the optimizer did.
+func Print(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e)
+	return b.String()
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case nil:
+		b.WriteString("()")
+	case *StringLit:
+		b.WriteString(strconv.Quote(n.Value))
+	case *IntLit:
+		fmt.Fprintf(b, "%d", n.Value)
+	case *DecimalLit:
+		fmt.Fprintf(b, "%g", n.Value)
+	case *DoubleLit:
+		fmt.Fprintf(b, "%gE0", n.Value)
+	case *VarRef:
+		b.WriteString("$" + n.Name)
+	case *ContextItem:
+		b.WriteString(".")
+	case *EmptySeq:
+		b.WriteString("()")
+	case *SequenceExpr:
+		printList(b, "seq", n.Items...)
+	case *RangeExpr:
+		printList(b, "to", n.Lo, n.Hi)
+	case *Binary:
+		printList(b, binOpName(n), n.L, n.R)
+	case *Unary:
+		op := "+u"
+		if n.Minus {
+			op = "-u"
+		}
+		printList(b, op, n.Operand)
+	case *IfExpr:
+		printList(b, "if", n.Cond, n.Then, n.Else)
+	case *FLWOR:
+		b.WriteString("(flwor")
+		for _, cl := range n.Clauses {
+			switch c := cl.(type) {
+			case ForClause:
+				b.WriteString(" (for $" + c.Var)
+				if c.PosVar != "" {
+					b.WriteString(" at $" + c.PosVar)
+				}
+				b.WriteString(" in ")
+				printExpr(b, c.In)
+				b.WriteString(")")
+			case LetClause:
+				b.WriteString(" (let $" + c.Var + " := ")
+				printExpr(b, c.Val)
+				b.WriteString(")")
+			}
+		}
+		if n.Where != nil {
+			b.WriteString(" (where ")
+			printExpr(b, n.Where)
+			b.WriteString(")")
+		}
+		for _, spec := range n.OrderBy {
+			b.WriteString(" (order ")
+			printExpr(b, spec.Key)
+			if spec.Descending {
+				b.WriteString(" desc")
+			}
+			b.WriteString(")")
+		}
+		b.WriteString(" (return ")
+		printExpr(b, n.Return)
+		b.WriteString("))")
+	case *Quantified:
+		kw := "some"
+		if n.Every {
+			kw = "every"
+		}
+		b.WriteString("(" + kw)
+		for _, v := range n.Vars {
+			b.WriteString(" ($" + v.Var + " in ")
+			printExpr(b, v.In)
+			b.WriteString(")")
+		}
+		b.WriteString(" satisfies ")
+		printExpr(b, n.Satisfy)
+		b.WriteString(")")
+	case *Typeswitch:
+		b.WriteString("(typeswitch ")
+		printExpr(b, n.Operand)
+		for _, cs := range n.Cases {
+			fmt.Fprintf(b, " (case %s ", cs.Type)
+			printExpr(b, cs.Ret)
+			b.WriteString(")")
+		}
+		b.WriteString(" (default ")
+		printExpr(b, n.Default)
+		b.WriteString("))")
+	case *PathExpr:
+		b.WriteString("(path")
+		switch n.Root {
+		case RootSlash:
+			b.WriteString(" /")
+		case RootSlashSlash:
+			b.WriteString(" //")
+		}
+		for _, s := range n.Steps {
+			b.WriteString(" ")
+			printStep(b, s)
+		}
+		b.WriteString(")")
+	case *FunctionCall:
+		printList(b, "call "+n.Name, n.Args...)
+	case *InstanceOf:
+		b.WriteString("(instance-of ")
+		printExpr(b, n.Operand)
+		fmt.Fprintf(b, " %s)", n.Type)
+	case *TreatAs:
+		b.WriteString("(treat ")
+		printExpr(b, n.Operand)
+		fmt.Fprintf(b, " %s)", n.Type)
+	case *CastAs:
+		b.WriteString("(cast ")
+		printExpr(b, n.Operand)
+		fmt.Fprintf(b, " %s)", n.TypeName)
+	case *CastableAs:
+		b.WriteString("(castable ")
+		printExpr(b, n.Operand)
+		fmt.Fprintf(b, " %s)", n.TypeName)
+	case *TryCatch:
+		b.WriteString("(try ")
+		printExpr(b, n.Try)
+		b.WriteString(" catch")
+		if n.CatchCodeVar != "" {
+			b.WriteString(" $" + n.CatchCodeVar)
+		}
+		if n.CatchVar != "" {
+			b.WriteString(" $" + n.CatchVar)
+		}
+		b.WriteString(" ")
+		printExpr(b, n.Catch)
+		b.WriteString(")")
+	case *DirElem:
+		fmt.Fprintf(b, "(elem %s", n.Name)
+		for _, a := range n.Attrs {
+			fmt.Fprintf(b, " (@%s", a.Name)
+			for _, p := range a.Parts {
+				b.WriteString(" ")
+				printExpr(b, p)
+			}
+			b.WriteString(")")
+		}
+		for _, c := range n.Content {
+			b.WriteString(" ")
+			printExpr(b, c)
+		}
+		b.WriteString(")")
+	case *DirComment:
+		fmt.Fprintf(b, "(comment %q)", n.Data)
+	case *DirPI:
+		fmt.Fprintf(b, "(pi %s %q)", n.Target, n.Data)
+	case *CompElem:
+		b.WriteString("(celem ")
+		if n.Name != "" {
+			b.WriteString(n.Name)
+		} else {
+			printExpr(b, n.NameExpr)
+		}
+		b.WriteString(" ")
+		printExpr(b, n.Content)
+		b.WriteString(")")
+	case *CompAttr:
+		b.WriteString("(cattr ")
+		if n.Name != "" {
+			b.WriteString(n.Name)
+		} else {
+			printExpr(b, n.NameExpr)
+		}
+		b.WriteString(" ")
+		printExpr(b, n.Content)
+		b.WriteString(")")
+	case *CompText:
+		printList(b, "ctext", n.Content)
+	case *CompComment:
+		printList(b, "ccomment", n.Content)
+	case *CompDoc:
+		printList(b, "cdoc", n.Content)
+	case *CompPI:
+		printList(b, "cpi "+n.Target, n.Content)
+	default:
+		fmt.Fprintf(b, "(?%T)", e)
+	}
+}
+
+func printList(b *strings.Builder, head string, items ...Expr) {
+	b.WriteString("(" + head)
+	for _, it := range items {
+		b.WriteString(" ")
+		printExpr(b, it)
+	}
+	b.WriteString(")")
+}
+
+func printStep(b *strings.Builder, s Step) {
+	if s.Primary != nil {
+		b.WriteString("(filter ")
+		printExpr(b, s.Primary)
+	} else {
+		fmt.Fprintf(b, "(%s::", s.Axis)
+		if s.Test.Kind != nil {
+			b.WriteString(s.Test.Kind.String())
+		} else {
+			b.WriteString(s.Test.Name)
+		}
+	}
+	for _, p := range s.Preds {
+		b.WriteString(" [")
+		printExpr(b, p)
+		b.WriteString("]")
+	}
+	b.WriteString(")")
+}
+
+func binOpName(n *Binary) string {
+	switch n.Kind {
+	case OpOr:
+		return "or"
+	case OpAnd:
+		return "and"
+	case OpGeneralComp:
+		return "gc:" + cmpSym(n)
+	case OpValueComp:
+		return "vc:" + n.Cmp.String()
+	case OpNodeIs:
+		return "is"
+	case OpNodeBefore:
+		return "<<"
+	case OpNodeAfter:
+		return ">>"
+	case OpArith:
+		return n.Arith.String()
+	case OpUnion:
+		return "union"
+	case OpIntersect:
+		return "intersect"
+	case OpExcept:
+		return "except"
+	}
+	return "?"
+}
+
+func cmpSym(n *Binary) string {
+	syms := []string{"=", "!=", "<", "<=", ">", ">="}
+	if int(n.Cmp) < len(syms) {
+		return syms[n.Cmp]
+	}
+	return "?"
+}

@@ -1,0 +1,85 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/parser"
+)
+
+// print parses and renders.
+func printSrc(t *testing.T, src string) string {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return ast.Print(e)
+}
+
+func TestPrintForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`1 + 2 * 3`, `(+ 1 (* 2 3))`},
+		{`"s"`, `"s"`},
+		{`$n-1`, `$n-1`},
+		{`(1,2,3)`, `(seq 1 2 3)`},
+		{`()`, `()`},
+		{`1 to 5`, `(to 1 5)`},
+		{`1 = (1,2)`, `(gc:= 1 (seq 1 2))`},
+		{`1 eq 2`, `(vc:eq 1 2)`},
+		{`$a is $b`, `(is $a $b)`},
+		{`$a or $b and $c`, `(or $a (and $b $c))`},
+		{`-$x`, `(-u $x)`},
+		{`if ($x) then 1 else 2`, `(if $x 1 2)`},
+		{`a/b[1]`, `(path (child::a) (child::b [1]))`},
+		{`/x`, `(path / (child::x))`},
+		{`..`, `(path (parent::node()))`},
+		{`concat("a", $b)`, `(call concat "a" $b)`},
+		{`$x instance of xs:string`, `(instance-of $x xs:string)`},
+		{`$x cast as xs:integer`, `(cast $x xs:integer)`},
+		{`try { 1 } catch ($c, $m) { 2 }`, `(try 1 catch $c $m 2)`},
+		{`some $x in (1) satisfies $x`, `(some ($x in 1) satisfies $x)`},
+		{`element foo { 1 }`, `(celem foo 1)`},
+		{`attribute a { "v" }`, `(cattr a "v")`},
+		{`text { "t" }`, `(ctext "t")`},
+		{`$a union $b`, `(union $a $b)`},
+		{`$a except $b`, `(except $a $b)`},
+	}
+	for _, c := range cases {
+		got := printSrc(t, c.src)
+		if got != c.want {
+			t.Errorf("Print(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintFLWORAndConstructors(t *testing.T) {
+	got := printSrc(t, `for $x at $i in (1,2) let $y := $x where $y order by $y descending return $y`)
+	for _, want := range []string{"(for $x at $i in", "(let $y :=", "(where", "(order", "desc", "(return"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %s", want, got)
+		}
+	}
+	got = printSrc(t, `<a x="1{$v}">t<b/>{$w}</a>`)
+	for _, want := range []string{"(elem a", `(@x "1" $v)`, `"t"`, "(elem b)", "$w"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %s", want, got)
+		}
+	}
+	got = printSrc(t, `typeswitch (1) case xs:integer return "i" default return "d"`)
+	if !strings.Contains(got, "(typeswitch 1 (case xs:integer") {
+		t.Fatalf("typeswitch: %s", got)
+	}
+}
+
+func TestPrintSinglePrimaryUnwrapped(t *testing.T) {
+	// A bare variable is not wrapped in a path.
+	if got := printSrc(t, `$v`); got != "$v" {
+		t.Fatalf("bare var: %s", got)
+	}
+	// But a predicated primary is a filter step.
+	if got := printSrc(t, `$v[1]`); got != "(path (filter $v [1]))" {
+		t.Fatalf("filtered var: %s", got)
+	}
+}

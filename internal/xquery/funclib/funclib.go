@@ -1,0 +1,266 @@
+// Package funclib implements the built-in function library of the XQuery
+// subset: the fn: functions the paper's document generator leaned on, the
+// xs: constructor functions, and the two diagnostic functions whose
+// behavior the paper turns on — fn:error (the original "print and kill the
+// program" debugging tool) and fn:trace (variadic, returning its *last*
+// argument, as Galax implemented it after early users complained).
+package funclib
+
+import (
+	"math"
+	"strings"
+
+	"lopsided/internal/xdm"
+)
+
+// Context is what built-in functions may ask of the evaluator. The
+// interpreter implements it; tests may provide fakes.
+type Context interface {
+	// FocusItem returns the context item, or an XPDY0002 error if absent.
+	FocusItem() (xdm.Item, error)
+	// FocusPos returns position() for the current focus.
+	FocusPos() (int, error)
+	// FocusSize returns last() for the current focus.
+	FocusSize() (int, error)
+	// Trace reports a fn:trace call to the host (already-serialized values).
+	Trace(values []string)
+	// Doc resolves a document URI to its document node sequence.
+	Doc(uri string) (xdm.Sequence, error)
+}
+
+// Func is one registered built-in.
+type Func struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 = variadic
+	Call    func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error)
+}
+
+var registry = map[string]*Func{}
+
+func register(name string, minArgs, maxArgs int, call func(Context, []xdm.Sequence) (xdm.Sequence, error)) {
+	registry[name] = &Func{Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Call: call}
+}
+
+// Lookup finds a built-in by name and arity. The fn: prefix is optional, as
+// it is the default function namespace. xs:TYPE constructor functions
+// resolve for any castable atomic type.
+func Lookup(name string, arity int) (*Func, bool) {
+	bare := strings.TrimPrefix(name, "fn:")
+	f, ok := registry[bare]
+	if ok {
+		if arity < f.MinArgs || (f.MaxArgs >= 0 && arity > f.MaxArgs) {
+			return nil, false
+		}
+		return f, true
+	}
+	// xs: constructor functions: xs:integer("42") etc.
+	if arity == 1 && (strings.HasPrefix(name, "xs:") || strings.HasPrefix(name, "xdt:")) {
+		typeName := name
+		cf := &Func{Name: name, MinArgs: 1, MaxArgs: 1,
+			Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+				it, err := xdm.Atomize(args[0]).AtMostOne()
+				if err != nil {
+					return nil, err
+				}
+				if it == nil {
+					return xdm.Empty, nil
+				}
+				out, err := xdm.CastTo(it, typeName)
+				if err != nil {
+					return nil, err
+				}
+				return xdm.Singleton(out), nil
+			}}
+		return cf, true
+	}
+	return nil, false
+}
+
+// Names returns the registered built-in names (for diagnostics and docs).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ---- helpers ----
+
+// stringArg extracts an optional-string argument: empty sequence yields "".
+func stringArg(s xdm.Sequence) (string, error) {
+	it, err := xdm.Atomize(s).AtMostOne()
+	if err != nil {
+		return "", err
+	}
+	if it == nil {
+		return "", nil
+	}
+	return it.StringValue(), nil
+}
+
+// numArg extracts a required numeric argument as float64.
+func numArg(s xdm.Sequence) (float64, bool, error) {
+	it, err := xdm.Atomize(s).AtMostOne()
+	if err != nil {
+		return 0, false, err
+	}
+	if it == nil {
+		return 0, false, nil
+	}
+	return xdm.NumberOf(it), true, nil
+}
+
+// intArg extracts a required integer argument.
+func intArg(s xdm.Sequence) (int64, error) {
+	it, err := xdm.Atomize(s).One()
+	if err != nil {
+		return 0, err
+	}
+	cast, err := xdm.CastTo(it, "xs:integer")
+	if err != nil {
+		return 0, err
+	}
+	return int64(cast.(xdm.Integer)), nil
+}
+
+func singleton(it xdm.Item) (xdm.Sequence, error) { return xdm.Singleton(it), nil }
+
+func boolSeq(b bool) xdm.Sequence { return xdm.Singleton(xdm.Boolean(b)) }
+
+// ErrorValue is the Go error raised by fn:error; the interpreter surfaces
+// it with position information. It carries the user's code and description,
+// the only mechanism the paper's team had for aborting with a message.
+type ErrorValue struct {
+	Code string
+	Desc string
+}
+
+// Error implements the error interface.
+func (e *ErrorValue) Error() string {
+	if e.Desc == "" {
+		return e.Code
+	}
+	return e.Code + ": " + e.Desc
+}
+
+func init() {
+	registerSequenceFuncs()
+	registerStringFuncs()
+	registerNumericFuncs()
+	registerBooleanFuncs()
+	registerNodeFuncs()
+	registerDiagnosticFuncs()
+}
+
+func registerDiagnosticFuncs() {
+	// fn:error() / fn:error($desc) / fn:error($code, $desc).
+	// In the paper's era this "prints $msg on the console and kills the
+	// program" — the team's primary debugging tool before trace existed.
+	register("error", 0, 2, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		ev := &ErrorValue{Code: "FOER0000"}
+		switch len(args) {
+		case 1:
+			ev.Desc = args[0].StringJoin()
+		case 2:
+			ev.Code = args[0].StringJoin()
+			ev.Desc = args[1].StringJoin()
+		}
+		return nil, ev
+	})
+	// fn:trace(args...) prints its arguments and returns the value of the
+	// LAST one — the Galax behavior the paper describes ("a trace function
+	// which prints its arguments and returns the value of the last one").
+	register("trace", 1, -1, func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		vals := make([]string, len(args))
+		for i, a := range args {
+			vals[i] = a.StringJoin()
+		}
+		ctx.Trace(vals)
+		return args[len(args)-1], nil
+	})
+	register("doc", 1, 1, func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		uri, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if uri == "" {
+			return xdm.Empty, nil
+		}
+		return ctx.Doc(uri)
+	})
+}
+
+func registerBooleanFuncs() {
+	register("true", 0, 0, func(_ Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+		return boolSeq(true), nil
+	})
+	register("false", 0, 0, func(_ Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+		return boolSeq(false), nil
+	})
+	register("not", 1, 1, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		b, err := xdm.EffectiveBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return boolSeq(!b), nil
+	})
+	register("boolean", 1, 1, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		b, err := xdm.EffectiveBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return boolSeq(b), nil
+	})
+}
+
+func registerNumericFuncs() {
+	register("number", 0, 1, func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		var it xdm.Item
+		if len(args) == 0 {
+			var err error
+			it, err = ctx.FocusItem()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			it, err = xdm.Atomize(args[0]).AtMostOne()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if it == nil {
+			return singleton(xdm.Double(math.NaN()))
+		}
+		return singleton(xdm.Double(xdm.NumberOf(it)))
+	})
+	unary := func(name string, f func(float64) float64) {
+		register(name, 1, 1, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			it, err := xdm.Atomize(args[0]).AtMostOne()
+			if err != nil {
+				return nil, err
+			}
+			if it == nil {
+				return xdm.Empty, nil
+			}
+			if i, ok := it.(xdm.Integer); ok {
+				return singleton(xdm.Integer(int64(f(float64(i)))))
+			}
+			v := f(xdm.NumberOf(it))
+			if _, ok := it.(xdm.Double); ok {
+				return singleton(xdm.Double(v))
+			}
+			return singleton(xdm.Decimal(v))
+		})
+	}
+	unary("abs", math.Abs)
+	unary("ceiling", math.Ceil)
+	unary("floor", math.Floor)
+	unary("round", func(f float64) float64 {
+		// XPath round: round half toward positive infinity.
+		return math.Floor(f + 0.5)
+	})
+	unary("round-half-to-even", math.RoundToEven)
+}

@@ -1,0 +1,323 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/ast"
+)
+
+// This file implements the draft-2004 construction semantics the paper's
+// "Treatment of Child Elements" section documents:
+//
+//   - each enclosed expression's atomic values are space-joined into text;
+//   - node values are deep-copied into the new element;
+//   - attribute nodes in LEADING content positions fold into the element's
+//     attributes ("Saying that attribute nodes presented to the element
+//     constructor as children become attributes is certainly a simple way
+//     to arrange it");
+//   - an attribute node after non-attribute content is an error (XQTY0024);
+//   - duplicate attribute names resolve per the configured policy.
+
+// evalDirElem evaluates a direct element constructor.
+func (c *evalCtx) evalDirElem(n *ast.DirElem) (xdm.Sequence, error) {
+	el := xmltree.NewElement(n.Name)
+	for _, attr := range n.Attrs {
+		val, err := c.evalAttrValue(attr)
+		if err != nil {
+			return nil, err
+		}
+		el.SetAttr(attr.Name, val)
+	}
+	items, err := c.contentItems(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fillElement(el, items, n.Pos()); err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.NewNode(el)), nil
+}
+
+// evalAttrValue concatenates the literal and enclosed parts of a direct
+// attribute value; each enclosed expression's sequence is atomized and
+// space-joined (attribute value template semantics).
+func (c *evalCtx) evalAttrValue(attr ast.DirAttr) (string, error) {
+	var b strings.Builder
+	for _, part := range attr.Parts {
+		if lit, ok := part.(*ast.StringLit); ok {
+			b.WriteString(lit.Value)
+			continue
+		}
+		v, err := c.eval(part)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(xdm.Atomize(v).StringJoin())
+	}
+	return b.String(), nil
+}
+
+// contentItem is one element of the content sequence: either a text run or
+// an evaluated sequence from an enclosed expression / nested constructor.
+type contentItem struct {
+	text  string
+	isSeq bool
+	seq   xdm.Sequence
+}
+
+// contentItems evaluates a direct constructor's content list, applying
+// boundary-whitespace stripping to unprotected literal runs.
+func (c *evalCtx) contentItems(n *ast.DirElem) ([]contentItem, error) {
+	var items []contentItem
+	for i, expr := range n.Content {
+		if lit, ok := expr.(*ast.StringLit); ok && i < len(n.LiteralText) {
+			text := lit.Value
+			if n.LiteralText[i] && !c.ip.mod.BoundarySpacePreserve && strings.TrimSpace(text) == "" {
+				continue // boundary whitespace stripped (draft default)
+			}
+			items = append(items, contentItem{text: text})
+			continue
+		}
+		v, err := c.eval(expr)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, contentItem{isSeq: true, seq: v})
+	}
+	return items, nil
+}
+
+// fillElement applies the content sequence to a freshly built element.
+func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos) error {
+	sawContent := false // any non-attribute content so far
+	appendText := func(s string) {
+		if s == "" {
+			return
+		}
+		if k := len(el.Children); k > 0 && el.Children[k-1].Kind == xmltree.TextNode {
+			el.Children[k-1].Data += s
+			return
+		}
+		el.AppendChild(xmltree.NewText(s))
+	}
+	for _, item := range items {
+		if !item.isSeq {
+			appendText(item.text)
+			sawContent = true
+			continue
+		}
+		// One enclosed expression: runs of adjacent atomics join with
+		// single spaces into one text node; nodes are copied.
+		pendingAtomics := []string{}
+		flushAtomics := func() {
+			if len(pendingAtomics) > 0 {
+				appendText(strings.Join(pendingAtomics, " "))
+				pendingAtomics = pendingAtomics[:0]
+				sawContent = true
+			}
+		}
+		for _, it := range item.seq {
+			node, isNode := xdm.IsNode(it)
+			if !isNode {
+				pendingAtomics = append(pendingAtomics, it.StringValue())
+				continue
+			}
+			switch node.Kind {
+			case xmltree.AttributeNode:
+				flushAtomics()
+				if sawContent {
+					// The paper: "if the attribute value is in the wrong
+					// position (after a non-attribute), it will cause an
+					// error".
+					return &Error{Code: "XQTY0024", Pos: pos,
+						Msg: fmt.Sprintf("attribute %q follows non-attribute content in element constructor", node.Name)}
+				}
+				if err := c.foldAttribute(el, node, pos); err != nil {
+					return err
+				}
+			case xmltree.DocumentNode:
+				flushAtomics()
+				for _, kid := range node.Children {
+					el.AppendChild(kid.Clone())
+				}
+				sawContent = true
+			case xmltree.TextNode:
+				flushAtomics()
+				appendText(node.Data)
+				sawContent = true
+			default:
+				flushAtomics()
+				el.AppendChild(node.Clone())
+				sawContent = true
+			}
+		}
+		flushAtomics()
+	}
+	return nil
+}
+
+// foldAttribute attaches a computed attribute node to el, resolving
+// duplicates per the configured policy.
+func (c *evalCtx) foldAttribute(el *xmltree.Node, attr *xmltree.Node, pos ast.Pos) error {
+	copied := attr.Clone()
+	for i, existing := range el.Attrs {
+		if existing.Name != copied.Name {
+			continue
+		}
+		switch c.ip.opts.DupAttr {
+		case DupAttrLastWins:
+			copied.Parent = el
+			el.Attrs[i] = copied
+			return nil
+		case DupAttrFirstWins:
+			return nil
+		case DupAttrGalaxBug:
+			// Keep both — reproducing the bug the paper observed:
+			// "though Galax did not honor this as of the time of writing".
+			copied.Parent = el
+			el.Attrs = append(el.Attrs, copied)
+			return nil
+		case DupAttrError:
+			return &Error{Code: "XQDY0025", Pos: pos,
+				Msg: fmt.Sprintf("duplicate attribute name %q in constructed element", copied.Name)}
+		}
+	}
+	el.AttachAttr(copied)
+	return nil
+}
+
+// ---- Computed constructors ----
+
+func (c *evalCtx) constructorName(static string, nameExpr ast.Expr, pos ast.Pos) (string, error) {
+	if static != "" {
+		return static, nil
+	}
+	v, err := c.eval(nameExpr)
+	if err != nil {
+		return "", err
+	}
+	it, err := xdm.Atomize(v).One()
+	if err != nil {
+		return "", errAt(err, pos)
+	}
+	name := strings.TrimSpace(it.StringValue())
+	if name == "" || strings.ContainsAny(name, " \t\r\n<>&\"'") {
+		return "", &Error{Code: "XQDY0074", Pos: pos, Msg: fmt.Sprintf("invalid computed name %q", name)}
+	}
+	return name, nil
+}
+
+func (c *evalCtx) evalCompElem(n *ast.CompElem) (xdm.Sequence, error) {
+	name, err := c.constructorName(n.Name, n.NameExpr, n.Pos())
+	if err != nil {
+		return nil, err
+	}
+	el := xmltree.NewElement(name)
+	if n.Content != nil {
+		v, err := c.eval(n.Content)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.fillElement(el, []contentItem{{isSeq: true, seq: v}}, n.Pos()); err != nil {
+			return nil, err
+		}
+	}
+	return xdm.Singleton(xdm.NewNode(el)), nil
+}
+
+func (c *evalCtx) evalCompAttr(n *ast.CompAttr) (xdm.Sequence, error) {
+	name, err := c.constructorName(n.Name, n.NameExpr, n.Pos())
+	if err != nil {
+		return nil, err
+	}
+	val := ""
+	if n.Content != nil {
+		v, err := c.eval(n.Content)
+		if err != nil {
+			return nil, err
+		}
+		val = xdm.Atomize(v).StringJoin()
+	}
+	return xdm.Singleton(xdm.NewNode(xmltree.NewAttr(name, val))), nil
+}
+
+func (c *evalCtx) evalCompText(n *ast.CompText) (xdm.Sequence, error) {
+	if n.Content == nil {
+		return xdm.Empty, nil
+	}
+	v, err := c.eval(n.Content)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsEmpty() {
+		return xdm.Empty, nil
+	}
+	return xdm.Singleton(xdm.NewNode(xmltree.NewText(xdm.Atomize(v).StringJoin()))), nil
+}
+
+func (c *evalCtx) evalCompComment(n *ast.CompComment) (xdm.Sequence, error) {
+	data := ""
+	if n.Content != nil {
+		v, err := c.eval(n.Content)
+		if err != nil {
+			return nil, err
+		}
+		data = xdm.Atomize(v).StringJoin()
+	}
+	return xdm.Singleton(xdm.NewNode(xmltree.NewComment(data))), nil
+}
+
+func (c *evalCtx) evalCompPI(n *ast.CompPI) (xdm.Sequence, error) {
+	data := ""
+	if n.Content != nil {
+		v, err := c.eval(n.Content)
+		if err != nil {
+			return nil, err
+		}
+		data = xdm.Atomize(v).StringJoin()
+	}
+	return xdm.Singleton(xdm.NewNode(xmltree.NewPI(n.Target, data))), nil
+}
+
+func (c *evalCtx) evalCompDoc(n *ast.CompDoc) (xdm.Sequence, error) {
+	doc := xmltree.NewDocument()
+	if n.Content != nil {
+		v, err := c.eval(n.Content)
+		if err != nil {
+			return nil, err
+		}
+		// Document content: copy nodes; atomics become text; attributes
+		// are illegal at document level.
+		var pending []string
+		flush := func() {
+			if len(pending) > 0 {
+				doc.AppendChild(xmltree.NewText(strings.Join(pending, " ")))
+				pending = nil
+			}
+		}
+		for _, it := range v {
+			node, isNode := xdm.IsNode(it)
+			if !isNode {
+				pending = append(pending, it.StringValue())
+				continue
+			}
+			flush()
+			switch node.Kind {
+			case xmltree.AttributeNode:
+				return nil, &Error{Code: "XPTY0004", Pos: n.Pos(),
+					Msg: "attribute node in document constructor content"}
+			case xmltree.DocumentNode:
+				for _, kid := range node.Children {
+					doc.AppendChild(kid.Clone())
+				}
+			default:
+				doc.AppendChild(node.Clone())
+			}
+		}
+		flush()
+	}
+	return xdm.Singleton(xdm.NewNode(doc)), nil
+}

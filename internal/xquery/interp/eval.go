@@ -1,0 +1,687 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/funclib"
+)
+
+func (c *evalCtx) eval(e ast.Expr) (xdm.Sequence, error) {
+	switch n := e.(type) {
+	case *ast.StringLit:
+		return xdm.Singleton(xdm.String(n.Value)), nil
+	case *ast.IntLit:
+		return xdm.Singleton(xdm.Integer(n.Value)), nil
+	case *ast.DecimalLit:
+		return xdm.Singleton(xdm.Decimal(n.Value)), nil
+	case *ast.DoubleLit:
+		return xdm.Singleton(xdm.Double(n.Value)), nil
+	case *ast.EmptySeq:
+		return xdm.Empty, nil
+	case *ast.VarRef:
+		val, ok := c.env.lookup(n.Name)
+		if !ok {
+			// Galax printed "Internal_Error: Variable '$glx:dot' not found"
+			// with no position; we do better on both counts.
+			return nil, &Error{Code: "XPST0008", Pos: n.Pos(),
+				Msg: fmt.Sprintf("variable $%s not found", n.Name)}
+		}
+		return val, nil
+	case *ast.ContextItem:
+		it, err := c.FocusItem()
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		return xdm.Singleton(it), nil
+	case *ast.SequenceExpr:
+		// The comma operator: concatenation IS flattening.
+		seqs := make([]xdm.Sequence, len(n.Items))
+		for i, item := range n.Items {
+			s, err := c.eval(item)
+			if err != nil {
+				return nil, err
+			}
+			seqs[i] = s
+		}
+		return xdm.Concat(seqs...), nil
+	case *ast.RangeExpr:
+		return c.evalRange(n)
+	case *ast.Binary:
+		return c.evalBinary(n)
+	case *ast.Unary:
+		return c.evalUnary(n)
+	case *ast.IfExpr:
+		cond, err := c.eval(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		b, err := xdm.EffectiveBool(cond)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		if b {
+			return c.eval(n.Then)
+		}
+		return c.eval(n.Else)
+	case *ast.FLWOR:
+		return c.evalFLWOR(n)
+	case *ast.Quantified:
+		return c.evalQuantified(n)
+	case *ast.Typeswitch:
+		return c.evalTypeswitch(n)
+	case *ast.PathExpr:
+		return c.evalPath(n)
+	case *ast.FunctionCall:
+		return c.evalCall(n)
+	case *ast.InstanceOf:
+		v, err := c.eval(n.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Singleton(xdm.Boolean(n.Type.Matches(v))), nil
+	case *ast.TreatAs:
+		v, err := c.eval(n.Operand)
+		if err != nil {
+			return nil, err
+		}
+		if !n.Type.Matches(v) {
+			return nil, &Error{Code: "XPDY0050", Pos: n.Pos(),
+				Msg: fmt.Sprintf("treat as %s failed", n.Type)}
+		}
+		return v, nil
+	case *ast.CastAs:
+		return c.evalCast(n.Operand, n.TypeName, n.Optional, false, n.Pos())
+	case *ast.CastableAs:
+		out, err := c.evalCast(n.Operand, n.TypeName, n.Optional, true, n.Pos())
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	case *ast.DirElem:
+		return c.evalDirElem(n)
+	case *ast.DirComment:
+		return xdm.Singleton(xdm.NewNode(xmltree.NewComment(n.Data))), nil
+	case *ast.DirPI:
+		return xdm.Singleton(xdm.NewNode(xmltree.NewPI(n.Target, n.Data))), nil
+	case *ast.CompElem:
+		return c.evalCompElem(n)
+	case *ast.CompAttr:
+		return c.evalCompAttr(n)
+	case *ast.CompText:
+		return c.evalCompText(n)
+	case *ast.CompComment:
+		return c.evalCompComment(n)
+	case *ast.CompDoc:
+		return c.evalCompDoc(n)
+	case *ast.CompPI:
+		return c.evalCompPI(n)
+	case *ast.TryCatch:
+		return c.evalTryCatch(n)
+	}
+	return nil, &Error{Code: "XQST0031", Pos: e.Pos(), Msg: fmt.Sprintf("unsupported expression %T", e)}
+}
+
+func (c *evalCtx) evalRange(n *ast.RangeExpr) (xdm.Sequence, error) {
+	lo, err := c.evalIntOpt(n.Lo)
+	if err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	hi, err := c.evalIntOpt(n.Hi)
+	if err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	if lo == nil || hi == nil || *lo > *hi {
+		return xdm.Empty, nil
+	}
+	if *hi-*lo > 50_000_000 {
+		return nil, &Error{Code: "FOAR0002", Pos: n.Pos(), Msg: "range expression too large"}
+	}
+	out := make(xdm.Sequence, 0, *hi-*lo+1)
+	for v := *lo; v <= *hi; v++ {
+		out = append(out, xdm.Integer(v))
+	}
+	return out, nil
+}
+
+// evalIntOpt evaluates an operand to an optional integer (nil for empty).
+func (c *evalCtx) evalIntOpt(e ast.Expr) (*int64, error) {
+	v, err := c.eval(e)
+	if err != nil {
+		return nil, err
+	}
+	it, err := xdm.Atomize(v).AtMostOne()
+	if err != nil {
+		return nil, err
+	}
+	if it == nil {
+		return nil, nil
+	}
+	cast, err := xdm.CastTo(it, "xs:integer")
+	if err != nil {
+		return nil, err
+	}
+	i := int64(cast.(xdm.Integer))
+	return &i, nil
+}
+
+func (c *evalCtx) evalUnary(n *ast.Unary) (xdm.Sequence, error) {
+	v, err := c.eval(n.Operand)
+	if err != nil {
+		return nil, err
+	}
+	it, err := xdm.Atomize(v).AtMostOne()
+	if err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	if it == nil {
+		return xdm.Empty, nil
+	}
+	if !n.Minus {
+		if !xdm.IsNumeric(it) {
+			if u, ok := it.(xdm.Untyped); ok {
+				return xdm.Singleton(xdm.Double(xdm.NumberOf(u))), nil
+			}
+			return nil, &Error{Code: "XPTY0004", Pos: n.Pos(), Msg: "unary plus on non-numeric value"}
+		}
+		return xdm.Singleton(it), nil
+	}
+	out, err := xdm.Negate(it)
+	if err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	return xdm.Singleton(out), nil
+}
+
+func (c *evalCtx) evalBinary(n *ast.Binary) (xdm.Sequence, error) {
+	switch n.Kind {
+	case ast.OpOr, ast.OpAnd:
+		l, err := c.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := xdm.EffectiveBool(l)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		if n.Kind == ast.OpOr && lb {
+			return xdm.Singleton(xdm.Boolean(true)), nil
+		}
+		if n.Kind == ast.OpAnd && !lb {
+			return xdm.Singleton(xdm.Boolean(false)), nil
+		}
+		r, err := c.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := xdm.EffectiveBool(r)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		return xdm.Singleton(xdm.Boolean(rb)), nil
+	}
+
+	l, err := c.eval(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.eval(n.R)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case ast.OpGeneralComp:
+		ok, err := xdm.CompareGeneral(l, r, n.Cmp)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		return xdm.Singleton(xdm.Boolean(ok)), nil
+	case ast.OpValueComp:
+		li, err := xdm.Atomize(l).AtMostOne()
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		ri, err := xdm.Atomize(r).AtMostOne()
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		if li == nil || ri == nil {
+			return xdm.Empty, nil
+		}
+		ok, err := xdm.CompareValue(li, ri, n.Cmp)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		return xdm.Singleton(xdm.Boolean(ok)), nil
+	case ast.OpNodeIs, ast.OpNodeBefore, ast.OpNodeAfter:
+		ln, err := c.nodeOperand(l, n.Pos())
+		if err != nil {
+			return nil, err
+		}
+		rn, err := c.nodeOperand(r, n.Pos())
+		if err != nil {
+			return nil, err
+		}
+		if ln == nil || rn == nil {
+			return xdm.Empty, nil
+		}
+		var ok bool
+		switch n.Kind {
+		case ast.OpNodeIs:
+			ok = ln == rn
+		case ast.OpNodeBefore:
+			ok = xmltree.CompareDocOrder(ln, rn) < 0
+		case ast.OpNodeAfter:
+			ok = xmltree.CompareDocOrder(ln, rn) > 0
+		}
+		return xdm.Singleton(xdm.Boolean(ok)), nil
+	case ast.OpArith:
+		li, err := xdm.Atomize(l).AtMostOne()
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		ri, err := xdm.Atomize(r).AtMostOne()
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		if li == nil || ri == nil {
+			return xdm.Empty, nil
+		}
+		out, err := xdm.Arith(li, ri, n.Arith)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		return xdm.Singleton(out), nil
+	case ast.OpUnion, ast.OpIntersect, ast.OpExcept:
+		return c.evalSetOp(n, l, r)
+	}
+	return nil, &Error{Code: "XQST0031", Pos: n.Pos(), Msg: "unsupported binary operator"}
+}
+
+func (c *evalCtx) nodeOperand(s xdm.Sequence, pos ast.Pos) (*xmltree.Node, error) {
+	it, err := s.AtMostOne()
+	if err != nil {
+		return nil, errAt(err, pos)
+	}
+	if it == nil {
+		return nil, nil
+	}
+	n, ok := xdm.IsNode(it)
+	if !ok {
+		return nil, &Error{Code: "XPTY0004", Pos: pos, Msg: "node comparison on a non-node value"}
+	}
+	return n, nil
+}
+
+func (c *evalCtx) evalSetOp(n *ast.Binary, l, r xdm.Sequence) (xdm.Sequence, error) {
+	ln, err := l.Nodes()
+	if err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	rn, err := r.Nodes()
+	if err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	inRight := make(map[*xmltree.Node]bool, len(rn))
+	for _, x := range rn {
+		inRight[x] = true
+	}
+	var out []*xmltree.Node
+	switch n.Kind {
+	case ast.OpUnion:
+		out = append(append(out, ln...), rn...)
+	case ast.OpIntersect:
+		for _, x := range ln {
+			if inRight[x] {
+				out = append(out, x)
+			}
+		}
+	case ast.OpExcept:
+		for _, x := range ln {
+			if !inRight[x] {
+				out = append(out, x)
+			}
+		}
+	}
+	return xdm.FromNodes(xmltree.SortDocOrder(out)), nil
+}
+
+func (c *evalCtx) evalCast(operand ast.Expr, typeName string, optional, castableOnly bool, pos ast.Pos) (xdm.Sequence, error) {
+	v, err := c.eval(operand)
+	if err != nil {
+		return nil, err
+	}
+	it, err := xdm.Atomize(v).AtMostOne()
+	if err != nil {
+		if castableOnly {
+			return xdm.Singleton(xdm.Boolean(false)), nil
+		}
+		return nil, errAt(err, pos)
+	}
+	if it == nil {
+		if castableOnly {
+			return xdm.Singleton(xdm.Boolean(optional)), nil
+		}
+		if optional {
+			return xdm.Empty, nil
+		}
+		return nil, &Error{Code: "XPTY0004", Pos: pos, Msg: "cast of empty sequence to non-optional type"}
+	}
+	out, err := xdm.CastTo(it, typeName)
+	if castableOnly {
+		return xdm.Singleton(xdm.Boolean(err == nil)), nil
+	}
+	if err != nil {
+		return nil, errAt(err, pos)
+	}
+	return xdm.Singleton(out), nil
+}
+
+// ---- FLWOR ----
+
+type orderRow struct {
+	keys []xdm.Item // nil item = empty key
+	seq  xdm.Sequence
+	idx  int
+}
+
+func (c *evalCtx) evalFLWOR(n *ast.FLWOR) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	var rows []orderRow
+	err := c.flworClauses(n, 0, func(body *evalCtx) error {
+		if n.Where != nil {
+			w, err := body.eval(n.Where)
+			if err != nil {
+				return err
+			}
+			ok, err := xdm.EffectiveBool(w)
+			if err != nil {
+				return errAt(err, n.Pos())
+			}
+			if !ok {
+				return nil
+			}
+		}
+		if len(n.OrderBy) > 0 {
+			row := orderRow{idx: len(rows)}
+			for _, spec := range n.OrderBy {
+				kv, err := body.eval(spec.Key)
+				if err != nil {
+					return err
+				}
+				ki, err := xdm.Atomize(kv).AtMostOne()
+				if err != nil {
+					return errAt(err, n.Pos())
+				}
+				row.keys = append(row.keys, ki)
+			}
+			ret, err := body.eval(n.Return)
+			if err != nil {
+				return err
+			}
+			row.seq = ret
+			rows = append(rows, row)
+			return nil
+		}
+		ret, err := body.eval(n.Return)
+		if err != nil {
+			return err
+		}
+		out = xdm.Concat(out, ret)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(n.OrderBy) == 0 {
+		return out, nil
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, spec := range n.OrderBy {
+			cmp, err := compareOrderKeys(rows[i].keys[k], rows[j].keys[k], spec)
+			if err != nil && sortErr == nil {
+				sortErr = errAt(err, n.Pos())
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return rows[i].idx < rows[j].idx
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	for _, row := range rows {
+		out = xdm.Concat(out, row.seq)
+	}
+	return out, nil
+}
+
+// compareOrderKeys orders two order-by keys per the spec's rules for empty
+// and NaN placement (empty per the spec modifier; NaN just above empty).
+func compareOrderKeys(a, b xdm.Item, spec ast.OrderSpec) (int, error) {
+	rank := func(it xdm.Item) int {
+		if it == nil {
+			return 0
+		}
+		if xdm.IsNumeric(it) && math.IsNaN(xdm.NumberOf(it)) {
+			return 1
+		}
+		return 2
+	}
+	ra, rb := rank(a), rank(b)
+	cmp := 0
+	switch {
+	case ra != 2 || rb != 2:
+		cmp = ra - rb
+		if !spec.EmptyLeast {
+			cmp = -cmp
+		}
+	default:
+		lt, err := xdm.CompareValue(a, b, xdm.OpLt)
+		if err != nil {
+			return 0, err
+		}
+		gt, err := xdm.CompareValue(a, b, xdm.OpGt)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case lt:
+			cmp = -1
+		case gt:
+			cmp = 1
+		}
+	}
+	if spec.Descending {
+		cmp = -cmp
+	}
+	return cmp, nil
+}
+
+// flworClauses expands for/let clauses recursively, invoking body for every
+// binding combination.
+func (c *evalCtx) flworClauses(n *ast.FLWOR, i int, body func(*evalCtx) error) error {
+	if i == len(n.Clauses) {
+		return body(c)
+	}
+	switch cl := n.Clauses[i].(type) {
+	case ast.ForClause:
+		seq, err := c.eval(cl.In)
+		if err != nil {
+			return err
+		}
+		for idx, it := range seq {
+			inner := *c
+			inner.env = c.env.bind(cl.Var, xdm.Singleton(it))
+			if cl.PosVar != "" {
+				inner.env = inner.env.bind(cl.PosVar, xdm.Singleton(xdm.Integer(idx+1)))
+			}
+			if err := inner.flworClauses(n, i+1, body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ast.LetClause:
+		val, err := c.eval(cl.Val)
+		if err != nil {
+			return err
+		}
+		inner := *c
+		inner.env = c.env.bind(cl.Var, val)
+		return inner.flworClauses(n, i+1, body)
+	}
+	return &Error{Code: "XQST0031", Pos: n.Pos(), Msg: "unknown FLWOR clause"}
+}
+
+func (c *evalCtx) evalQuantified(n *ast.Quantified) (xdm.Sequence, error) {
+	result, err := c.quantify(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.Boolean(result)), nil
+}
+
+func (c *evalCtx) quantify(n *ast.Quantified, i int) (bool, error) {
+	if i == len(n.Vars) {
+		v, err := c.eval(n.Satisfy)
+		if err != nil {
+			return false, err
+		}
+		ok, err := xdm.EffectiveBool(v)
+		if err != nil {
+			return false, errAt(err, n.Pos())
+		}
+		return ok, nil
+	}
+	seq, err := c.eval(n.Vars[i].In)
+	if err != nil {
+		return false, err
+	}
+	for _, it := range seq {
+		inner := *c
+		inner.env = c.env.bind(n.Vars[i].Var, xdm.Singleton(it))
+		ok, err := inner.quantify(n, i+1)
+		if err != nil {
+			return false, err
+		}
+		if ok && !n.Every {
+			return true, nil
+		}
+		if !ok && n.Every {
+			return false, nil
+		}
+	}
+	return n.Every, nil
+}
+
+func (c *evalCtx) evalTypeswitch(n *ast.Typeswitch) (xdm.Sequence, error) {
+	v, err := c.eval(n.Operand)
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range n.Cases {
+		if cs.Type.Matches(v) {
+			inner := *c
+			if cs.Var != "" {
+				inner.env = c.env.bind(cs.Var, v)
+			}
+			return inner.eval(cs.Ret)
+		}
+	}
+	inner := *c
+	if n.DefaultVar != "" {
+		inner.env = c.env.bind(n.DefaultVar, v)
+	}
+	return inner.eval(n.Default)
+}
+
+// evalTryCatch implements the exception-handling extension (the paper's
+// lesson #4). A dynamic error in the try expression transfers control to
+// the catch expression, optionally binding the error code and description —
+// "a very rudimentary form of exception handling will do".
+func (c *evalCtx) evalTryCatch(n *ast.TryCatch) (xdm.Sequence, error) {
+	out, err := c.eval(n.Try)
+	if err == nil {
+		return out, nil
+	}
+	code, msg := errorParts(err)
+	inner := *c
+	if n.CatchCodeVar != "" {
+		inner.env = inner.env.bind(n.CatchCodeVar, xdm.Singleton(xdm.String(code)))
+	}
+	if n.CatchVar != "" {
+		inner.env = inner.env.bind(n.CatchVar, xdm.Singleton(xdm.String(msg)))
+	}
+	return inner.eval(n.Catch)
+}
+
+// errorParts extracts (code, description) from any evaluation error.
+func errorParts(err error) (code, msg string) {
+	switch e := err.(type) {
+	case *Error:
+		return e.Code, e.Msg
+	case *xdm.Error:
+		return e.Code, e.Msg
+	case *funclib.ErrorValue:
+		return e.Code, e.Desc
+	}
+	return "FOER0000", err.Error()
+}
+
+// ---- Function calls ----
+
+func (c *evalCtx) evalCall(n *ast.FunctionCall) (xdm.Sequence, error) {
+	args := make([]xdm.Sequence, len(n.Args))
+	for i, a := range n.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	// User-declared functions first.
+	if byArity, ok := c.ip.funcs[n.Name]; ok {
+		if fd, ok := byArity[len(n.Args)]; ok {
+			return c.callUser(fd, args, n.Pos())
+		}
+	}
+	if f, ok := funclib.Lookup(n.Name, len(n.Args)); ok {
+		out, err := f.Call(c, args)
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		return out, nil
+	}
+	return nil, &Error{Code: "XPST0017", Pos: n.Pos(),
+		Msg: fmt.Sprintf("unknown function %s/%d", n.Name, len(n.Args))}
+}
+
+func (c *evalCtx) callUser(fd *ast.FuncDecl, args []xdm.Sequence, pos ast.Pos) (xdm.Sequence, error) {
+	if c.depth+1 > c.ip.opts.MaxDepth {
+		return nil, &Error{Code: "LOPS0001", Pos: pos,
+			Msg: fmt.Sprintf("recursion depth limit (%d) exceeded calling %s", c.ip.opts.MaxDepth, fd.Name)}
+	}
+	inner := evalCtx{ip: c.ip, depth: c.depth + 1, env: c.globals, globals: c.globals}
+	for i, p := range fd.Params {
+		if !p.Type.Matches(args[i]) {
+			return nil, &Error{Code: "XPTY0004", Pos: pos,
+				Msg: fmt.Sprintf("argument %d of %s does not match %s", i+1, fd.Name, p.Type)}
+		}
+		inner.env = inner.env.bind(p.Name, args[i])
+	}
+	out, err := inner.eval(fd.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !fd.Ret.Matches(out) {
+		return nil, &Error{Code: "XPTY0004", Pos: fd.P,
+			Msg: fmt.Sprintf("result of %s does not match declared type %s", fd.Name, fd.Ret)}
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+// Package interp evaluates parsed XQuery modules.
+//
+// The evaluator runs in untyped mode — node atomization yields
+// xs:untypedAtomic, as in the paper's schema-less AWB pipeline — and
+// reproduces the draft-2004 construction semantics the paper documents:
+// sequence flattening, leading-attribute folding (with an error for
+// attributes after content), duplicate computed-attribute resolution
+// (configurable to mimic the Galax bug), and boundary-whitespace stripping.
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/funclib"
+	"lopsided/internal/xquery/parser"
+)
+
+// DupAttrPolicy selects what happens when element construction produces two
+// attribute nodes with the same name.
+type DupAttrPolicy int
+
+// Duplicate-attribute policies. The paper (T3b): "If two attribute nodes
+// have the same name, only one should make it into the final element
+// (though Galax did not honor this as of the time of writing)".
+const (
+	// DupAttrLastWins keeps the last duplicate (draft semantics; default).
+	DupAttrLastWins DupAttrPolicy = iota
+	// DupAttrFirstWins keeps the first duplicate (the other legal outcome
+	// the paper shows: <el b="3" a="1"/> vs <el b="3" a="2"/>).
+	DupAttrFirstWins
+	// DupAttrGalaxBug keeps both, mimicking the Galax bug of the era.
+	DupAttrGalaxBug
+	// DupAttrError raises XQDY0025, the behavior the final 1.0 spec chose.
+	DupAttrError
+)
+
+// Options configures an interpreter.
+type Options struct {
+	// Tracer receives fn:trace output; nil discards it.
+	Tracer func(values []string)
+	// DocResolver resolves fn:doc URIs; nil makes fn:doc fail.
+	DocResolver func(uri string) (*xmltree.Node, error)
+	// MaxDepth bounds user-function recursion (default 8192).
+	MaxDepth int
+	// DupAttr selects duplicate computed-attribute behavior.
+	DupAttr DupAttrPolicy
+}
+
+// Error is a positioned evaluation error carrying an XQuery error code.
+type Error struct {
+	Code string
+	Msg  string
+	Pos  ast.Pos
+}
+
+// Error implements the error interface; unlike the Galax of the paper's
+// era, every dynamic error carries its source position.
+func (e *Error) Error() string {
+	return fmt.Sprintf("xquery: %d:%d: %s: %s", e.Pos.Line, e.Pos.Col, e.Code, e.Msg)
+}
+
+// Interp evaluates one compiled module.
+type Interp struct {
+	mod   *ast.Module
+	opts  Options
+	funcs map[string]map[int]*ast.FuncDecl
+}
+
+// New prepares an interpreter for a parsed module.
+func New(mod *ast.Module, opts Options) (*Interp, error) {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 8192
+	}
+	ip := &Interp{mod: mod, opts: opts, funcs: map[string]map[int]*ast.FuncDecl{}}
+	for _, f := range mod.Functions {
+		byArity := ip.funcs[f.Name]
+		if byArity == nil {
+			byArity = map[int]*ast.FuncDecl{}
+			ip.funcs[f.Name] = byArity
+		}
+		if _, dup := byArity[len(f.Params)]; dup {
+			return nil, &Error{Code: "XQST0034", Pos: f.P,
+				Msg: fmt.Sprintf("function %s/%d declared twice", f.Name, len(f.Params))}
+		}
+		byArity[len(f.Params)] = f
+	}
+	return ip, nil
+}
+
+// Compile parses and prepares src in one step.
+func Compile(src string, opts Options) (*Interp, error) {
+	mod, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(mod, opts)
+}
+
+// Module returns the underlying parsed module.
+func (ip *Interp) Module() *ast.Module { return ip.mod }
+
+// focus is the dynamic focus: context item, position, size.
+type focus struct {
+	item xdm.Item
+	pos  int
+	size int
+	set  bool
+}
+
+// env is a persistent variable environment.
+type env struct {
+	parent *env
+	name   string
+	val    xdm.Sequence
+}
+
+func (e *env) bind(name string, val xdm.Sequence) *env {
+	return &env{parent: e, name: name, val: val}
+}
+
+func (e *env) lookup(name string) (xdm.Sequence, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.name == name {
+			return cur.val, true
+		}
+	}
+	return nil, false
+}
+
+// evalCtx carries evaluation state; it implements funclib.Context.
+type evalCtx struct {
+	ip *Interp
+	// env is the current lexical environment; globals is the environment
+	// holding the prolog variables, the base for user-function bodies.
+	env     *env
+	globals *env
+	focus   focus
+	depth   int
+}
+
+// FocusItem implements funclib.Context.
+func (c *evalCtx) FocusItem() (xdm.Item, error) {
+	if !c.focus.set {
+		return nil, &xdm.Error{Code: "XPDY0002", Msg: "no context item (the '.' Galax calls $glx:dot is undefined here)"}
+	}
+	return c.focus.item, nil
+}
+
+// FocusPos implements funclib.Context.
+func (c *evalCtx) FocusPos() (int, error) {
+	if !c.focus.set {
+		return 0, &xdm.Error{Code: "XPDY0002", Msg: "position() with no context item"}
+	}
+	return c.focus.pos, nil
+}
+
+// FocusSize implements funclib.Context.
+func (c *evalCtx) FocusSize() (int, error) {
+	if !c.focus.set {
+		return 0, &xdm.Error{Code: "XPDY0002", Msg: "last() with no context item"}
+	}
+	return c.focus.size, nil
+}
+
+// Trace implements funclib.Context.
+func (c *evalCtx) Trace(values []string) {
+	if c.ip.opts.Tracer != nil {
+		c.ip.opts.Tracer(values)
+	}
+}
+
+// Doc implements funclib.Context.
+func (c *evalCtx) Doc(uri string) (xdm.Sequence, error) {
+	if c.ip.opts.DocResolver == nil {
+		return nil, &xdm.Error{Code: "FODC0002", Msg: fmt.Sprintf("no document resolver configured for %q", uri)}
+	}
+	doc, err := c.ip.opts.DocResolver(uri)
+	if err != nil {
+		return nil, &xdm.Error{Code: "FODC0002", Msg: fmt.Sprintf("cannot retrieve %q: %v", uri, err)}
+	}
+	return xdm.Singleton(xdm.NewNode(doc)), nil
+}
+
+// Eval evaluates the module body. ctxItem may be nil (no context item);
+// vars pre-binds external variables by name (without '$').
+func (ip *Interp) Eval(ctxItem xdm.Item, vars map[string]xdm.Sequence) (xdm.Sequence, error) {
+	c := &evalCtx{ip: ip}
+	for name, val := range vars {
+		c.env = c.env.bind(name, val)
+	}
+	if ctxItem != nil {
+		c.focus = focus{item: ctxItem, pos: 1, size: 1, set: true}
+	}
+	// Prolog variables evaluate in order, each seeing the previous ones;
+	// the resulting environment is the global base for function bodies.
+	c.globals = c.env
+	for _, vd := range ip.mod.Vars {
+		if vd.Val == nil {
+			if _, ok := c.env.lookup(vd.Name); !ok {
+				return nil, &Error{Code: "XPDY0002", Pos: vd.P,
+					Msg: fmt.Sprintf("external variable $%s not supplied", vd.Name)}
+			}
+			continue
+		}
+		val, err := c.eval(vd.Val)
+		if err != nil {
+			return nil, err
+		}
+		c.env = c.env.bind(vd.Name, val)
+		c.globals = c.env
+	}
+	return c.eval(ip.mod.Body)
+}
+
+// EvalString is a convenience for tests and tools: evaluate and serialize
+// the result (nodes as XML, atomics as string values, space-separated).
+func (ip *Interp) EvalString(ctxItem xdm.Item, vars map[string]xdm.Sequence) (string, error) {
+	seq, err := ip.Eval(ctxItem, vars)
+	if err != nil {
+		return "", err
+	}
+	return SerializeSeq(seq), nil
+}
+
+// SerializeSeq renders a sequence for display: nodes as XML, atomic values
+// as their string values, items separated by single spaces.
+func SerializeSeq(seq xdm.Sequence) string {
+	parts := make([]string, len(seq))
+	for i, it := range seq {
+		if n, ok := xdm.IsNode(it); ok {
+			parts[i] = n.String()
+		} else {
+			parts[i] = it.StringValue()
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// errAt converts any evaluation error into a positioned *Error.
+func errAt(err error, pos ast.Pos) error {
+	switch e := err.(type) {
+	case *Error:
+		return e // already positioned (inner frame wins)
+	case *xdm.Error:
+		return &Error{Code: e.Code, Msg: e.Msg, Pos: pos}
+	case *funclib.ErrorValue:
+		return &Error{Code: e.Code, Msg: e.Desc, Pos: pos}
+	}
+	return &Error{Code: "FOER0000", Msg: err.Error(), Pos: pos}
+}

@@ -1,0 +1,236 @@
+package interp
+
+import (
+	"strings"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/ast"
+)
+
+// evalPath evaluates a path expression: optional rooting, then steps, each
+// applied to every item of the previous step's result with a fresh focus.
+func (c *evalCtx) evalPath(n *ast.PathExpr) (xdm.Sequence, error) {
+	var current xdm.Sequence
+	switch n.Root {
+	case ast.RootNone:
+		// A single filter step is a standalone filter expression, not a
+		// path: no homogeneity requirement, no document-order sorting.
+		if len(n.Steps) == 1 && n.Steps[0].Primary != nil {
+			return c.evalStep(n.Steps[0])
+		}
+		// First step runs against the current focus (axis steps) or no
+		// input at all (filter steps such as variables and literals).
+		return c.evalSteps(n, n.Steps, nil)
+	case ast.RootSlash, ast.RootSlashSlash:
+		it, err := c.FocusItem()
+		if err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		node, ok := xdm.IsNode(it)
+		if !ok {
+			return nil, &Error{Code: "XPDY0050", Pos: n.Pos(), Msg: "'/' with a non-node context item"}
+		}
+		root := node.Root()
+		current = xdm.Singleton(xdm.NewNode(root))
+		if n.Root == ast.RootSlashSlash {
+			// Leading // is /descendant-or-self::node()/ before the steps.
+			current = xdm.FromNodes(xmltree.DescendantOrSelfAxis(root))
+		}
+		if len(n.Steps) == 0 {
+			return current, nil
+		}
+		return c.evalSteps(n, n.Steps, current)
+	}
+	return current, nil
+}
+
+// evalSteps applies each step in order. input nil means "use current focus
+// for axis steps, nothing for filter steps" (the first step of a relative
+// path).
+func (c *evalCtx) evalSteps(n *ast.PathExpr, steps []ast.Step, input xdm.Sequence) (xdm.Sequence, error) {
+	current := input
+	for si, step := range steps {
+		var result xdm.Sequence
+		if current == nil {
+			// First step of a relative path.
+			var err error
+			result, err = c.evalFirstStep(step)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			for pos, it := range current {
+				inner := *c
+				inner.focus = focus{item: it, pos: pos + 1, size: len(current), set: true}
+				part, err := inner.evalStep(step)
+				if err != nil {
+					return nil, err
+				}
+				result = xdm.Concat(result, part)
+			}
+		}
+		// Normalize node results into document order; mixed node/atomic
+		// results are illegal; pure atomic results are allowed only in the
+		// final step.
+		hasNode, hasAtomic := classify(result)
+		switch {
+		case hasNode && hasAtomic:
+			return nil, &Error{Code: "XPTY0018", Pos: step.P,
+				Msg: "path step produced both nodes and atomic values"}
+		case hasNode:
+			sorted, err := xdm.SortDoc(result)
+			if err != nil {
+				return nil, errAt(err, step.P)
+			}
+			result = sorted
+		case hasAtomic && si < len(steps)-1:
+			return nil, &Error{Code: "XPTY0019", Pos: steps[si+1].P,
+				Msg: "path step applied to atomic values"}
+		}
+		current = result
+	}
+	return current, nil
+}
+
+func classify(s xdm.Sequence) (hasNode, hasAtomic bool) {
+	for _, it := range s {
+		if _, ok := xdm.IsNode(it); ok {
+			hasNode = true
+		} else {
+			hasAtomic = true
+		}
+	}
+	return hasNode, hasAtomic
+}
+
+// evalFirstStep evaluates the first step of a relative path, which uses the
+// enclosing focus for axis steps and is focus-free for filter primaries.
+func (c *evalCtx) evalFirstStep(step ast.Step) (xdm.Sequence, error) {
+	if step.Primary == nil && !c.focus.set {
+		return nil, &Error{Code: "XPDY0002", Pos: step.P,
+			Msg: "axis step with no context item"}
+	}
+	return c.evalStep(step)
+}
+
+func (c *evalCtx) evalStep(step ast.Step) (xdm.Sequence, error) {
+	if step.Primary != nil {
+		prim, err := c.eval(step.Primary)
+		if err != nil {
+			return nil, err
+		}
+		return c.applyPredicates(prim, step.Preds, false)
+	}
+	it, err := c.FocusItem()
+	if err != nil {
+		return nil, errAt(err, step.P)
+	}
+	node, ok := xdm.IsNode(it)
+	if !ok {
+		return nil, &Error{Code: "XPTY0019", Pos: step.P,
+			Msg: "axis step applied to atomic value " + it.TypeName()}
+	}
+	var nodes []*xmltree.Node
+	switch step.Axis {
+	case ast.AxisChild:
+		nodes = xmltree.ChildAxis(node)
+	case ast.AxisDescendant:
+		nodes = xmltree.DescendantAxis(node)
+	case ast.AxisAttribute:
+		nodes = xmltree.AttributeAxis(node)
+	case ast.AxisSelf:
+		nodes = xmltree.SelfAxis(node)
+	case ast.AxisDescendantOrSelf:
+		nodes = xmltree.DescendantOrSelfAxis(node)
+	case ast.AxisFollowingSibling:
+		nodes = xmltree.FollowingSiblingAxis(node)
+	case ast.AxisFollowing:
+		nodes = xmltree.FollowingAxis(node)
+	case ast.AxisParent:
+		nodes = xmltree.ParentAxis(node)
+	case ast.AxisAncestor:
+		nodes = xmltree.AncestorAxis(node)
+	case ast.AxisPrecedingSibling:
+		nodes = xmltree.PrecedingSiblingAxis(node)
+	case ast.AxisPreceding:
+		nodes = xmltree.PrecedingAxis(node)
+	case ast.AxisAncestorOrSelf:
+		nodes = xmltree.AncestorOrSelfAxis(node)
+	}
+	filtered := nodes[:0:0]
+	for _, cand := range nodes {
+		if matchesTest(cand, step.Test, step.Axis) {
+			filtered = append(filtered, cand)
+		}
+	}
+	// Predicates see positions in axis order (reverse axes count backward
+	// from the context node), which is already the order of `filtered`.
+	return c.applyPredicates(xdm.FromNodes(filtered), step.Preds, false)
+}
+
+// matchesTest applies a node test. Name tests select the axis's principal
+// node kind: attributes on the attribute axis, elements elsewhere.
+func matchesTest(n *xmltree.Node, test ast.NodeTest, axis ast.Axis) bool {
+	if test.Kind != nil {
+		return test.Kind.MatchesItem(xdm.NewNode(n))
+	}
+	if axis == ast.AxisAttribute {
+		if n.Kind != xmltree.AttributeNode {
+			return false
+		}
+	} else if n.Kind != xmltree.ElementNode {
+		return false
+	}
+	return nameMatches(n, test.Name)
+}
+
+func nameMatches(n *xmltree.Node, pattern string) bool {
+	switch {
+	case pattern == "*":
+		return true
+	case strings.HasSuffix(pattern, ":*"):
+		return n.Prefix() == strings.TrimSuffix(pattern, ":*")
+	case strings.HasPrefix(pattern, "*:"):
+		return n.LocalName() == strings.TrimPrefix(pattern, "*:")
+	}
+	return n.Name == pattern
+}
+
+// applyPredicates filters seq through each predicate in turn. A predicate
+// evaluating to a singleton numeric value selects by position; anything
+// else filters by effective boolean value.
+func (c *evalCtx) applyPredicates(seq xdm.Sequence, preds []ast.Expr, reverse bool) (xdm.Sequence, error) {
+	for _, pred := range preds {
+		var kept xdm.Sequence
+		size := len(seq)
+		for i, it := range seq {
+			pos := i + 1
+			if reverse {
+				pos = size - i
+			}
+			inner := *c
+			inner.focus = focus{item: it, pos: pos, size: size, set: true}
+			pv, err := inner.eval(pred)
+			if err != nil {
+				return nil, err
+			}
+			keep, err := predicateHolds(pv, pos)
+			if err != nil {
+				return nil, errAt(err, pred.Pos())
+			}
+			if keep {
+				kept = append(kept, it)
+			}
+		}
+		seq = kept
+	}
+	return seq, nil
+}
+
+func predicateHolds(pv xdm.Sequence, pos int) (bool, error) {
+	if len(pv) == 1 && xdm.IsNumeric(pv[0]) {
+		return xdm.NumberOf(pv[0]) == float64(pos), nil
+	}
+	return xdm.EffectiveBool(pv)
+}

@@ -1,0 +1,479 @@
+// Package lexer tokenizes XQuery source for the subset engine.
+//
+// It reproduces the lexical quirks the paper documents: '-' and '.' are name
+// characters, so $n-1 is a single three-letter variable (quirk #3); '/' is a
+// path step, never division (quirk #2); keywords are context-sensitive and
+// emitted as plain names for the parser to interpret; comments are the
+// nestable (: ... :) form; and string literals escape their delimiter by
+// doubling and accept the predefined entity references.
+//
+// Direct element constructors switch the scanner into raw character mode;
+// the parser drives that via the Raw* methods.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/ast"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF  Kind = iota
+	NAME      // QName or NCName, including keyword-looking names
+	VAR       // $name
+	STRING
+	INTEGER
+	DECIMAL
+	DOUBLE
+	LPAREN     // (
+	RPAREN     // )
+	LBRACKET   // [
+	RBRACKET   // ]
+	LBRACE     // {
+	RBRACE     // }
+	COMMA      // ,
+	SEMI       // ;
+	DOT        // .
+	DOTDOT     // ..
+	SLASH      // /
+	SLASHSLASH // //
+	AT         // @
+	PIPE       // |
+	PLUS       // +
+	MINUS      // -
+	STAR       // *
+	QUESTION   // ?
+	ASSIGN     // :=
+	EQ         // =
+	NE         // !=
+	LT         // <
+	LE         // <=
+	GT         // >
+	GE         // >=
+	LTLT       // <<
+	GTGT       // >>
+	AXISSEP    // ::
+)
+
+// String names the token kind for diagnostics.
+func (k Kind) String() string {
+	names := map[Kind]string{
+		EOF: "end of input", NAME: "name", VAR: "variable", STRING: "string literal",
+		INTEGER: "integer literal", DECIMAL: "decimal literal", DOUBLE: "double literal",
+		LPAREN: "'('", RPAREN: "')'", LBRACKET: "'['", RBRACKET: "']'",
+		LBRACE: "'{'", RBRACE: "'}'", COMMA: "','", SEMI: "';'", DOT: "'.'",
+		DOTDOT: "'..'", SLASH: "'/'", SLASHSLASH: "'//'", AT: "'@'", PIPE: "'|'",
+		PLUS: "'+'", MINUS: "'-'", STAR: "'*'", QUESTION: "'?'", ASSIGN: "':='",
+		EQ: "'='", NE: "'!='", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+		LTLT: "'<<'", GTGT: "'>>'", AXISSEP: "'::'",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical token. Offset is the byte offset where the token
+// begins, enabling the parser to rewind and rescan in raw mode.
+type Token struct {
+	Kind   Kind
+	Text   string // name text, decoded string value, or number spelling
+	Pos    ast.Pos
+	Offset int
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("xquery: %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Lexer scans XQuery source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// State is an opaque snapshot of the scanner position.
+type State struct {
+	pos, line, col int
+}
+
+// Save captures the current position for later Restore.
+func (l *Lexer) Save() State { return State{l.pos, l.line, l.col} }
+
+// Restore rewinds to a saved position.
+func (l *Lexer) Restore(s State) { l.pos, l.line, l.col = s.pos, s.line, s.col }
+
+// RestoreOffset rewinds to a byte offset. Line/col are recomputed by
+// rescanning from the start; the parser uses this only on token boundaries.
+func (l *Lexer) RestoreOffset(off int) {
+	l.pos, l.line, l.col = 0, 1, 1
+	l.advance(off)
+}
+
+// Pos returns the current source position.
+func (l *Lexer) Pos() ast.Pos { return ast.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errf(format string, args ...interface{}) error {
+	return &Error{Pos: l.Pos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *Lexer) peekAt(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *Lexer) peek() byte { return l.peekAt(0) }
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) hasPrefix(s string) bool { return strings.HasPrefix(l.src[l.pos:], s) }
+
+// skipSpaceAndComments skips whitespace and nested (: ... :) comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for !l.eof() {
+		switch {
+		case l.peek() == ' ' || l.peek() == '\t' || l.peek() == '\r' || l.peek() == '\n':
+			l.advance(1)
+		case l.hasPrefix("(:"):
+			depth := 1
+			l.advance(2)
+			for depth > 0 {
+				if l.eof() {
+					return l.errf("unterminated comment")
+				}
+				switch {
+				case l.hasPrefix("(:"):
+					depth++
+					l.advance(2)
+				case l.hasPrefix(":)"):
+					depth--
+					l.advance(2)
+				default:
+					l.advance(1)
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r > 127
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || (r >= '0' && r <= '9')
+}
+
+// scanNCName scans an NCName at the current position (caller checked start).
+func (l *Lexer) scanNCName() string {
+	start := l.pos
+	for !l.eof() {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		l.advance(size)
+	}
+	return l.src[start:l.pos]
+}
+
+// scanQName scans NCName(:NCName)? or the wildcard forms pre:* at the
+// current position. The leading character must be a name start.
+func (l *Lexer) scanQName() string {
+	name := l.scanNCName()
+	// prefix:local or prefix:* — only when ':' is immediately followed by a
+	// name start or '*', and not '::' (axis separator) or ':=' (assign).
+	if l.peek() == ':' {
+		next := l.peekAt(1)
+		if next == '*' {
+			l.advance(2)
+			return name + ":*"
+		}
+		r, size := utf8.DecodeRuneInString(l.src[l.pos+1:])
+		if size > 0 && isNameStart(r) && next != ':' {
+			l.advance(1)
+			return name + ":" + l.scanNCName()
+		}
+	}
+	return name
+}
+
+// Next scans the next regular-mode token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Pos: l.Pos(), Offset: l.pos}
+	if l.eof() {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case c >= '0' && c <= '9', c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9':
+		return l.scanNumber(tok)
+	case c == '"' || c == '\'':
+		return l.scanString(tok)
+	case c == '$':
+		l.advance(1)
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if size == 0 || !isNameStart(r) {
+			return tok, l.errf("expected variable name after '$'")
+		}
+		tok.Kind = VAR
+		tok.Text = l.scanQName()
+		return tok, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isNameStart(r) {
+		tok.Kind = NAME
+		tok.Text = l.scanQName()
+		return tok, nil
+	}
+	// Punctuation, longest match first.
+	two := map[string]Kind{
+		"..": DOTDOT, "//": SLASHSLASH, ":=": ASSIGN, "!=": NE,
+		"<=": LE, ">=": GE, "<<": LTLT, ">>": GTGT, "::": AXISSEP,
+	}
+	for s, k := range two {
+		if l.hasPrefix(s) {
+			tok.Kind = k
+			tok.Text = s
+			l.advance(2)
+			return tok, nil
+		}
+	}
+	one := map[byte]Kind{
+		'(': LPAREN, ')': RPAREN, '[': LBRACKET, ']': RBRACKET,
+		'{': LBRACE, '}': RBRACE, ',': COMMA, ';': SEMI, '.': DOT,
+		'/': SLASH, '@': AT, '|': PIPE, '+': PLUS, '-': MINUS,
+		'?': QUESTION, '=': EQ, '<': LT, '>': GT,
+	}
+	if k, ok := one[c]; ok {
+		tok.Kind = k
+		tok.Text = string(c)
+		l.advance(1)
+		return tok, nil
+	}
+	if c == '*' {
+		// *:local wildcard, or plain star.
+		if l.peekAt(1) == ':' {
+			r, size := utf8.DecodeRuneInString(l.src[l.pos+2:])
+			if size > 0 && isNameStart(r) {
+				l.advance(2)
+				tok.Kind = NAME
+				tok.Text = "*:" + l.scanNCName()
+				return tok, nil
+			}
+		}
+		tok.Kind = STAR
+		tok.Text = "*"
+		l.advance(1)
+		return tok, nil
+	}
+	return tok, l.errf("unexpected character %q", string(c))
+}
+
+func (l *Lexer) scanNumber(tok Token) (Token, error) {
+	start := l.pos
+	kind := INTEGER
+	for l.peek() >= '0' && l.peek() <= '9' {
+		l.advance(1)
+	}
+	if l.peek() == '.' && !(l.peekAt(1) == '.') {
+		kind = DECIMAL
+		l.advance(1)
+		for l.peek() >= '0' && l.peek() <= '9' {
+			l.advance(1)
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := l.Save()
+		l.advance(1)
+		if c := l.peek(); c == '+' || c == '-' {
+			l.advance(1)
+		}
+		if l.peek() >= '0' && l.peek() <= '9' {
+			kind = DOUBLE
+			for l.peek() >= '0' && l.peek() <= '9' {
+				l.advance(1)
+			}
+		} else {
+			l.Restore(save)
+		}
+	}
+	text := l.src[start:l.pos]
+	// A number immediately followed by a name character is a lexical error
+	// in XQuery ("1foo").
+	if !l.eof() {
+		if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isNameStart(r) {
+			return tok, l.errf("number %q immediately followed by a name", text)
+		}
+	}
+	tok.Kind = kind
+	tok.Text = text
+	return tok, nil
+}
+
+// ParseNumber converts a scanned numeric token to its value.
+func ParseNumber(tok Token) (intVal int64, floatVal float64, err error) {
+	switch tok.Kind {
+	case INTEGER:
+		intVal, err = strconv.ParseInt(tok.Text, 10, 64)
+	case DECIMAL, DOUBLE:
+		floatVal, err = strconv.ParseFloat(tok.Text, 64)
+	default:
+		err = fmt.Errorf("not a number token: %v", tok.Kind)
+	}
+	return intVal, floatVal, err
+}
+
+func (l *Lexer) scanString(tok Token) (Token, error) {
+	quote := l.peek()
+	l.advance(1)
+	var b strings.Builder
+	for {
+		if l.eof() {
+			return tok, l.errf("unterminated string literal")
+		}
+		c := l.peek()
+		switch {
+		case c == quote:
+			if l.peekAt(1) == quote { // doubled delimiter escape
+				b.WriteByte(quote)
+				l.advance(2)
+				continue
+			}
+			l.advance(1)
+			tok.Kind = STRING
+			tok.Text = b.String()
+			return tok, nil
+		case c == '&':
+			s, err := l.scanEntity()
+			if err != nil {
+				return tok, err
+			}
+			b.WriteString(s)
+		default:
+			b.WriteByte(c)
+			l.advance(1)
+		}
+	}
+}
+
+func (l *Lexer) scanEntity() (string, error) {
+	end := strings.IndexByte(l.src[l.pos:], ';')
+	if end < 0 || end > 12 {
+		return "", l.errf("unterminated entity reference")
+	}
+	s, err := xmltree.ResolveEntity(l.src[l.pos+1 : l.pos+end])
+	if err != nil {
+		return "", l.errf("%v", err)
+	}
+	l.advance(end + 1)
+	return s, nil
+}
+
+// ---- Raw mode (direct constructors) ----
+// The parser drives these directly while inside <elem ...> ... </elem>.
+
+// RawEOF reports end of input in raw mode.
+func (l *Lexer) RawEOF() bool { return l.eof() }
+
+// RawPeek returns the current raw byte (0 at EOF).
+func (l *Lexer) RawPeek() byte { return l.peek() }
+
+// RawPeekAt returns the byte i positions ahead (0 past EOF).
+func (l *Lexer) RawPeekAt(i int) byte { return l.peekAt(i) }
+
+// RawHasPrefix reports whether the remaining input starts with s.
+func (l *Lexer) RawHasPrefix(s string) bool { return l.hasPrefix(s) }
+
+// RawAdvance consumes n raw bytes.
+func (l *Lexer) RawAdvance(n int) { l.advance(n) }
+
+// RawSkipSpace consumes XML whitespace.
+func (l *Lexer) RawSkipSpace() {
+	for !l.eof() {
+		switch l.peek() {
+		case ' ', '\t', '\r', '\n':
+			l.advance(1)
+		default:
+			return
+		}
+	}
+}
+
+// RawScanQName scans a QName in raw mode (for tag and attribute names).
+func (l *Lexer) RawScanQName() (string, error) {
+	if l.eof() {
+		return "", l.errf("expected name in constructor")
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if !isNameStart(r) {
+		return "", l.errf("expected name in constructor")
+	}
+	return l.scanQName(), nil
+}
+
+// RawScanEntity decodes an entity reference at the current '&'.
+func (l *Lexer) RawScanEntity() (string, error) { return l.scanEntity() }
+
+// RawIndex returns the offset of the next occurrence of s, relative to the
+// current position, or -1.
+func (l *Lexer) RawIndex(s string) int { return strings.Index(l.src[l.pos:], s) }
+
+// RawSlice returns the next n raw bytes without consuming them.
+func (l *Lexer) RawSlice(n int) string {
+	end := l.pos + n
+	if end > len(l.src) {
+		end = len(l.src)
+	}
+	return l.src[l.pos:end]
+}
+
+// Errf builds a positioned lexical error; the parser reuses it for syntax
+// errors so every diagnostic carries a line and column (the paper's Galax
+// gave none).
+func (l *Lexer) Errf(format string, args ...interface{}) error {
+	return l.errf(format, args...)
+}

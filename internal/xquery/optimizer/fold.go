@@ -1,0 +1,218 @@
+package optimizer
+
+import (
+	"strings"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xquery/ast"
+)
+
+// foldBinary folds integer arithmetic and integer/string value comparisons
+// over literals. Division is never folded (it could raise FOAR0001 and the
+// optimizer must not hide runtime errors it cannot prove away).
+func (o *optimizer) foldBinary(n *ast.Binary) ast.Expr {
+	switch n.Kind {
+	case ast.OpArith:
+		li, lok := n.L.(*ast.IntLit)
+		ri, rok := n.R.(*ast.IntLit)
+		if !lok || !rok {
+			return n
+		}
+		switch n.Arith {
+		case xdm.OpAdd:
+			o.stats.FoldedConstants++
+			return &ast.IntLit{Base: n.Base, Value: li.Value + ri.Value}
+		case xdm.OpSub:
+			o.stats.FoldedConstants++
+			return &ast.IntLit{Base: n.Base, Value: li.Value - ri.Value}
+		case xdm.OpMul:
+			o.stats.FoldedConstants++
+			return &ast.IntLit{Base: n.Base, Value: li.Value * ri.Value}
+		}
+		return n
+	case ast.OpValueComp, ast.OpGeneralComp:
+		la, lok := literalAtom(n.L)
+		ra, rok := literalAtom(n.R)
+		if !lok || !rok {
+			return n
+		}
+		holds, err := xdm.CompareValue(la, ra, n.Cmp)
+		if err != nil {
+			return n
+		}
+		o.stats.FoldedConstants++
+		return boolCall(n.Base, holds)
+	}
+	return n
+}
+
+// foldCall folds concat over string literals.
+func (o *optimizer) foldCall(n *ast.FunctionCall) ast.Expr {
+	if n.Name != "concat" && n.Name != "fn:concat" {
+		return n
+	}
+	var b strings.Builder
+	for _, a := range n.Args {
+		lit, ok := a.(*ast.StringLit)
+		if !ok {
+			return n
+		}
+		b.WriteString(lit.Value)
+	}
+	o.stats.FoldedConstants++
+	return &ast.StringLit{Base: n.Base, Value: b.String()}
+}
+
+// literalAtom extracts an atomic value from a literal expression.
+func literalAtom(e ast.Expr) (xdm.Item, bool) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return xdm.Integer(n.Value), true
+	case *ast.StringLit:
+		return xdm.String(n.Value), true
+	case *ast.DecimalLit:
+		return xdm.Decimal(n.Value), true
+	case *ast.DoubleLit:
+		return xdm.Double(n.Value), true
+	}
+	return nil, false
+}
+
+// literalEBV computes the effective boolean value of a literal condition.
+func literalEBV(e ast.Expr) (value, known bool) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return n.Value != 0, true
+	case *ast.StringLit:
+		return n.Value != "", true
+	case *ast.EmptySeq:
+		return false, true
+	case *ast.FunctionCall:
+		if len(n.Args) == 0 {
+			switch n.Name {
+			case "true", "fn:true":
+				return true, true
+			case "false", "fn:false":
+				return false, true
+			}
+		}
+	}
+	return false, false
+}
+
+// boolCall builds a true()/false() call, the AST's spelling of a boolean
+// constant.
+func boolCall(b ast.Base, v bool) ast.Expr {
+	name := "false"
+	if v {
+		name = "true"
+	}
+	return &ast.FunctionCall{Base: b, Name: name}
+}
+
+// walk visits e and every subexpression; f returning false prunes descent.
+func walk(e ast.Expr, f func(ast.Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *ast.SequenceExpr:
+		for _, it := range n.Items {
+			walk(it, f)
+		}
+	case *ast.RangeExpr:
+		walk(n.Lo, f)
+		walk(n.Hi, f)
+	case *ast.Binary:
+		walk(n.L, f)
+		walk(n.R, f)
+	case *ast.Unary:
+		walk(n.Operand, f)
+	case *ast.IfExpr:
+		walk(n.Cond, f)
+		walk(n.Then, f)
+		walk(n.Else, f)
+	case *ast.FLWOR:
+		for _, cl := range n.Clauses {
+			switch c := cl.(type) {
+			case ast.ForClause:
+				walk(c.In, f)
+			case ast.LetClause:
+				walk(c.Val, f)
+			}
+		}
+		walk(n.Where, f)
+		for _, spec := range n.OrderBy {
+			walk(spec.Key, f)
+		}
+		walk(n.Return, f)
+	case *ast.Quantified:
+		for _, v := range n.Vars {
+			walk(v.In, f)
+		}
+		walk(n.Satisfy, f)
+	case *ast.Typeswitch:
+		walk(n.Operand, f)
+		for _, cs := range n.Cases {
+			walk(cs.Ret, f)
+		}
+		walk(n.Default, f)
+	case *ast.PathExpr:
+		for _, s := range n.Steps {
+			walk(s.Primary, f)
+			for _, p := range s.Preds {
+				walk(p, f)
+			}
+		}
+	case *ast.FunctionCall:
+		for _, a := range n.Args {
+			walk(a, f)
+		}
+	case *ast.TryCatch:
+		walk(n.Try, f)
+		walk(n.Catch, f)
+	case *ast.InstanceOf:
+		walk(n.Operand, f)
+	case *ast.TreatAs:
+		walk(n.Operand, f)
+	case *ast.CastAs:
+		walk(n.Operand, f)
+	case *ast.CastableAs:
+		walk(n.Operand, f)
+	case *ast.DirElem:
+		for _, a := range n.Attrs {
+			for _, p := range a.Parts {
+				walk(p, f)
+			}
+		}
+		for _, cexpr := range n.Content {
+			walk(cexpr, f)
+		}
+	case *ast.CompElem:
+		walk(n.NameExpr, f)
+		walk(n.Content, f)
+	case *ast.CompAttr:
+		walk(n.NameExpr, f)
+		walk(n.Content, f)
+	case *ast.CompText:
+		walk(n.Content, f)
+	case *ast.CompComment:
+		walk(n.Content, f)
+	case *ast.CompDoc:
+		walk(n.Content, f)
+	case *ast.CompPI:
+		walk(n.Content, f)
+	}
+}
+
+// usesVar reports whether e references variable $name.
+func usesVar(e ast.Expr, name string) bool {
+	found := false
+	walk(e, func(x ast.Expr) bool {
+		if v, ok := x.(*ast.VarRef); ok && v.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,316 @@
+// Package optimizer rewrites parsed XQuery modules: constant folding and
+// dead-let elimination, the optimization that powers the paper's most
+// painful debugging anecdote.
+//
+// Galax "did dead-code analysis. Simply adding the trace introduces a dead
+// variable $dummy, which the Galax compiler helpfully optimizes away — along
+// with the call to trace." The fix, shipped in a later Galax, was to treat
+// trace as effectful. Options.TraceIsEffectful models both eras: false is
+// the buggy behavior (let $dummy := trace(...) disappears), true is the fix.
+package optimizer
+
+import (
+	"lopsided/internal/xquery/ast"
+)
+
+// Level selects how much rewriting happens.
+type Level int
+
+// Optimization levels.
+const (
+	// O0 performs no rewriting.
+	O0 Level = iota
+	// O1 folds constants.
+	O1
+	// O2 folds constants and eliminates dead let bindings.
+	O2
+)
+
+// Options configures the optimizer.
+type Options struct {
+	Level Level
+	// TraceIsEffectful, when true, stops dead-let elimination from deleting
+	// bindings whose value calls fn:trace (the post-fix Galax behavior).
+	// False reproduces the bug the paper fought.
+	TraceIsEffectful bool
+}
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	FoldedConstants int
+	EliminatedLets  int
+}
+
+// Optimize rewrites the module in place (expressions are replaced, shared
+// subtrees are never mutated) and returns statistics.
+func Optimize(mod *ast.Module, opts Options) Stats {
+	o := &optimizer{opts: opts, userFuncs: map[string]bool{}}
+	for _, f := range mod.Functions {
+		o.userFuncs[f.Name] = true
+	}
+	if opts.Level == O0 {
+		return o.stats
+	}
+	for _, f := range mod.Functions {
+		f.Body = o.rewrite(f.Body)
+	}
+	for _, v := range mod.Vars {
+		if v.Val != nil {
+			v.Val = o.rewrite(v.Val)
+		}
+	}
+	mod.Body = o.rewrite(mod.Body)
+	return o.stats
+}
+
+type optimizer struct {
+	opts      Options
+	stats     Stats
+	userFuncs map[string]bool
+}
+
+func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
+	switch n := e.(type) {
+	case *ast.SequenceExpr:
+		items := make([]ast.Expr, len(n.Items))
+		for i, it := range n.Items {
+			items[i] = o.rewrite(it)
+		}
+		return &ast.SequenceExpr{Base: n.Base, Items: items}
+	case *ast.RangeExpr:
+		return &ast.RangeExpr{Base: n.Base, Lo: o.rewrite(n.Lo), Hi: o.rewrite(n.Hi)}
+	case *ast.Binary:
+		out := &ast.Binary{Base: n.Base, Kind: n.Kind, Cmp: n.Cmp, Arith: n.Arith,
+			L: o.rewrite(n.L), R: o.rewrite(n.R)}
+		return o.foldBinary(out)
+	case *ast.Unary:
+		out := &ast.Unary{Base: n.Base, Minus: n.Minus, Operand: o.rewrite(n.Operand)}
+		if lit, ok := out.Operand.(*ast.IntLit); ok && out.Minus {
+			o.stats.FoldedConstants++
+			return &ast.IntLit{Base: n.Base, Value: -lit.Value}
+		}
+		return out
+	case *ast.IfExpr:
+		out := &ast.IfExpr{Base: n.Base, Cond: o.rewrite(n.Cond),
+			Then: o.rewrite(n.Then), Else: o.rewrite(n.Else)}
+		if b, known := literalEBV(out.Cond); known {
+			o.stats.FoldedConstants++
+			if b {
+				return out.Then
+			}
+			return out.Else
+		}
+		return out
+	case *ast.FLWOR:
+		return o.rewriteFLWOR(n)
+	case *ast.Quantified:
+		vars := make([]ast.ForClause, len(n.Vars))
+		for i, v := range n.Vars {
+			vars[i] = ast.ForClause{Var: v.Var, PosVar: v.PosVar, In: o.rewrite(v.In), P: v.P}
+		}
+		return &ast.Quantified{Base: n.Base, Every: n.Every, Vars: vars, Satisfy: o.rewrite(n.Satisfy)}
+	case *ast.Typeswitch:
+		cases := make([]ast.TypeswitchCase, len(n.Cases))
+		for i, cs := range n.Cases {
+			cases[i] = ast.TypeswitchCase{Var: cs.Var, Type: cs.Type, Ret: o.rewrite(cs.Ret)}
+		}
+		return &ast.Typeswitch{Base: n.Base, Operand: o.rewrite(n.Operand),
+			Cases: cases, DefaultVar: n.DefaultVar, Default: o.rewrite(n.Default)}
+	case *ast.PathExpr:
+		steps := make([]ast.Step, len(n.Steps))
+		for i, s := range n.Steps {
+			ns := s
+			if s.Primary != nil {
+				ns.Primary = o.rewrite(s.Primary)
+			}
+			if len(s.Preds) > 0 {
+				preds := make([]ast.Expr, len(s.Preds))
+				for j, p := range s.Preds {
+					preds[j] = o.rewrite(p)
+				}
+				ns.Preds = preds
+			}
+			steps[i] = ns
+		}
+		return &ast.PathExpr{Base: n.Base, Root: n.Root, Steps: steps}
+	case *ast.FunctionCall:
+		args := make([]ast.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = o.rewrite(a)
+		}
+		out := &ast.FunctionCall{Base: n.Base, Name: n.Name, Args: args}
+		return o.foldCall(out)
+	case *ast.TryCatch:
+		return &ast.TryCatch{Base: n.Base, Try: o.rewrite(n.Try),
+			CatchVar: n.CatchVar, CatchCodeVar: n.CatchCodeVar, Catch: o.rewrite(n.Catch)}
+	case *ast.InstanceOf:
+		return &ast.InstanceOf{Base: n.Base, Operand: o.rewrite(n.Operand), Type: n.Type}
+	case *ast.TreatAs:
+		return &ast.TreatAs{Base: n.Base, Operand: o.rewrite(n.Operand), Type: n.Type}
+	case *ast.CastAs:
+		return &ast.CastAs{Base: n.Base, Operand: o.rewrite(n.Operand), TypeName: n.TypeName, Optional: n.Optional}
+	case *ast.CastableAs:
+		return &ast.CastableAs{Base: n.Base, Operand: o.rewrite(n.Operand), TypeName: n.TypeName, Optional: n.Optional}
+	case *ast.DirElem:
+		attrs := make([]ast.DirAttr, len(n.Attrs))
+		for i, a := range n.Attrs {
+			parts := make([]ast.Expr, len(a.Parts))
+			for j, p := range a.Parts {
+				parts[j] = o.rewrite(p)
+			}
+			attrs[i] = ast.DirAttr{Name: a.Name, Parts: parts, P: a.P}
+		}
+		content := make([]ast.Expr, len(n.Content))
+		for i, cexpr := range n.Content {
+			content[i] = o.rewrite(cexpr)
+		}
+		return &ast.DirElem{Base: n.Base, Name: n.Name, Attrs: attrs,
+			Content: content, LiteralText: n.LiteralText}
+	case *ast.CompElem:
+		out := &ast.CompElem{Base: n.Base, Name: n.Name}
+		if n.NameExpr != nil {
+			out.NameExpr = o.rewrite(n.NameExpr)
+		}
+		if n.Content != nil {
+			out.Content = o.rewrite(n.Content)
+		}
+		return out
+	case *ast.CompAttr:
+		out := &ast.CompAttr{Base: n.Base, Name: n.Name}
+		if n.NameExpr != nil {
+			out.NameExpr = o.rewrite(n.NameExpr)
+		}
+		if n.Content != nil {
+			out.Content = o.rewrite(n.Content)
+		}
+		return out
+	case *ast.CompText:
+		out := &ast.CompText{Base: n.Base}
+		if n.Content != nil {
+			out.Content = o.rewrite(n.Content)
+		}
+		return out
+	case *ast.CompComment:
+		out := &ast.CompComment{Base: n.Base}
+		if n.Content != nil {
+			out.Content = o.rewrite(n.Content)
+		}
+		return out
+	case *ast.CompDoc:
+		out := &ast.CompDoc{Base: n.Base}
+		if n.Content != nil {
+			out.Content = o.rewrite(n.Content)
+		}
+		return out
+	case *ast.CompPI:
+		out := &ast.CompPI{Base: n.Base, Target: n.Target}
+		if n.Content != nil {
+			out.Content = o.rewrite(n.Content)
+		}
+		return out
+	}
+	// Literals, variable refs, context item, comments, PIs: unchanged.
+	return e
+}
+
+// rewriteFLWOR rewrites clauses and, at O2, removes dead pure lets.
+func (o *optimizer) rewriteFLWOR(n *ast.FLWOR) ast.Expr {
+	clauses := make([]ast.FLWORClause, 0, len(n.Clauses))
+	for _, cl := range n.Clauses {
+		switch c := cl.(type) {
+		case ast.ForClause:
+			clauses = append(clauses, ast.ForClause{Var: c.Var, PosVar: c.PosVar, In: o.rewrite(c.In), P: c.P})
+		case ast.LetClause:
+			clauses = append(clauses, ast.LetClause{Var: c.Var, Val: o.rewrite(c.Val), P: c.P})
+		}
+	}
+	out := &ast.FLWOR{Base: n.Base, Clauses: clauses, Stable: n.Stable}
+	if n.Where != nil {
+		out.Where = o.rewrite(n.Where)
+	}
+	for _, spec := range n.OrderBy {
+		out.OrderBy = append(out.OrderBy, ast.OrderSpec{
+			Key: o.rewrite(spec.Key), Descending: spec.Descending, EmptyLeast: spec.EmptyLeast})
+	}
+	out.Return = o.rewrite(n.Return)
+
+	if o.opts.Level < O2 {
+		return out
+	}
+	// Dead-let elimination: drop `let $v := E` when $v is unused afterward
+	// and E is pure. This is exactly the pass that ate the paper's
+	// `let $dummy := trace("x=", $x)`.
+	kept := out.Clauses[:0:len(out.Clauses)]
+	for i, cl := range out.Clauses {
+		lc, isLet := cl.(ast.LetClause)
+		if !isLet || !o.pure(lc.Val) || o.usedAfter(out, i, lc.Var) {
+			kept = append(kept, cl)
+			continue
+		}
+		o.stats.EliminatedLets++
+	}
+	if len(kept) == 0 && out.Where == nil && len(out.OrderBy) == 0 {
+		// Every clause was a dead let: the FLWOR reduces to its return.
+		return out.Return
+	}
+	if len(kept) == 0 {
+		// A where/order-by needs at least one clause; keep a harmless one.
+		kept = append(kept, out.Clauses[len(out.Clauses)-1])
+		o.stats.EliminatedLets--
+	}
+	out.Clauses = kept
+	return out
+}
+
+// usedAfter reports whether $name is referenced in any clause after index i,
+// or in the where/order-by/return. Shadowing is ignored (conservative: a
+// shadowed use still counts as a use).
+func (o *optimizer) usedAfter(n *ast.FLWOR, i int, name string) bool {
+	for _, cl := range n.Clauses[i+1:] {
+		switch c := cl.(type) {
+		case ast.ForClause:
+			if usesVar(c.In, name) {
+				return true
+			}
+		case ast.LetClause:
+			if usesVar(c.Val, name) {
+				return true
+			}
+		}
+	}
+	if n.Where != nil && usesVar(n.Where, name) {
+		return true
+	}
+	for _, spec := range n.OrderBy {
+		if usesVar(spec.Key, name) {
+			return true
+		}
+	}
+	return usesVar(n.Return, name)
+}
+
+// pure reports whether evaluating e has no observable effect beyond its
+// value. fn:error and fn:doc are effectful; fn:trace is effectful only
+// after the Galax fix; user-function calls are conservatively impure.
+func (o *optimizer) pure(e ast.Expr) bool {
+	result := true
+	walk(e, func(x ast.Expr) bool {
+		call, ok := x.(*ast.FunctionCall)
+		if !ok {
+			return true
+		}
+		name := call.Name
+		switch {
+		case name == "error" || name == "fn:error" || name == "doc" || name == "fn:doc":
+			result = false
+		case name == "trace" || name == "fn:trace":
+			if o.opts.TraceIsEffectful {
+				result = false
+			}
+		case o.userFuncs[name]:
+			result = false
+		}
+		return result
+	})
+	return result
+}

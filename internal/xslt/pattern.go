@@ -1,0 +1,204 @@
+package xslt
+
+import (
+	"fmt"
+	"strings"
+
+	"lopsided/internal/xmltree"
+)
+
+// pattern is a compiled match pattern: an alternation of path patterns.
+type pattern struct {
+	source string
+	alts   []pathPattern
+}
+
+// pathPattern is steps read right-to-left: the last step must match the
+// node, each preceding step must match an ancestor (parent for '/', any
+// ancestor for '//'). rooted means the leftmost step must sit at the root.
+type pathPattern struct {
+	steps  []patternStep
+	rooted bool
+}
+
+type patternStep struct {
+	// test: "name", "*", "text()", "node()", "comment()",
+	// "processing-instruction()", "@name", "@*", or "/" for the document.
+	test string
+	// anyDepth: this step is joined to the one on its right with '//'.
+	anyDepth bool
+}
+
+// parsePattern compiles the subset of XSLT patterns the splitters use:
+// alternation with '|', steps with '/' and '//', name tests, kind tests,
+// attribute tests, and a leading '/'.
+func parsePattern(src string) (*pattern, error) {
+	p := &pattern{source: src}
+	for _, alt := range strings.Split(src, "|") {
+		alt = strings.TrimSpace(alt)
+		if alt == "" {
+			return nil, fmt.Errorf("xslt: empty alternative in pattern %q", src)
+		}
+		pp, err := parsePathPattern(alt)
+		if err != nil {
+			return nil, err
+		}
+		p.alts = append(p.alts, pp)
+	}
+	return p, nil
+}
+
+func parsePathPattern(src string) (pathPattern, error) {
+	pp := pathPattern{}
+	if src == "/" {
+		pp.rooted = true
+		pp.steps = []patternStep{{test: "/"}}
+		return pp, nil
+	}
+	rest := src
+	if strings.HasPrefix(rest, "//") {
+		rest = rest[2:]
+	} else if strings.HasPrefix(rest, "/") {
+		pp.rooted = true
+		rest = rest[1:]
+	}
+	// pendingAnyDepth records that the join to the LEFT of the step about
+	// to be parsed was '//'.
+	pendingAnyDepth := false
+	for rest != "" {
+		var step string
+		nextAny := false
+		if i := strings.Index(rest, "/"); i >= 0 {
+			step, rest = rest[:i], rest[i+1:]
+			if strings.HasPrefix(rest, "/") {
+				rest = rest[1:]
+				nextAny = true
+			}
+		} else {
+			step, rest = rest, ""
+		}
+		step = strings.TrimSpace(step)
+		if step == "" {
+			return pathPattern{}, fmt.Errorf("xslt: empty step in pattern %q", src)
+		}
+		if err := checkStepTest(step, src); err != nil {
+			return pathPattern{}, err
+		}
+		pp.steps = append(pp.steps, patternStep{test: step, anyDepth: pendingAnyDepth})
+		pendingAnyDepth = nextAny
+	}
+	if pendingAnyDepth {
+		return pathPattern{}, fmt.Errorf("xslt: pattern %q ends with '//'", src)
+	}
+	return pp, nil
+}
+
+func checkStepTest(step, pat string) error {
+	switch step {
+	case "*", "node()", "text()", "comment()", "processing-instruction()", "@*":
+		return nil
+	}
+	name := strings.TrimPrefix(step, "@")
+	if name == "" || strings.ContainsAny(name, "[](){}=<>\"' ") {
+		return fmt.Errorf("xslt: unsupported pattern step %q in %q (predicates are not in the subset)", step, pat)
+	}
+	return nil
+}
+
+// defaultPriority follows XSLT 1.0's specificity defaults.
+func (p *pattern) defaultPriority() float64 {
+	// For alternations, XSLT treats each alternative separately; the subset
+	// takes the max.
+	best := -1.0
+	for _, alt := range p.alts {
+		pr := altPriority(alt)
+		if pr > best {
+			best = pr
+		}
+	}
+	return best
+}
+
+func altPriority(pp pathPattern) float64 {
+	if len(pp.steps) > 1 || pp.rooted {
+		return 0.5
+	}
+	switch pp.steps[0].test {
+	case "node()", "text()", "comment()", "processing-instruction()", "/":
+		return -0.5
+	case "*", "@*":
+		return -0.25
+	}
+	return 0
+}
+
+// matches reports whether the pattern matches the node.
+func (p *pattern) matches(n *xmltree.Node) bool {
+	for _, alt := range p.alts {
+		if altMatches(alt, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func altMatches(pp pathPattern, n *xmltree.Node) bool {
+	// Match steps right-to-left against n and its ancestors.
+	cur := n
+	for i := len(pp.steps) - 1; i >= 0; i-- {
+		step := pp.steps[i]
+		if i == len(pp.steps)-1 {
+			if !stepMatches(step.test, cur) {
+				return false
+			}
+			continue
+		}
+		// Preceding steps match ancestors. '/' join: the immediate parent;
+		// '//' join (anyDepth on the step to the right): any ancestor.
+		// The subset treats every join as parent; '//' joins are rare in
+		// splitters and handled by scanning upward.
+		parent := cur.Parent
+		for parent != nil && !stepMatches(step.test, parent) {
+			if !pp.steps[i+1].anyDepth {
+				return false
+			}
+			parent = parent.Parent
+		}
+		if parent == nil {
+			return false
+		}
+		cur = parent
+	}
+	if pp.rooted {
+		top := cur
+		if top.Kind != xmltree.DocumentNode {
+			if top.Parent == nil || top.Parent.Kind != xmltree.DocumentNode {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func stepMatches(test string, n *xmltree.Node) bool {
+	switch test {
+	case "/":
+		return n.Kind == xmltree.DocumentNode
+	case "node()":
+		return n.Kind != xmltree.DocumentNode && n.Kind != xmltree.AttributeNode
+	case "text()":
+		return n.Kind == xmltree.TextNode
+	case "comment()":
+		return n.Kind == xmltree.CommentNode
+	case "processing-instruction()":
+		return n.Kind == xmltree.PINode
+	case "*":
+		return n.Kind == xmltree.ElementNode
+	case "@*":
+		return n.Kind == xmltree.AttributeNode
+	}
+	if name, isAttr := strings.CutPrefix(test, "@"); isAttr {
+		return n.Kind == xmltree.AttributeNode && n.Name == name
+	}
+	return n.Kind == xmltree.ElementNode && n.Name == test
+}

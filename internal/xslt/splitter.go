@@ -1,0 +1,80 @@
+package xslt
+
+import (
+	"fmt"
+
+	"lopsided/internal/xmltree"
+)
+
+// The paper's multiple-output-streams workaround, verbatim in spirit:
+// "the XQuery component could produce a big XML file with all the output
+// streams as children of the root element, and a little XSLT program could
+// split them apart — but by that time it seemed to be adding insult to
+// injury."
+//
+// These are those little XSLT programs. SplitStreams runs one per stream.
+
+// ExtractDocumentXSL pulls the document stream out of a SPLIT-OUTPUT bundle.
+const ExtractDocumentXSL = `
+<xsl:stylesheet version="1.0">
+  <xsl:template match="/">
+    <extracted>
+      <xsl:copy-of select="/SPLIT-OUTPUT/document/node()"/>
+    </extracted>
+  </xsl:template>
+</xsl:stylesheet>`
+
+// ExtractProblemsXSL pulls the problems stream.
+const ExtractProblemsXSL = `
+<xsl:stylesheet version="1.0">
+  <xsl:template match="/">
+    <extracted>
+      <xsl:for-each select="/SPLIT-OUTPUT/problems/problem">
+        <problem><xsl:value-of select="string(.)"/></problem>
+      </xsl:for-each>
+    </extracted>
+  </xsl:template>
+</xsl:stylesheet>`
+
+// SplitStreams splits a <SPLIT-OUTPUT> bundle into the document stream
+// (as a new document node) and the problem strings, using the two little
+// XSLT programs.
+func SplitStreams(bundle *xmltree.Node) (*xmltree.Node, []string, error) {
+	src := bundle
+	if src.Kind != xmltree.DocumentNode {
+		doc := xmltree.NewDocument()
+		doc.AppendChild(src.Clone())
+		src = doc
+	}
+	docSheet, err := CompileString(ExtractDocumentXSL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("xslt: %w", err)
+	}
+	probSheet, err := CompileString(ExtractProblemsXSL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("xslt: %w", err)
+	}
+	docOut, err := docSheet.Transform(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	probOut, err := probSheet.Transform(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	result := xmltree.NewDocument()
+	if ex := docOut.DocumentElement(); ex != nil {
+		for _, c := range ex.Children {
+			result.AppendChild(c.Clone())
+		}
+	}
+	var problems []string
+	if ex := probOut.DocumentElement(); ex != nil {
+		for _, c := range ex.Children {
+			if c.Kind == xmltree.ElementNode && c.Name == "problem" {
+				problems = append(problems, c.StringValue())
+			}
+		}
+	}
+	return result, problems, nil
+}

@@ -1,0 +1,211 @@
+package xslt
+
+import (
+	"strings"
+	"testing"
+
+	"lopsided/internal/xmltree"
+)
+
+func transform(t *testing.T, sheetSrc, docSrc string) string {
+	t.Helper()
+	sheet, err := CompileString(sheetSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	doc := xmltree.MustParse(docSrc)
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	return out.String()
+}
+
+func TestIdentityViaBuiltins(t *testing.T) {
+	// With no matching templates, built-in rules recurse and copy text.
+	got := transform(t, `<xsl:stylesheet version="1.0"/>`, `<a>hi <b>there</b></a>`)
+	if got != "hi there" {
+		t.Fatalf("built-ins: %q", got)
+	}
+}
+
+func TestTemplateMatchAndValueOf(t *testing.T) {
+	sheet := `<xsl:stylesheet version="1.0">
+	  <xsl:template match="/">
+	    <out><xsl:apply-templates select="/lib/book"/></out>
+	  </xsl:template>
+	  <xsl:template match="book">
+	    <title y="{string(@year)}"><xsl:value-of select="string(title)"/></title>
+	  </xsl:template>
+	</xsl:stylesheet>`
+	got := transform(t, sheet, `<lib><book year="1983"><title>LL</title></book><book year="2004"><title>XQ</title></book></lib>`)
+	want := `<out><title y="1983">LL</title><title y="2004">XQ</title></out>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestForEachIfChoose(t *testing.T) {
+	sheet := `<xsl:stylesheet version="1.0">
+	  <xsl:template match="/">
+	    <r><xsl:for-each select="//n">
+	      <xsl:choose>
+	        <xsl:when test="number(string(.)) > 5"><big><xsl:value-of select="string(.)"/></big></xsl:when>
+	        <xsl:otherwise><small/></xsl:otherwise>
+	      </xsl:choose>
+	      <xsl:if test="string(.) = '9'"><nine/></xsl:if>
+	    </xsl:for-each></r>
+	  </xsl:template>
+	</xsl:stylesheet>`
+	got := transform(t, sheet, `<d><n>3</n><n>9</n></d>`)
+	want := `<r><small/><big>9</big><nine/></r>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCopyOfAndElementAttribute(t *testing.T) {
+	sheet := `<xsl:stylesheet version="1.0">
+	  <xsl:template match="/">
+	    <xsl:element name="made-{string(/d/@kind)}">
+	      <xsl:attribute name="n"><xsl:value-of select="count(//x)"/></xsl:attribute>
+	      <xsl:copy-of select="//x"/>
+	      <xsl:text>done</xsl:text>
+	    </xsl:element>
+	  </xsl:template>
+	</xsl:stylesheet>`
+	got := transform(t, sheet, `<d kind="box"><x i="1"/><x i="2"/></d>`)
+	want := `<made-box n="2"><x i="1"/><x i="2"/>done</made-box>`
+	if got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestPriorityAndSpecificity(t *testing.T) {
+	sheet := `<xsl:stylesheet version="1.0">
+	  <xsl:template match="*"><any/></xsl:template>
+	  <xsl:template match="b"><bee/></xsl:template>
+	  <xsl:template match="/"><r><xsl:apply-templates/></r></xsl:template>
+	</xsl:stylesheet>`
+	got := transform(t, sheet, `<a><b/><c/></a>`)
+	// match="a" falls to "*"; inside it nothing recurses (the * template
+	// has empty body), so only the root's children are processed.
+	if got != `<r><any/></r>` {
+		t.Fatalf("got %s", got)
+	}
+	// Explicit priority can invert specificity.
+	sheet2 := `<xsl:stylesheet version="1.0">
+	  <xsl:template match="b"><bee/></xsl:template>
+	  <xsl:template match="*" priority="10"><any/></xsl:template>
+	  <xsl:template match="/"><r><xsl:apply-templates select="//b"/></r></xsl:template>
+	</xsl:stylesheet>`
+	got = transform(t, sheet2, `<a><b/></a>`)
+	if got != `<r><any/></r>` {
+		t.Fatalf("priority override: %s", got)
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><c/></b><c/></a>`)
+	a := doc.DocumentElement()
+	bc := a.Children[0].Children[0] // c under b
+	topc := a.Children[1]           // c under a
+	cases := []struct {
+		pat   string
+		node  *xmltree.Node
+		match bool
+	}{
+		{"c", bc, true},
+		{"b/c", bc, true},
+		{"b/c", topc, false},
+		{"a/c", topc, true},
+		{"a//c", bc, true},
+		{"/a", a, true},
+		{"/b", a, false},
+		{"*", a, true},
+		{"node()", a, true},
+		{"b|c", topc, true},
+		{"/", doc, true},
+		{"/", a, false},
+	}
+	for _, c := range cases {
+		p, err := parsePattern(c.pat)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", c.pat, err)
+		}
+		if got := p.matches(c.node); got != c.match {
+			t.Errorf("pattern %q on %s: %v, want %v", c.pat, c.node.Name, got, c.match)
+		}
+	}
+}
+
+func TestPatternErrors(t *testing.T) {
+	for _, bad := range []string{"", "a[1]", "a//", "a|", "a b"} {
+		if _, err := parsePattern(bad); err == nil {
+			t.Errorf("pattern %q should be rejected", bad)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`<not-a-stylesheet/>`,
+		`<xsl:stylesheet version="1.0"><div/></xsl:stylesheet>`,
+		`<xsl:stylesheet version="1.0"><xsl:template/></xsl:stylesheet>`,
+		`<xsl:stylesheet version="1.0"><xsl:template match="a" priority="x"/></xsl:stylesheet>`,
+	}
+	for _, src := range cases {
+		if _, err := CompileString(src); err == nil {
+			t.Errorf("%q should not compile", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`<xsl:stylesheet version="1.0"><xsl:template match="/"><xsl:value-of/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet version="1.0"><xsl:template match="/"><xsl:unknown/></xsl:template></xsl:stylesheet>`,
+		`<xsl:stylesheet version="1.0"><xsl:template match="/"><a b="{oops("/></xsl:template></xsl:stylesheet>`,
+	}
+	for _, src := range cases {
+		sheet, err := CompileString(src)
+		if err != nil {
+			continue // compile-time rejection also acceptable
+		}
+		if _, err := sheet.Transform(xmltree.MustParse(`<x/>`)); err == nil {
+			t.Errorf("%q should fail at runtime", src)
+		}
+	}
+	// Cyclic apply-templates is caught, not a stack overflow.
+	sheet, err := CompileString(`<xsl:stylesheet version="1.0">
+	  <xsl:template match="a"><xsl:apply-templates select="."/></xsl:template>
+	</xsl:stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sheet.Transform(xmltree.MustParse(`<a/>`)); err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("cycle: %v", err)
+	}
+}
+
+func TestSplitStreams(t *testing.T) {
+	bundle := xmltree.MustParse(`<SPLIT-OUTPUT>
+	  <document><html><body>content</body></html></document>
+	  <problems><problem>p one</problem><problem>p two</problem></problems>
+	</SPLIT-OUTPUT>`)
+	doc, problems, err := SplitStreams(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.String(); !strings.Contains(got, "<html><body>content</body></html>") {
+		t.Fatalf("document stream: %s", got)
+	}
+	if len(problems) != 2 || problems[0] != "p one" || problems[1] != "p two" {
+		t.Fatalf("problems: %v", problems)
+	}
+	// Element (not document) input also works.
+	_, problems, err = SplitStreams(bundle.DocumentElement())
+	if err != nil || len(problems) != 2 {
+		t.Fatal("element input")
+	}
+}

@@ -1,0 +1,64 @@
+package xq_test
+
+import (
+	"fmt"
+
+	"lopsided/xq"
+)
+
+func ExampleCompile() {
+	doc, _ := xq.ParseXML(`<lib><book year="1983"><title>Little Languages</title></book></lib>`)
+	q, err := xq.Compile(`for $b in /lib/book return string($b/title)`)
+	if err != nil {
+		panic(err)
+	}
+	out, _ := q.EvalStringWith(doc, nil)
+	fmt.Println(out)
+	// Output: Little Languages
+}
+
+func ExampleCompile_flattening() {
+	// Sequences flatten: there is no sequence of sequences.
+	q := xq.MustCompile(`(1,(2,3,4),(),(5,((6,7))))`)
+	out, _ := q.EvalStringWith(nil, nil)
+	fmt.Println(out)
+	// Output: 1 2 3 4 5 6 7
+}
+
+func ExampleCompile_generalComparison() {
+	// The paper's quirk #4: = is existential.
+	q := xq.MustCompile(`1 = (1,2,3)`)
+	out, _ := q.EvalStringWith(nil, nil)
+	fmt.Println(out)
+	// Output: true
+}
+
+func ExampleWithTraceEffectful() {
+	// Reproduce the Galax dead-code bug: a dummy-let trace vanishes.
+	src := `let $x := 2 + 3
+	        let $dummy := trace("x=", $x)
+	        return $x * 10`
+	buggy := xq.MustCompile(src,
+		xq.WithTraceEffectful(false),
+		xq.WithTracer(func(values []string) { fmt.Println("trace:", values) }))
+	out, _ := buggy.EvalStringWith(nil, nil)
+	fmt.Println("result:", out, "| lets eliminated:", buggy.Stats.EliminatedLets)
+	// Output: result: 50 | lets eliminated: 1
+}
+
+func ExampleQuery_EvalWith_externalVariables() {
+	q := xq.MustCompile(`declare variable $n external; for $i in 1 to $n return $i * $i`)
+	out, _ := q.EvalStringWith(nil, map[string]xq.Sequence{
+		"n": xq.Singleton(xq.Integer(4)),
+	})
+	fmt.Println(out)
+	// Output: 1 4 9 16
+}
+
+func ExampleCompile_tryCatch() {
+	// The exception-handling extension (the paper's lesson #4).
+	q := xq.MustCompile(`try { 1 div 0 } catch ($code, $msg) { concat($code, ": ", $msg) }`)
+	out, _ := q.EvalStringWith(nil, nil)
+	fmt.Println(out)
+	// Output: FOAR0001: division by zero
+}

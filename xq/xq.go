@@ -1,0 +1,175 @@
+// Package xq is the public face of the lopsided XQuery engine: compile an
+// XQuery-subset program, optionally optimize it, and evaluate it against XML
+// documents.
+//
+// The engine reproduces the draft-2004 semantics described in "Lopsided
+// Little Languages" (Bloom, SIGMOD 2005): flat sequences, existential
+// general comparisons, leading-attribute folding, untyped atomization, a
+// variadic Galax-style fn:trace, and — behind options — the dead-code
+// elimination behavior that made tracing so painful.
+//
+// Quick start:
+//
+//	q, err := xq.Compile(`for $b in /lib/book return $b/title`)
+//	doc, err := xq.ParseXML(libraryXML)
+//	out, err := q.EvalWith(doc, nil)
+//	fmt.Println(xq.Serialize(out))
+package xq
+
+import (
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/interp"
+	"lopsided/internal/xquery/optimizer"
+)
+
+// Sequence is an XQuery result sequence (always flat).
+type Sequence = xdm.Sequence
+
+// Item is a single XQuery item: an atomic value or a node.
+type Item = xdm.Item
+
+// Node is an XML tree node.
+type Node = xmltree.Node
+
+// Re-exported atomic value constructors for building external variables.
+type (
+	// String is an xs:string value.
+	String = xdm.String
+	// Integer is an xs:integer value.
+	Integer = xdm.Integer
+	// Double is an xs:double value.
+	Double = xdm.Double
+	// Boolean is an xs:boolean value.
+	Boolean = xdm.Boolean
+)
+
+// NewNodeItem wraps an XML node as a sequence item.
+func NewNodeItem(n *Node) Item { return xdm.NewNode(n) }
+
+// Singleton wraps one item as a sequence.
+func Singleton(it Item) Sequence { return xdm.Singleton(it) }
+
+// OptLevel selects optimizer effort.
+type OptLevel = optimizer.Level
+
+// Optimizer levels: O0 none, O1 constant folding, O2 adds dead-let
+// elimination (the Galax pass from the paper's trace anecdote).
+const (
+	O0 = optimizer.O0
+	O1 = optimizer.O1
+	O2 = optimizer.O2
+)
+
+// DupAttrPolicy re-exports the duplicate-attribute policies.
+type DupAttrPolicy = interp.DupAttrPolicy
+
+// Duplicate computed-attribute policies (see the paper's T3b example).
+const (
+	DupAttrLastWins  = interp.DupAttrLastWins
+	DupAttrFirstWins = interp.DupAttrFirstWins
+	DupAttrGalaxBug  = interp.DupAttrGalaxBug
+	DupAttrError     = interp.DupAttrError
+)
+
+type config struct {
+	optLevel         OptLevel
+	traceIsEffectful bool
+	tracer           func(values []string)
+	docResolver      func(uri string) (*Node, error)
+	dupAttr          DupAttrPolicy
+	maxDepth         int
+}
+
+// Option configures compilation.
+type Option func(*config)
+
+// WithOptLevel sets the optimizer level (default O2).
+func WithOptLevel(l OptLevel) Option { return func(c *config) { c.optLevel = l } }
+
+// WithTraceEffectful controls whether fn:trace is protected from dead-code
+// elimination. True (the default) is the post-fix Galax behavior; false
+// reproduces the bug that silently swallowed the paper's tracing.
+func WithTraceEffectful(on bool) Option { return func(c *config) { c.traceIsEffectful = on } }
+
+// WithTracer installs the consumer of fn:trace output.
+func WithTracer(f func(values []string)) Option { return func(c *config) { c.tracer = f } }
+
+// WithDocResolver installs the fn:doc resolver.
+func WithDocResolver(f func(uri string) (*Node, error)) Option {
+	return func(c *config) { c.docResolver = f }
+}
+
+// WithDupAttrPolicy selects duplicate computed-attribute behavior.
+func WithDupAttrPolicy(p DupAttrPolicy) Option { return func(c *config) { c.dupAttr = p } }
+
+// WithMaxDepth bounds user-function recursion.
+func WithMaxDepth(n int) Option { return func(c *config) { c.maxDepth = n } }
+
+// Query is a compiled, optimized XQuery program, safe for repeated
+// evaluation (evaluations do not share mutable state).
+type Query struct {
+	ip *interp.Interp
+	// Stats reports what the optimizer did at compile time.
+	Stats optimizer.Stats
+}
+
+// Compile parses and optimizes an XQuery program.
+func Compile(src string, opts ...Option) (*Query, error) {
+	cfg := config{optLevel: O2, traceIsEffectful: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ip, err := interp.Compile(src, interp.Options{
+		Tracer:      cfg.tracer,
+		DocResolver: cfg.docResolver,
+		MaxDepth:    cfg.maxDepth,
+		DupAttr:     cfg.dupAttr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := optimizer.Optimize(ip.Module(), optimizer.Options{
+		Level:            cfg.optLevel,
+		TraceIsEffectful: cfg.traceIsEffectful,
+	})
+	return &Query{ip: ip, Stats: stats}, nil
+}
+
+// MustCompile is Compile that panics on error, for static programs.
+func MustCompile(src string, opts ...Option) *Query {
+	q, err := Compile(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Eval evaluates the query with no context item and no external variables.
+func (q *Query) Eval() (Sequence, error) { return q.ip.Eval(nil, nil) }
+
+// EvalWith evaluates with ctx as the context item (may be nil) and vars
+// bound as external variables (names without '$').
+func (q *Query) EvalWith(ctx *Node, vars map[string]Sequence) (Sequence, error) {
+	var it Item
+	if ctx != nil {
+		it = xdm.NewNode(ctx)
+	}
+	return q.ip.Eval(it, vars)
+}
+
+// EvalStringWith evaluates and serializes the result.
+func (q *Query) EvalStringWith(ctx *Node, vars map[string]Sequence) (string, error) {
+	out, err := q.EvalWith(ctx, vars)
+	if err != nil {
+		return "", err
+	}
+	return Serialize(out), nil
+}
+
+// ParseXML parses an XML document.
+func ParseXML(src string) (*Node, error) { return xmltree.Parse(src) }
+
+// Serialize renders a result sequence: nodes as XML, atomics as string
+// values, items separated by spaces.
+func Serialize(seq Sequence) string { return interp.SerializeSeq(seq) }

@@ -1,0 +1,30 @@
+// Package xsl is the public face of the XSLT 1.0 subset engine — the
+// "little XSLT program" layer of the paper's pipeline. Select and test
+// expressions are evaluated by the same XPath engine package xq exposes.
+//
+//	sheet, err := xsl.Compile(stylesheetXML)
+//	out, err := sheet.Transform(sourceDoc)
+package xsl
+
+import (
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xslt"
+)
+
+// Stylesheet is a compiled stylesheet, reusable across documents.
+type Stylesheet = xslt.Stylesheet
+
+// Node is an XML tree node (shared with package xq).
+type Node = xmltree.Node
+
+// Compile compiles a stylesheet from source text.
+func Compile(src string) (*Stylesheet, error) { return xslt.CompileString(src) }
+
+// CompileDoc compiles an already-parsed stylesheet document.
+func CompileDoc(doc *Node) (*Stylesheet, error) { return xslt.Compile(doc) }
+
+// ParseXML parses an XML document (alias of xq.ParseXML).
+func ParseXML(src string) (*Node, error) { return xmltree.Parse(src) }
+
+// Serialize renders a node compactly.
+func Serialize(n *Node) string { return n.String() }

@@ -1,0 +1,60 @@
+package xsl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lopsided/xsl"
+)
+
+func TestFacade(t *testing.T) {
+	sheet, err := xsl.Compile(`<xsl:stylesheet version="1.0">
+	  <xsl:template match="/">
+	    <out><xsl:value-of select="count(//item)"/></xsl:value-of-count></out>
+	  </xsl:template>
+	</xsl:stylesheet>`)
+	if err == nil {
+		_ = sheet
+		t.Fatal("malformed stylesheet should not compile")
+	}
+	sheet, err = xsl.Compile(`<xsl:stylesheet version="1.0">
+	  <xsl:template match="/">
+	    <out n="{count(//item)}"/>
+	  </xsl:template>
+	</xsl:stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xsl.ParseXML(`<list><item/><item/><item/></list>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xsl.Serialize(out); got != `<out n="3"/>` {
+		t.Fatalf("got %s", got)
+	}
+	// Stylesheets are reusable.
+	doc2, _ := xsl.ParseXML(`<list><item/></list>`)
+	out2, err := sheet.Transform(doc2)
+	if err != nil || xsl.Serialize(out2) != `<out n="1"/>` {
+		t.Fatal("reuse")
+	}
+}
+
+func ExampleCompile() {
+	sheet, _ := xsl.Compile(`<xsl:stylesheet version="1.0">
+	  <xsl:template match="book">
+	    <li><xsl:value-of select="string(title)"/></li>
+	  </xsl:template>
+	  <xsl:template match="/">
+	    <ul><xsl:apply-templates select="//book"/></ul>
+	  </xsl:template>
+	</xsl:stylesheet>`)
+	doc, _ := xsl.ParseXML(`<bib><book><title>Little Languages</title></book></bib>`)
+	out, _ := sheet.Transform(doc)
+	fmt.Println(xsl.Serialize(out))
+	// Output: <ul><li>Little Languages</li></ul>
+}
