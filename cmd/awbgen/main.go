@@ -3,6 +3,14 @@
 //
 //	awbgen -demo -engine=xquery -indent
 //	awbgen -model model.xml -template report.xml -engine=native -o out.html
+//	awbgen -demo -degrade -fault-rate 0.3
+//
+// -degrade switches the native generator into Accumulate mode: recoverable
+// trouble (missing properties, bad selectors, injected faults) is marked
+// inline with <span class="problem"> and listed on stderr instead of
+// aborting the run. The XQuery generator cannot degrade — asking it to is
+// an error, the paper's C1 lesson in exit-code form. -fault-rate injects
+// deterministic property faults for exercising the degraded path.
 package main
 
 import (
@@ -11,9 +19,11 @@ import (
 	"os"
 
 	"lopsided/internal/awb"
+	"lopsided/internal/cliutil"
 	"lopsided/internal/docgen"
 	"lopsided/internal/docgen/native"
 	"lopsided/internal/docgen/xqgen"
+	"lopsided/internal/faultinject"
 	"lopsided/internal/workload"
 	"lopsided/internal/xmltree"
 )
@@ -25,6 +35,9 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	indent := flag.Bool("indent", false, "pretty-print the output")
 	demo := flag.Bool("demo", false, "use the built-in demo model and template")
+	degrade := flag.Bool("degrade", false, "accumulate recoverable trouble as inline problem markers instead of aborting")
+	faultRate := flag.Float64("fault-rate", 0, "inject property-read faults with this probability (native engine)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	flag.Parse()
 
 	var (
@@ -59,14 +72,27 @@ func main() {
 	var gen docgen.Generator
 	switch *engine {
 	case "native":
-		gen = native.New()
+		if *faultRate > 0 {
+			inj := faultinject.New(*faultSeed, *faultRate)
+			gen = native.NewWith(native.Options{
+				PropFault: func(nodeID, prop string) error {
+					return inj.Hit(fmt.Sprintf("property %q of node %s", prop, nodeID))
+				},
+			})
+		} else {
+			gen = native.New()
+		}
 	case "xquery":
 		gen = xqgen.New()
 	default:
 		fatal(fmt.Errorf("unknown engine %q (native|xquery)", *engine))
 	}
 
-	res, err := gen.Generate(model, tpl)
+	mode := docgen.FailFast
+	if *degrade {
+		mode = docgen.Accumulate
+	}
+	res, err := gen.GenerateMode(model, tpl, mode)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,6 +111,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "awbgen:", err)
-	os.Exit(1)
+	os.Exit(cliutil.Report(os.Stderr, "awbgen", err))
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"lopsided/internal/awb"
+	"lopsided/internal/cliutil"
 	"lopsided/internal/workload"
 )
 
@@ -73,6 +74,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "awblint:", err)
-	os.Exit(1)
+	os.Exit(cliutil.Report(os.Stderr, "awblint", err))
 }

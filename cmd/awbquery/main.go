@@ -3,6 +3,10 @@
 //
 //	awbquery -demo -e '<query><start type="User"/><sort by="label"/></query>'
 //	awbquery -model m.xml -query q.xml -engine=xquery -print-xquery
+//	awbquery -demo -engine=xquery -timeout 5s -max-steps 5000000 -query q.xml
+//
+// Errors print with their code and position; exit codes follow the
+// cliutil taxonomy (2 usage, 3 static, 4 dynamic, 5 resource limit).
 package main
 
 import (
@@ -12,7 +16,9 @@ import (
 
 	"lopsided/internal/awb"
 	"lopsided/internal/awb/calculus"
+	"lopsided/internal/cliutil"
 	"lopsided/internal/workload"
+	"lopsided/xq"
 )
 
 func main() {
@@ -22,6 +28,8 @@ func main() {
 	engine := flag.String("engine", "native", "evaluator: native | xquery")
 	printXQ := flag.Bool("print-xquery", false, "print the compiled XQuery source and exit")
 	demo := flag.Bool("demo", false, "use the built-in demo model")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the xquery engine (0 = none)")
+	maxSteps := flag.Int64("max-steps", 0, "step budget for the xquery engine (0 = unlimited)")
 	flag.Parse()
 
 	var model *awb.Model
@@ -72,7 +80,8 @@ func main() {
 		}
 		return
 	case "xquery":
-		if ids, err = q.EvalXQuery(model); err != nil {
+		lim := xq.WithLimits(xq.Limits{Timeout: *timeout, MaxSteps: *maxSteps})
+		if ids, err = q.EvalXQueryWith(model, lim); err != nil {
 			fatal(err)
 		}
 	default:
@@ -89,6 +98,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "awbquery:", err)
-	os.Exit(1)
+	os.Exit(cliutil.Report(os.Stderr, "awbquery", err))
 }

@@ -29,12 +29,22 @@ func main() {
 	} else {
 		ids = experiments.IDs()
 	}
+	// One failed experiment must not kill the sweep: report it, keep
+	// going, and fold the failures into the final exit code.
+	var failed []string
 	for _, id := range ids {
-		rep, err := experiments.Run(strings.TrimSpace(id))
+		id = strings.TrimSpace(id)
+		rep, err := experiments.Run(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			failed = append(failed, id)
+			fmt.Fprintf(os.Stderr, "lopsided-bench: FAILED %v\n", err)
+			continue
 		}
 		fmt.Println(rep.String())
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "lopsided-bench: %d of %d experiments failed: %s\n",
+			len(failed), len(ids), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }

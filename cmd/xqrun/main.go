@@ -3,6 +3,11 @@
 //	xqrun -e 'for $i in 1 to 3 return $i * $i'
 //	xqrun -ctx data.xml query.xq
 //	xqrun -O 2 -galax-trace -e 'let $d := trace("gone", 1) return 2'
+//	xqrun -timeout 2s -max-steps 1000000 -e 'some untrusted query'
+//
+// Errors print as "xqrun: [CODE] line:col: message"; the exit code
+// distinguishes usage (2), static (3), dynamic (4) and resource-limit (5)
+// failures — see package cliutil.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"lopsided/internal/cliutil"
 	"lopsided/xq"
 )
 
@@ -32,6 +38,10 @@ func main() {
 	ctxFile := flag.String("ctx", "", "XML file to use as the context item")
 	optLevel := flag.Int("O", 2, "optimizer level (0-2)")
 	galaxTrace := flag.Bool("galax-trace", false, "treat fn:trace as pure, reproducing the dead-code bug")
+	timeout := flag.Duration("timeout", 0, "wall-clock evaluation budget (0 = none)")
+	maxSteps := flag.Int64("max-steps", 0, "evaluation step budget (0 = unlimited)")
+	maxNodes := flag.Int64("max-nodes", 0, "constructed-node budget (0 = unlimited)")
+	maxOutput := flag.Int64("max-output-bytes", 0, "constructed-output byte budget (0 = unlimited)")
 	vars := varFlags{}
 	flag.Var(vars, "var", "bind an external variable: -var name=value (repeatable)")
 	flag.Parse()
@@ -50,6 +60,12 @@ func main() {
 	}
 
 	opts := []xq.Option{
+		xq.WithLimits(xq.Limits{
+			Timeout:        *timeout,
+			MaxSteps:       *maxSteps,
+			MaxNodes:       *maxNodes,
+			MaxOutputBytes: *maxOutput,
+		}),
 		xq.WithOptLevel(xq.OptLevel(*optLevel)),
 		xq.WithTraceEffectful(!*galaxTrace),
 		xq.WithTracer(func(values []string) {
@@ -88,7 +104,8 @@ func main() {
 	fmt.Println(out)
 }
 
+// fatal prints the structured error surface (code, position, message) and
+// exits with the cliutil taxonomy: 3 static, 4 dynamic, 5 limit, 1 other.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xqrun:", err)
-	os.Exit(1)
+	os.Exit(cliutil.Report(os.Stderr, "xqrun", err))
 }

@@ -121,11 +121,18 @@ type Compiled struct {
 // meaningful inside a document template, where the xqgen program interprets
 // them directly; they cannot be compiled standalone.
 func (q *Query) Compile() (*Compiled, error) {
+	return q.CompileWith()
+}
+
+// CompileWith compiles the query to XQuery with engine options — the seam
+// through which callers sandbox the interpreted path (xq.WithLimits,
+// xq.WithTimeout).
+func (q *Query) CompileWith(opts ...xq.Option) (*Compiled, error) {
 	if q.StartFocus {
 		return nil, fmt.Errorf("calculus: focus-rooted query cannot be compiled standalone")
 	}
 	src := q.CompileXQuery()
-	compiled, err := xq.Compile(src)
+	compiled, err := xq.Compile(src, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("calculus: compiled XQuery does not parse: %w\n%s", err, src)
 	}
@@ -151,7 +158,13 @@ func (c *Compiled) Run(modelDoc *xmltree.Node) ([]string, error) {
 // paper's team judged too slow to serve the always-visible Omissions
 // window; benchmarks quantify it.
 func (q *Query) EvalXQuery(m *awb.Model) ([]string, error) {
-	compiled, err := q.Compile()
+	return q.EvalXQueryWith(m)
+}
+
+// EvalXQueryWith is EvalXQuery with engine options (typically sandbox
+// limits) applied to the interpreted evaluation.
+func (q *Query) EvalXQueryWith(m *awb.Model, opts ...xq.Option) ([]string, error) {
+	compiled, err := q.CompileWith(opts...)
 	if err != nil {
 		return nil, err
 	}

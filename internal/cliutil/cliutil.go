@@ -1,0 +1,119 @@
+// Package cliutil gives every command-line tool in the repo one shared
+// error surface: a structured one-line rendering (error code + source
+// position + message) and an exit-code classification that lets scripts
+// tell a malformed query from a failing one from one that hit the sandbox.
+//
+// Exit codes:
+//
+//	0  success
+//	1  internal or unclassified failure (I/O, contained panic, plain errors)
+//	2  usage error (bad flags/arguments)
+//	3  static error: the program did not compile (lex/parse/XPST*/XQST*)
+//	4  dynamic error: the program failed while running (XPDY*/FO*/XQDY*,
+//	   fn:error, malformed input documents)
+//	5  resource-limit error: the sandbox stopped the program (LOPS0001–0005)
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/interp"
+	"lopsided/internal/xquery/lexer"
+)
+
+// Exit codes shared by all CLIs.
+const (
+	ExitOK       = 0
+	ExitInternal = 1
+	ExitUsage    = 2
+	ExitStatic   = 3
+	ExitDynamic  = 4
+	ExitLimit    = 5
+)
+
+// Code extracts the error code carried by err, or "" if it is uncoded.
+// Lex/parse errors carry no code and report as XPST0003 (the spec's
+// generic syntax-error code).
+func Code(err error) string {
+	switch e := err.(type) {
+	case *interp.Error:
+		return e.Code
+	case *xdm.Error:
+		return e.Code
+	case *lexer.Error:
+		return "XPST0003"
+	case *xmltree.ParseError:
+		return ""
+	}
+	return ""
+}
+
+// Classify maps err to the exit code documented in the package comment.
+func Classify(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	switch err.(type) {
+	case *lexer.Error:
+		return ExitStatic
+	case *xmltree.ParseError:
+		return ExitDynamic
+	}
+	code := Code(err)
+	switch {
+	case code == "":
+		return ExitInternal
+	case code == interp.CodePanic:
+		return ExitInternal
+	case interp.IsLimitCode(code):
+		return ExitLimit
+	case strings.HasPrefix(code, "XPST") || strings.HasPrefix(code, "XQST"):
+		return ExitStatic
+	default:
+		return ExitDynamic
+	}
+}
+
+// Format renders err as the structured one-line diagnostic every CLI
+// prints: "tool: [CODE] line:col: message". Position and code are omitted
+// when the error does not carry them.
+func Format(tool string, err error) string {
+	if err == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(tool)
+	b.WriteString(": ")
+	switch e := err.(type) {
+	case *interp.Error:
+		fmt.Fprintf(&b, "[%s] ", e.Code)
+		if e.Pos.Line > 0 {
+			fmt.Fprintf(&b, "%d:%d: ", e.Pos.Line, e.Pos.Col)
+		}
+		b.WriteString(e.Msg)
+	case *xdm.Error:
+		fmt.Fprintf(&b, "[%s] ", e.Code)
+		b.WriteString(e.Msg)
+	case *lexer.Error:
+		fmt.Fprintf(&b, "[XPST0003] %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+	case *xmltree.ParseError:
+		fmt.Fprintf(&b, "xml %d:%d: %s", e.Line, e.Col, e.Msg)
+	default:
+		b.WriteString(err.Error())
+	}
+	return b.String()
+}
+
+// Report prints the structured diagnostic for err to w and returns the exit
+// code the process should finish with.
+func Report(w io.Writer, tool string, err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	fmt.Fprintln(w, Format(tool, err))
+	return Classify(err)
+}

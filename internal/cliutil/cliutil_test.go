@@ -1,0 +1,107 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lopsided/internal/xdm"
+	"lopsided/internal/xmltree"
+	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/interp"
+	"lopsided/internal/xquery/lexer"
+)
+
+// sample is the representative error taxonomy the golden file freezes:
+// each line is "exit-code<TAB>formatted message".
+var samples = []error{
+	nil,
+	&lexer.Error{Pos: ast.Pos{Line: 2, Col: 7}, Msg: "unterminated string literal"},
+	&interp.Error{Code: "XPST0008", Pos: ast.Pos{Line: 1, Col: 5}, Msg: "unknown variable $x"},
+	&interp.Error{Code: "XQST0034", Pos: ast.Pos{Line: 4, Col: 1}, Msg: "duplicate function declaration"},
+	&interp.Error{Code: "XPDY0002", Pos: ast.Pos{Line: 1, Col: 1}, Msg: "no context item"},
+	&interp.Error{Code: "FOAR0001", Pos: ast.Pos{Line: 3, Col: 9}, Msg: "division by zero"},
+	&xdm.Error{Code: "FORG0005", Msg: "exactly-one called with a sequence of 2 items"},
+	&interp.Error{Code: interp.CodeTimeout, Pos: ast.Pos{Line: 1, Col: 1}, Msg: "evaluation wall-clock budget exhausted after 191424 steps"},
+	&interp.Error{Code: interp.CodeSteps, Pos: ast.Pos{Line: 2, Col: 3}, Msg: "evaluation step budget (10000) exhausted"},
+	&xdm.Error{Code: interp.CodeNodes, Msg: "constructed-node budget (1000) exhausted"},
+	&interp.Error{Code: interp.CodePanic, Msg: "internal panic contained at Eval boundary: slice bounds out of range"},
+	&xmltree.ParseError{Line: 12, Col: 3, Msg: "end tag </b> does not match <a>"},
+	errors.New("open missing.xml: no such file or directory"),
+}
+
+func renderSamples() string {
+	var b strings.Builder
+	for _, err := range samples {
+		fmt.Fprintf(&b, "%d\t%s\n", Classify(err), Format("xqrun", err))
+	}
+	return b.String()
+}
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestErrorSurfaceGolden(t *testing.T) {
+	got := renderSamples()
+	golden := filepath.Join("testdata", "errors.golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("error surface changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{&lexer.Error{Msg: "x"}, ExitStatic},
+		{&interp.Error{Code: "XPST0008"}, ExitStatic},
+		{&interp.Error{Code: "XQST0034"}, ExitStatic},
+		{&interp.Error{Code: "XPDY0002"}, ExitDynamic},
+		{&interp.Error{Code: "FOER0000"}, ExitDynamic},
+		{&xdm.Error{Code: "XQDY0025"}, ExitDynamic},
+		{&interp.Error{Code: interp.CodeTimeout}, ExitLimit},
+		{&interp.Error{Code: interp.CodeSteps}, ExitLimit},
+		{&interp.Error{Code: interp.CodeDepth}, ExitLimit},
+		{&xdm.Error{Code: interp.CodeNodes}, ExitLimit},
+		{&xdm.Error{Code: interp.CodeOutput}, ExitLimit},
+		{&interp.Error{Code: interp.CodePanic}, ExitInternal},
+		{&xmltree.ParseError{Msg: "x"}, ExitDynamic},
+		{errors.New("io"), ExitInternal},
+	}
+	for _, tt := range cases {
+		if got := Classify(tt.err); got != tt.want {
+			t.Errorf("Classify(%v) = %d, want %d", tt.err, got, tt.want)
+		}
+	}
+}
+
+func TestReportWritesAndClassifies(t *testing.T) {
+	var b strings.Builder
+	code := Report(&b, "awbquery", &interp.Error{Code: "FOAR0001", Pos: ast.Pos{Line: 3, Col: 9}, Msg: "division by zero"})
+	if code != ExitDynamic {
+		t.Fatalf("exit = %d, want %d", code, ExitDynamic)
+	}
+	want := "awbquery: [FOAR0001] 3:9: division by zero\n"
+	if b.String() != want {
+		t.Fatalf("wrote %q, want %q", b.String(), want)
+	}
+	if got := Report(&b, "awbquery", nil); got != ExitOK {
+		t.Fatalf("nil error should be ExitOK, got %d", got)
+	}
+}

@@ -31,6 +31,8 @@
 package docgen
 
 import (
+	"errors"
+
 	"lopsided/internal/awb"
 	"lopsided/internal/xmltree"
 )
@@ -43,15 +45,47 @@ type Result struct {
 	Problems []string      // non-fatal generation notes, in document order
 }
 
+// Mode selects how a generator treats recoverable generation trouble.
+type Mode int
+
+// Generation modes.
+const (
+	// FailFast aborts on the first fatal trouble — the historical contract
+	// of both generators.
+	FailFast Mode = iota
+	// Accumulate degrades gracefully: recoverable trouble is recorded in
+	// Result.Problems and marked in the output document with a
+	// <span class="problem"> element, and generation continues. Not every
+	// implementation can offer this (the paper's C1 lesson: the XQuery
+	// generator had no way to keep going past an exception).
+	Accumulate
+)
+
+// String names the mode for diagnostics.
+func (m Mode) String() string {
+	if m == Accumulate {
+		return "accumulate"
+	}
+	return "fail-fast"
+}
+
 // Generator is a document generator over an AWB model.
 type Generator interface {
 	// Generate renders the template (a document whose root is <template>)
 	// against the model. Fatal generation trouble returns an error; soft
-	// trouble lands in Result.Problems.
+	// trouble lands in Result.Problems. Equivalent to GenerateMode with
+	// FailFast.
 	Generate(model *awb.Model, template *xmltree.Node) (*Result, error)
+	// GenerateMode renders under the given degradation mode. An
+	// implementation that cannot honor the mode returns ErrModeUnsupported.
+	GenerateMode(model *awb.Model, template *xmltree.Node, mode Mode) (*Result, error)
 	// Name identifies the implementation ("native" or "xquery").
 	Name() string
 }
+
+// ErrModeUnsupported is returned by GenerateMode when an implementation
+// cannot honor the requested degradation mode.
+var ErrModeUnsupported = errors.New("docgen: generation mode not supported by this implementation")
 
 // DocString serializes a result document compactly — the byte-comparison
 // form used by the engine-parity tests and benchmarks.
@@ -86,6 +120,9 @@ const (
 	TocClass       = "toc"
 	OmissionsClass = "omissions"
 	MatrixClass    = "matrix"
+	// ProblemClass marks the inline <span> a degraded (Accumulate-mode)
+	// generation leaves where content could not be produced.
+	ProblemClass = "problem"
 )
 
 // ProblemMissingProperty formats the shared problem message for a missing

@@ -1,0 +1,154 @@
+package native
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lopsided/internal/docgen"
+	"lopsided/internal/docgen/xqgen"
+	"lopsided/internal/faultinject"
+	"lopsided/internal/workload"
+	"lopsided/internal/xmltree"
+)
+
+// countProblemSpans walks the generated document counting the inline
+// degradation markers.
+func countProblemSpans(n *xmltree.Node) int {
+	count := 0
+	if n.Kind == xmltree.ElementNode && n.Name == "span" {
+		if cls, ok := n.Attr("class"); ok && cls == docgen.ProblemClass {
+			count++
+		}
+	}
+	for _, c := range n.Children {
+		count += countProblemSpans(c)
+	}
+	return count
+}
+
+func degradeFixture(t *testing.T, seed int64, rate float64) (*Generator, *faultinject.Injector) {
+	t.Helper()
+	inj := faultinject.New(seed, rate)
+	gen := NewWith(Options{
+		PropFault: func(nodeID, prop string) error {
+			return inj.Hit(fmt.Sprintf("property %q of node %s", prop, nodeID))
+		},
+	})
+	return gen, inj
+}
+
+func TestAccumulateModeSurvivesInjectedFaults(t *testing.T) {
+	model := workload.BuildITModel(workload.Config{Seed: 5})
+	template := workload.DegradeTemplate(4)
+
+	// Fail-fast over the same faults: the first injected failure kills the
+	// whole run — the behavior the accumulation mode exists to fix.
+	ffGen, ffInj := degradeFixture(t, 99, 0.4)
+	_, err := ffGen.GenerateMode(model, template, docgen.FailFast)
+	if ffInj.FailureCount() > 0 && err == nil {
+		t.Fatal("fail-fast run should abort on the first injected fault")
+	}
+	if _, ok := err.(*faultinject.FaultError); err != nil && !ok {
+		t.Fatalf("fail-fast should surface the injected fault, got %T: %v", err, err)
+	}
+
+	// Accumulate over an identically-seeded injector: the run completes and
+	// every injected failure is visible both as a problem entry and as an
+	// inline marker in the document.
+	accGen, accInj := degradeFixture(t, 99, 0.4)
+	res, err := accGen.GenerateMode(model, template, docgen.Accumulate)
+	if err != nil {
+		t.Fatalf("accumulate mode aborted: %v", err)
+	}
+	injected := accInj.FailureCount()
+	if injected == 0 {
+		t.Fatal("fixture injected nothing; raise the rate or change the seed")
+	}
+	spans := countProblemSpans(res.Document)
+	if spans != injected {
+		t.Fatalf("document has %d problem markers for %d injected faults", spans, injected)
+	}
+	faultProblems := 0
+	for _, p := range res.Problems {
+		if strings.Contains(p, "injected") {
+			faultProblems++
+		}
+	}
+	if faultProblems != injected {
+		t.Fatalf("problems list records %d injected faults, want %d (all problems: %v)",
+			faultProblems, injected, res.Problems)
+	}
+	// The document is complete: the trailing content after the fault sites
+	// still rendered.
+	if res.Document.DocumentElement() == nil {
+		t.Fatal("no document element")
+	}
+	doc := res.DocString()
+	if !strings.Contains(doc, "Round 4") {
+		t.Fatalf("later sections missing from degraded document:\n%s", doc)
+	}
+}
+
+func TestAccumulateModeDegradesTemplateTrouble(t *testing.T) {
+	// Recoverable template mistakes (a bad selector) degrade to markers
+	// too, not only injected faults.
+	model := workload.BuildITModel(workload.Config{Seed: 5})
+	template := workload.ParseTemplate(
+		`<template><body><for nodes="bogus.selector"><label/></for><p>after</p></body></template>`)
+	gen := New()
+	if _, err := gen.Generate(model, template); err == nil {
+		t.Fatal("fail-fast should reject the bad selector")
+	}
+	res, err := gen.GenerateMode(model, template, docgen.Accumulate)
+	if err != nil {
+		t.Fatalf("accumulate mode aborted: %v", err)
+	}
+	if got := countProblemSpans(res.Document); got != 1 {
+		t.Fatalf("expected 1 problem marker, got %d", got)
+	}
+	if len(res.Problems) != 1 || !strings.Contains(res.Problems[0], "bad selector") {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if !strings.Contains(res.DocString(), "<p>after</p>") {
+		t.Fatal("content after the failed directive should still render")
+	}
+}
+
+func TestAccumulateMatchesFailFastOnCleanRuns(t *testing.T) {
+	// With no faults the two modes are byte-identical — degradation support
+	// must not perturb healthy output.
+	model := workload.BuildITModel(workload.Config{Seed: 5})
+	template := workload.ParseTemplate(workload.SystemContextTemplate)
+	gen := New()
+	ff, err := gen.GenerateMode(model, template, docgen.FailFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := gen.GenerateMode(model, template, docgen.Accumulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.DocString() != acc.DocString() {
+		t.Fatal("accumulate mode changed clean-run output")
+	}
+	if strings.Join(ff.Problems, "\n") != strings.Join(acc.Problems, "\n") {
+		t.Fatalf("problem lists differ: %v vs %v", ff.Problems, acc.Problems)
+	}
+}
+
+func TestXQueryGeneratorRefusesAccumulate(t *testing.T) {
+	// The C1 asymmetry, as an executable fact: only the imperative rewrite
+	// can degrade; the XQuery generator must refuse rather than pretend.
+	model := workload.BuildITModel(workload.Config{Seed: 5})
+	template := workload.ParseTemplate(workload.QuickTemplate)
+	xg := xqgen.New()
+	if _, err := xg.GenerateMode(model, template, docgen.Accumulate); !errors.Is(err, docgen.ErrModeUnsupported) {
+		t.Fatalf("xquery generator should return ErrModeUnsupported, got %v", err)
+	}
+	// FailFast through GenerateMode still works.
+	if _, err := xg.GenerateMode(model, template, docgen.FailFast); err != nil {
+		t.Fatalf("xquery fail-fast via GenerateMode: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"lopsided/internal/awb"
 	"lopsided/internal/awb/calculus"
 	"lopsided/internal/docgen"
+	"lopsided/internal/faultinject"
 	"lopsided/internal/xmltree"
 )
 
@@ -45,17 +46,38 @@ func (e *GenTrouble) Error() string {
 	return b.String()
 }
 
+// Options configures a native generator beyond its zero-value defaults.
+type Options struct {
+	// PropFault, when set, runs before every property read and may return
+	// an error to simulate a failing model store (see package faultinject).
+	// In FailFast mode the error aborts generation; in Accumulate mode it
+	// degrades to a problem entry and an inline problem marker.
+	PropFault func(nodeID, prop string) error
+}
+
 // Generator is the native document generator. The zero value is usable.
-type Generator struct{}
+type Generator struct {
+	opts Options
+}
 
 // New returns a native generator.
 func New() *Generator { return &Generator{} }
+
+// NewWith returns a native generator with the given options.
+func NewWith(opts Options) *Generator { return &Generator{opts: opts} }
 
 // Name implements docgen.Generator.
 func (*Generator) Name() string { return "native" }
 
 // Generate implements docgen.Generator.
-func (*Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Result, error) {
+func (g *Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Result, error) {
+	return g.GenerateMode(model, template, docgen.FailFast)
+}
+
+// GenerateMode implements docgen.Generator. The native generator supports
+// both modes: an imperative walk can simply note trouble and keep going —
+// the degraded path the paper's team could not build in XQuery.
+func (g *Generator) GenerateMode(model *awb.Model, template *xmltree.Node, mode docgen.Mode) (*docgen.Result, error) {
 	root := template
 	if root.Kind == xmltree.DocumentNode {
 		root = root.DocumentElement()
@@ -65,6 +87,8 @@ func (*Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Re
 	}
 	r := &run{
 		model:        model,
+		mode:         mode,
+		propFault:    g.opts.PropFault,
 		visited:      map[string]bool{},
 		replacements: map[string][]*xmltree.Node{},
 	}
@@ -88,10 +112,49 @@ func (*Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Re
 // not have: a visited set, a problems list, and marker replacements.
 type run struct {
 	model        *awb.Model
+	mode         docgen.Mode
+	propFault    func(nodeID, prop string) error
 	visited      map[string]bool
 	problems     []string
 	replacements map[string][]*xmltree.Node
 	markerOrder  []string
+}
+
+// degrade handles recoverable trouble according to the run's mode. In
+// Accumulate mode it records the problem and returns an inline marker node
+// with a nil error; in FailFast mode it returns the error unchanged.
+func (r *run) degrade(err error) ([]*xmltree.Node, error) {
+	if r.mode != docgen.Accumulate {
+		return nil, err
+	}
+	r.problems = append(r.problems, err.Error())
+	span := xmltree.NewElement("span")
+	span.SetAttr("class", docgen.ProblemClass)
+	span.AppendChild(xmltree.NewText(err.Error()))
+	return []*xmltree.Node{span}, nil
+}
+
+// genPart generates one template node, degrading recoverable trouble in
+// Accumulate mode so one bad directive costs a marker, not the document.
+func (r *run) genPart(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
+	part, err := r.gen(t, focus)
+	if err != nil && r.mode == docgen.Accumulate && recoverable(err) {
+		return r.degrade(err)
+	}
+	return part, err
+}
+
+// recoverable reports whether err is generation trouble a degraded run can
+// absorb: the generator's own GenTrouble and injected faults. Anything else
+// (a programming error, an engine failure) still aborts.
+func recoverable(err error) bool {
+	switch err.(type) {
+	case *GenTrouble:
+		return true
+	case *faultinject.FaultError:
+		return true
+	}
+	return false
 }
 
 func trouble(t *xmltree.Node, focus *awb.Node, format string, args ...interface{}) error {
@@ -140,7 +203,7 @@ func optionalChild(t *xmltree.Node, name string) *xmltree.Node {
 func (r *run) genChildren(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
 	var out []*xmltree.Node
 	for _, c := range t.Children {
-		part, err := r.gen(c, focus)
+		part, err := r.genPart(c, focus)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +288,7 @@ func (r *run) genFor(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) 
 			if c.Kind == xmltree.ElementNode && c.Name == docgen.DirQuery {
 				continue // the query element is the iteration source
 			}
-			part, err := r.gen(c, n)
+			part, err := r.genPart(c, n)
 			if err != nil {
 				return nil, err
 			}
@@ -399,6 +462,11 @@ func (r *run) genProperty(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, er
 	if focus == nil {
 		return nil, trouble(t, focus, "<property> with no focus")
 	}
+	if r.propFault != nil {
+		if err := r.propFault(focus.ID, name); err != nil {
+			return nil, err
+		}
+	}
 	v, has := r.propText(focus, name)
 	if !has {
 		if t.AttrOr("required", "") == "true" {
@@ -449,6 +517,11 @@ func (r *run) genPropertyHTML(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node
 	if focus == nil {
 		return nil, trouble(t, focus, "<property-html> with no focus")
 	}
+	if r.propFault != nil {
+		if err := r.propFault(focus.ID, name); err != nil {
+			return nil, err
+		}
+	}
 	v, has := focus.Prop(name)
 	if !has {
 		r.problems = append(r.problems, docgen.ProblemMissingProperty(focus.ID, name))
@@ -485,7 +558,7 @@ func (r *run) genSection(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, err
 			div.AppendChild(h2)
 			continue
 		}
-		part, err := r.gen(c, focus)
+		part, err := r.genPart(c, focus)
 		if err != nil {
 			return nil, err
 		}

@@ -88,6 +88,18 @@ func (g *Generator) compile() error {
 	return g.err
 }
 
+// GenerateMode implements docgen.Generator. Only FailFast is supported:
+// the XQuery phases are pure functions whose only failure channel is the
+// exception that aborts the whole evaluation — the paper's C1 asymmetry.
+// There is no seam where a degraded run could note a problem and continue,
+// so Accumulate returns docgen.ErrModeUnsupported.
+func (g *Generator) GenerateMode(model *awb.Model, template *xmltree.Node, mode docgen.Mode) (*docgen.Result, error) {
+	if mode != docgen.FailFast {
+		return nil, fmt.Errorf("%w: the xquery generator cannot run in %s mode", docgen.ErrModeUnsupported, mode)
+	}
+	return g.Generate(model, template)
+}
+
 // Generate implements docgen.Generator.
 func (g *Generator) Generate(model *awb.Model, template *xmltree.Node) (*docgen.Result, error) {
 	if err := g.compile(); err != nil {

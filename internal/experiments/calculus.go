@@ -34,7 +34,7 @@ const reachQueryXML = `
   <sort by="label"/>
 </query>`
 
-func runE6() Report {
+func runE6() (Report, error) {
 	sizes := []struct {
 		name string
 		cfg  workload.Config
@@ -55,22 +55,22 @@ func runE6() Report {
 		for qname, qsrc := range queries {
 			q, err := calculus.ParseXML(qsrc)
 			if err != nil {
-				panic(err)
+				return Report{}, fmt.Errorf("%s query does not parse: %w", qname, err)
 			}
 			nativeOut, err := q.EvalNative(model)
 			if err != nil {
-				panic(err)
+				return Report{}, fmt.Errorf("%s/%s native evaluation: %w", s.name, qname, err)
 			}
 			compiled, err := q.Compile()
 			if err != nil {
-				panic(err)
+				return Report{}, fmt.Errorf("%s query does not compile to XQuery: %w", qname, err)
 			}
 			xqOut, err := compiled.Run(doc)
 			if err != nil {
-				panic(err)
+				return Report{}, fmt.Errorf("%s/%s compiled run: %w", s.name, qname, err)
 			}
 			if !reflect.DeepEqual(calculus.IDs(nativeOut), xqOut) && !(len(nativeOut) == 0 && len(xqOut) == 0) {
-				panic(fmt.Sprintf("E6 disagreement on %s/%s", s.name, qname))
+				return Report{}, fmt.Errorf("native/XQuery disagreement on %s/%s", s.name, qname)
 			}
 			runs := 7
 			if stats.Nodes > 100 {
@@ -100,14 +100,16 @@ func runE6() Report {
 			[]string{"model", "query", "hits", "native", "xq warm", "xq cold", "warm/native", "cold/native"},
 			rows),
 		Verdict: "the XQuery path is orders of magnitude slower than the in-memory evaluator, and the realistic cold path (export + compile + evaluate) is worse still — unusable for an always-visible Omissions window",
-	}
+	}, nil
 }
 
 // CompiledSourcePreview returns the generated XQuery for documentation.
+// The source query is a package constant, so a parse failure is a bug in
+// this package; it is reported in the preview text rather than panicking.
 func CompiledSourcePreview() string {
 	q, err := calculus.ParseXML(reachQueryXML)
 	if err != nil {
-		panic(err)
+		return "error: " + err.Error()
 	}
 	src := q.CompileXQuery()
 	lines := strings.Split(src, "\n")

@@ -22,16 +22,19 @@ type Report struct {
 	Verdict string // one-line comparison against the paper's claim
 }
 
-// runner produces a report.
+// runner produces a report. A runner that cannot complete returns an
+// error instead of a report; it must not panic — residual panics are
+// contained by Run so one broken experiment cannot take down the whole
+// lopsided-bench sweep.
 type runner struct {
 	id    string
 	title string
-	run   func() Report
+	run   func() (Report, error)
 }
 
 var registry []runner
 
-func register(id, title string, run func() Report) {
+func register(id, title string, run func() (Report, error)) {
 	registry = append(registry, runner{id: id, title: title, run: run})
 	// Keep a stable, human order (E1..E10, then F1) regardless of the
 	// per-file init order.
@@ -66,21 +69,47 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID. A failing experiment returns an
+// error; a panicking one is contained and reported as an error too, so
+// callers iterating over IDs can always continue to the next experiment.
 func Run(id string) (Report, error) {
 	for _, r := range registry {
 		if r.id == id {
-			return r.run(), nil
+			return safeRun(r)
 		}
 	}
 	return Report{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 }
 
-// RunAll executes every experiment in registration order.
-func RunAll() []Report {
-	out := make([]Report, 0, len(registry))
+// safeRun executes one runner with the panic net in place.
+func safeRun(r runner) (rep Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiments: %s (%s) panicked: %v", r.id, r.title, p)
+		}
+	}()
+	rep, err = r.run()
+	if err != nil {
+		err = fmt.Errorf("experiments: %s (%s): %w", r.id, r.title, err)
+	}
+	return rep, err
+}
+
+// Outcome is one experiment's result in a RunAll sweep: either a report
+// or the error that stopped it.
+type Outcome struct {
+	ID     string
+	Report Report
+	Err    error
+}
+
+// RunAll executes every experiment in registration order, continuing
+// past failures and recording each result.
+func RunAll() []Outcome {
+	out := make([]Outcome, 0, len(registry))
 	for _, r := range registry {
-		out = append(out, r.run())
+		rep, err := safeRun(r)
+		out = append(out, Outcome{ID: r.id, Report: rep, Err: err})
 	}
 	return out
 }

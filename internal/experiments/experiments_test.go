@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -97,6 +98,35 @@ func TestChainProgramsAgree(t *testing.T) {
 	}
 	if _, err := GoChainRun(chainDoc(2), 3); err == nil {
 		t.Fatal("missing child should error")
+	}
+}
+
+func TestHarnessContainsFailingExperiments(t *testing.T) {
+	// Test-only runners, registered at the end of the F-series so they
+	// never disturb the real experiment order.
+	register("F98", "always fails", func() (Report, error) {
+		return Report{}, errors.New("deliberate failure")
+	})
+	register("F99", "always panics", func() (Report, error) {
+		panic("deliberate panic")
+	})
+
+	if _, err := Run("F98"); err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("Run(F98) = %v, want the runner's error, annotated", err)
+	}
+	if _, err := Run("F99"); err == nil || !strings.Contains(err.Error(), "deliberate panic") {
+		t.Fatalf("Run(F99) = %v, want the contained panic as an error", err)
+	}
+
+	// A RunAll-style sweep over the broken runners still visits both and
+	// records each failure instead of dying on the first.
+	seen := map[string]error{}
+	for _, id := range []string{"F98", "F99"} {
+		_, err := Run(id)
+		seen[id] = err
+	}
+	if seen["F98"] == nil || seen["F99"] == nil {
+		t.Fatalf("sweep lost a failure: %v", seen)
 	}
 }
 

@@ -37,7 +37,7 @@ try {
 	return b.String()
 }
 
-func runE11() Report {
+func runE11() (Report, error) {
 	depths := []int{1, 2, 4, 8}
 	var rows [][]string
 	for _, k := range depths {
@@ -48,13 +48,19 @@ func runE11() Report {
 
 		doc := chainDoc(k)
 		vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(doc))}
-		qConv := xq.MustCompile(convSrc)
-		qTC := xq.MustCompile(tcSrc)
+		qConv, err := xq.Compile(convSrc)
+		if err != nil {
+			return Report{}, fmt.Errorf("conventional chain k=%d does not compile: %w", k, err)
+		}
+		qTC, err := xq.Compile(tcSrc)
+		if err != nil {
+			return Report{}, fmt.Errorf("try/catch chain k=%d does not compile: %w", k, err)
+		}
 		want := fmt.Sprintf("c%d", k)
 		for name, q := range map[string]*xq.Query{"conv": qConv, "trycatch": qTC} {
 			out, err := q.EvalWith(nil, vars)
 			if err != nil || xq.Serialize(out) != want {
-				panic(fmt.Sprintf("E11 %s: %v %v", name, out, err))
+				return Report{}, fmt.Errorf("%s chain k=%d returned %v (err %v), want %s", name, k, out, err, want)
 			}
 		}
 		convT := medianTime(7, func() { _, _ = qConv.EvalWith(nil, vars) })
@@ -68,7 +74,10 @@ func runE11() Report {
 		})
 	}
 	// The failure path still surfaces a proper message.
-	q := xq.MustCompile(TryCatchChainProgram(3))
+	q, err := xq.Compile(TryCatchChainProgram(3))
+	if err != nil {
+		return Report{}, fmt.Errorf("failure-path chain does not compile: %w", err)
+	}
 	vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(chainDoc(2)))}
 	out, err := q.EvalWith(nil, vars)
 	failMsg := ""
@@ -84,5 +93,5 @@ func runE11() Report {
 			rows) +
 			fmt.Sprintf("\nfailure message through the catch: %q\n", failMsg),
 		Verdict: "with exceptions, per-call ceremony drops from the paper's half-dozen lines to one mechanical let per call plus a single catch — the Java experience, recovered inside the little language; the paper's lesson quantified",
-	}
+	}, nil
 }

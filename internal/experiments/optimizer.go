@@ -25,23 +25,23 @@ let $x := trace("x=", 2 + 3)
 let $y := $x * 10
 return $y`
 
-func runTraceConfig(src string, lvl xq.OptLevel, effectful bool) (result string, traces int, eliminated int) {
+func runTraceConfig(src string, lvl xq.OptLevel, effectful bool) (result string, traces int, eliminated int, err error) {
 	count := 0
 	q, err := xq.Compile(src,
 		xq.WithOptLevel(lvl),
 		xq.WithTraceEffectful(effectful),
 		xq.WithTracer(func([]string) { count++ }))
 	if err != nil {
-		panic(err)
+		return "", 0, 0, fmt.Errorf("trace program does not compile: %w", err)
 	}
 	out, err := q.EvalStringWith(nil, nil)
 	if err != nil {
-		panic(err)
+		return "", 0, 0, fmt.Errorf("trace program failed: %w", err)
 	}
-	return out, count, q.Stats.EliminatedLets
+	return out, count, q.Stats.EliminatedLets, nil
 }
 
-func runE7() Report {
+func runE7() (Report, error) {
 	type cfg struct {
 		name      string
 		lvl       xq.OptLevel
@@ -54,12 +54,18 @@ func runE7() Report {
 	}
 	var rows [][]string
 	for _, c := range cfgs {
-		res, traces, elim := runTraceConfig(traceProgram, c.lvl, c.effectful)
+		res, traces, elim, err := runTraceConfig(traceProgram, c.lvl, c.effectful)
+		if err != nil {
+			return Report{}, fmt.Errorf("%s: %w", c.name, err)
+		}
 		rows = append(rows, []string{"let $dummy := trace(...)", c.name, res,
 			fmt.Sprintf("%d", traces), fmt.Sprintf("%d", elim)})
 	}
 	for _, c := range cfgs {
-		res, traces, elim := runTraceConfig(insinuatedProgram, c.lvl, c.effectful)
+		res, traces, elim, err := runTraceConfig(insinuatedProgram, c.lvl, c.effectful)
+		if err != nil {
+			return Report{}, fmt.Errorf("insinuated %s: %w", c.name, err)
+		}
 		rows = append(rows, []string{"insinuated trace", c.name, res,
 			fmt.Sprintf("%d", traces), fmt.Sprintf("%d", elim)})
 	}
@@ -71,7 +77,7 @@ func runE7() Report {
 			[]string{"program", "configuration", "result", "traces fired", "lets eliminated"},
 			rows),
 		Verdict: "with DCE on and trace treated as pure, the dummy-let trace silently vanishes (result unchanged, zero traces); insinuating the trace into live code defeats the pass; marking trace effectful — the eventual Galax fix — restores it",
-	}
+	}, nil
 }
 
 // ---- E8: set encodings ----
@@ -96,27 +102,32 @@ let $hits := for $i in 1 to $n where exists($set/e[@v = concat("k", $i)]) return
 return count($hits)`
 }
 
-func runE8() Report {
+func runE8() (Report, error) {
 	qSeq, err := xq.Compile(stringSetProgram())
 	if err != nil {
-		panic(err)
+		return Report{}, fmt.Errorf("sequence-set program does not compile: %w", err)
 	}
 	qXML, err := xq.Compile(xmlSetProgram())
 	if err != nil {
-		panic(err)
+		return Report{}, fmt.Errorf("xml-set program does not compile: %w", err)
 	}
 	sizes := []int{16, 64, 256}
 	var rows [][]string
 	for _, n := range sizes {
 		vars := map[string]xq.Sequence{"n": xq.Singleton(xq.Integer(n))}
-		check := func(q *xq.Query) {
+		check := func(q *xq.Query) error {
 			out, err := q.EvalStringWith(nil, vars)
 			if err != nil || out != fmt.Sprintf("%d", n) {
-				panic(fmt.Sprintf("E8: bad set result %q %v", out, err))
+				return fmt.Errorf("bad set result at n=%d: %q %v", n, out, err)
 			}
+			return nil
 		}
-		check(qSeq)
-		check(qXML)
+		if err := check(qSeq); err != nil {
+			return Report{}, err
+		}
+		if err := check(qXML); err != nil {
+			return Report{}, err
+		}
 		runs := 5
 		if n >= 256 {
 			runs = 3
@@ -136,5 +147,5 @@ func runE8() Report {
 		Text: textkit.Table([]string{"set size", "string-set (sequence)", "XML-encoded set", "xml/seq"}, rows) +
 			fmt.Sprintf("\nwhy encode at all: count(((1,2),(3,4))) = %s — the unencoded representation flattens\n", flat),
 		Verdict: "XML-encoded sets cost several times the sequence representation, as the paper estimated — and the flattening demo shows why only strings could avoid the encoding",
-	}
+	}, nil
 }

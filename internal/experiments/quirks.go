@@ -32,7 +32,7 @@ func evalStr(src string, opts ...xq.Option) string {
 
 // runE1 regenerates the paper's seven-row table: bind X, Y, Z, build
 // ($X,$Y,$Z), and try to get Y back with [2].
-func runE1() Report {
+func runE1() (Report, error) {
 	type row struct{ label, x, y, z, paperSays string }
 	rows := []row{
 		{"Y itself", `1`, `2`, `3`, "2"},
@@ -68,12 +68,12 @@ func runE1() Report {
 			[]string{"result", "X", "Y", "Z", "seq [2]", "elem /node()[2]", "paper", "match"},
 			out),
 		Verdict: fmt.Sprintf("%d/%d rows reproduce the paper exactly; the 'A part of Z' row yields \"3a\" under draft flattening — (1,\"3a\",\"3b\")[2] — an apparent erratum in the paper's \"3b\" (the row's point, Z leaking out instead of Y, holds either way)", len(rows)-mismatches, len(rows)),
-	}
+	}, nil
 }
 
 // runE2 regenerates the three attribute-folding behaviors of "Treatment of
 // Child Elements".
-func runE2() Report {
+func runE2() (Report, error) {
 	lead := `let $x := attribute troubles {1} return <el> {$x} </el>`
 	dup := `let $a := attribute a {1}
 	        let $b := attribute a {2}
@@ -95,11 +95,11 @@ func runE2() Report {
 		Paper:   `leading attribute nodes become attributes; duplicates keep one ("though Galax did not honor this"); an attribute after non-attribute content "will cause an error"`,
 		Text:    textkit.Table([]string{"case", "engine output", "paper"}, rows),
 		Verdict: "all three behaviors reproduce, including the Galax duplicate-attribute bug behind DupAttrGalaxBug",
-	}
+	}, nil
 }
 
 // runE9 checks the three justifications the paper gives for flattening.
-func runE9() Report {
+func runE9() (Report, error) {
 	rows := [][]string{
 		{"children come back flat",
 			evalStr(`let $d := <r><n><k>1</k><k>2</k></n><n><k>3</k></n></r>
@@ -127,5 +127,5 @@ func runE9() Report {
 		Paper:   "flattening matches the XML data model, spares de-nesting in nested FLWORs, and unifies searching with accumulating",
 		Text:    textkit.Table([]string{"claim", "engine", "expected"}, rows),
 		Verdict: fmt.Sprintf("%d/%d rationale examples behave as the paper describes", ok, len(rows)),
-	}
+	}, nil
 }

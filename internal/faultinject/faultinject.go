@@ -1,0 +1,225 @@
+// Package faultinject is a deterministic fault-injection harness for
+// exercising the engine's degraded paths: seeded flaky wrappers for
+// document resolution and model property access, plus retry-with-backoff
+// for the transient class. The paper's C1 lesson is that a little language
+// embedded in a real system spends much of its life on the failure path;
+// this package makes that path testable on demand instead of waiting for
+// production to supply the faults.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lopsided/internal/xmltree"
+)
+
+// FaultError is an injected failure. Transient faults model conditions a
+// retry could clear (slow storage, a lock); permanent ones model missing or
+// corrupt data.
+type FaultError struct {
+	Op        string // operation that failed, e.g. `doc("file.xml")`
+	Transient bool
+}
+
+// Error implements the error interface.
+func (e *FaultError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("injected %s fault: %s", kind, e.Op)
+}
+
+// IsTransient reports whether err is a retryable injected fault.
+func IsTransient(err error) bool {
+	fe, ok := err.(*FaultError)
+	return ok && fe.Transient
+}
+
+// Fault records one injected event, in injection order.
+type Fault struct {
+	Op   string
+	Kind string // "failure", "transient-failure" or "latency"
+}
+
+// Injector decides, deterministically from its seed, which operations fail.
+// It is safe for concurrent use.
+type Injector struct {
+	mu            sync.Mutex
+	rng           *rand.Rand
+	failureRate   float64
+	transientRate float64 // fraction of failures that are transient
+	latencyRate   float64
+	latency       time.Duration
+	sleep         func(time.Duration)
+	log           []Fault
+}
+
+// New builds an injector failing roughly failureRate of operations
+// (0 ≤ rate ≤ 1), deterministically per seed. All failures are permanent
+// until Transient or Latency configure otherwise.
+func New(seed int64, failureRate float64) *Injector {
+	return &Injector{
+		rng:         rand.New(rand.NewSource(seed)),
+		failureRate: failureRate,
+		sleep:       time.Sleep,
+	}
+}
+
+// Transient marks the given fraction of injected failures (0..1) as
+// transient, i.e. clearable by retry. Returns the injector for chaining.
+func (i *Injector) Transient(fraction float64) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.transientRate = fraction
+	return i
+}
+
+// Latency makes the given fraction of operations stall for d before
+// succeeding. Returns the injector for chaining.
+func (i *Injector) Latency(fraction float64, d time.Duration) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.latencyRate = fraction
+	i.latency = d
+	return i
+}
+
+// SetSleep replaces the latency clock, letting tests observe stalls without
+// real wall-time. Returns the injector for chaining.
+func (i *Injector) SetSleep(f func(time.Duration)) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.sleep = f
+	return i
+}
+
+// Hit gives the injector a chance to fault the named operation: it may
+// stall, and it may return a *FaultError. A nil return means the operation
+// should proceed normally.
+func (i *Injector) Hit(op string) error {
+	i.mu.Lock()
+	stall := i.latencyRate > 0 && i.rng.Float64() < i.latencyRate
+	fail := i.failureRate > 0 && i.rng.Float64() < i.failureRate
+	transient := fail && i.transientRate > 0 && i.rng.Float64() < i.transientRate
+	var d time.Duration
+	var sleep func(time.Duration)
+	if stall {
+		d, sleep = i.latency, i.sleep
+		i.log = append(i.log, Fault{Op: op, Kind: "latency"})
+	}
+	if fail {
+		kind := "failure"
+		if transient {
+			kind = "transient-failure"
+		}
+		i.log = append(i.log, Fault{Op: op, Kind: kind})
+	}
+	i.mu.Unlock()
+	if stall {
+		sleep(d)
+	}
+	if fail {
+		return &FaultError{Op: op, Transient: transient}
+	}
+	return nil
+}
+
+// Faults returns a copy of every fault injected so far, in order.
+func (i *Injector) Faults() []Fault {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Fault, len(i.log))
+	copy(out, i.log)
+	return out
+}
+
+// FailureCount reports how many injected faults were failures (either
+// kind), excluding pure latency events.
+func (i *Injector) FailureCount() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, f := range i.log {
+		if f.Kind != "latency" {
+			n++
+		}
+	}
+	return n
+}
+
+// Resolver is the fn:doc resolution signature the xq API accepts.
+type Resolver func(uri string) (*xmltree.Node, error)
+
+// FlakyResolver wraps a document resolver with injected faults: per-URI
+// failures and latency as configured on inj.
+func FlakyResolver(inner Resolver, inj *Injector) Resolver {
+	return func(uri string) (*xmltree.Node, error) {
+		if err := inj.Hit(fmt.Sprintf("doc(%q)", uri)); err != nil {
+			return nil, err
+		}
+		return inner(uri)
+	}
+}
+
+// Backoff is a bounded exponential-backoff retry policy.
+type Backoff struct {
+	// Attempts is the maximum number of tries (≥1); 0 means 3.
+	Attempts int
+	// Base is the delay before the second try; it doubles per retry. 0
+	// means 1ms.
+	Base time.Duration
+	// Sleep replaces time.Sleep in tests; nil uses the real clock.
+	Sleep func(time.Duration)
+}
+
+// Retry runs op under the policy, retrying only transient faults: a
+// permanent fault or success returns immediately. The last error is
+// returned when attempts are exhausted.
+func Retry(b Backoff, op func() error) error {
+	attempts := b.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	delay := b.Base
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	sleep := b.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			sleep(delay)
+			delay *= 2
+		}
+		err = op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// RetryingResolver composes FlakyResolver's failure model with Retry:
+// transient faults are retried under the policy, permanent faults surface
+// at once. This is the wrapper a host would install as its fn:doc resolver.
+func RetryingResolver(inner Resolver, b Backoff) Resolver {
+	return func(uri string) (*xmltree.Node, error) {
+		var doc *xmltree.Node
+		err := Retry(b, func() error {
+			var e error
+			doc, e = inner(uri)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return doc, nil
+	}
+}

@@ -149,6 +149,24 @@ func ScalingTemplate(n int) *xmltree.Node {
 	return ParseTemplate(b.String())
 }
 
+// DegradeTemplate builds a template that is one dense field of property
+// reads — n sections, each reading every Document's version and every
+// System's description — giving a fault injector the maximum surface of
+// recoverable failure sites. Paired with the native generator's Accumulate
+// mode it exercises the graceful-degradation path end to end.
+func DegradeTemplate(n int) *xmltree.Node {
+	var b strings.Builder
+	b.WriteString("<template><html><body><h1>Degraded</h1>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<section><heading>Round %d</heading>`, i+1)
+		b.WriteString(`<ul><for nodes="all.Document"><li><label/> v<property name="version"/></li></for></ul>`)
+		b.WriteString(`<for nodes="all.System"><div><property-html name="description"/></div></for>`)
+		b.WriteString(`</section>`)
+	}
+	b.WriteString("</body></html></template>")
+	return ParseTemplate(b.String())
+}
+
 // ErrorTemplate deliberately trips the required-property error path at a
 // controllable depth of nesting — the C1 error-handling experiment.
 func ErrorTemplate(depth int) *xmltree.Node {

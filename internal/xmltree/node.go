@@ -10,6 +10,19 @@
 // It intentionally does not use encoding/xml: the reproduction builds every
 // substrate from scratch, and the XQuery engine needs direct control over
 // node identity, attribute nodes, and document order.
+//
+// # Panic contract
+//
+// Functions in this package panic only on programmer misuse of the tree API
+// — appending a node to a non-container, inserting under the wrong parent,
+// re-parenting an attribute node, or calling MustParse on a malformed
+// literal. No input reachable from user data may panic: Parse and
+// ParseFragment return *ParseError for every malformed document, including
+// pathologically deep nesting (bounded by ParseOptions.MaxDepth, default
+// DefaultMaxDepth, so recursion cannot overflow the goroutine stack).
+// Callers feeding untrusted input must use the error-returning entry
+// points; the XQuery engine additionally contains any residual panic at its
+// Eval boundary and surfaces it as a coded LOPS0009 error.
 package xmltree
 
 import (

@@ -28,7 +28,16 @@ type ParseOptions struct {
 	// KeepComments retains comment nodes; by default they are preserved.
 	// Set DropComments to discard them instead.
 	DropComments bool
+	// MaxDepth bounds element nesting; 0 means DefaultMaxDepth. The parser
+	// recurses per nesting level and a Go stack overflow is not recoverable,
+	// so pathological input ("<a><a><a>…") must fail with a ParseError
+	// before it can crash the process.
+	MaxDepth int
 }
+
+// DefaultMaxDepth is the element-nesting bound applied when
+// ParseOptions.MaxDepth is zero. Far deeper than any real document.
+const DefaultMaxDepth = 4000
 
 // Parse parses a complete XML document and returns its document node.
 func Parse(input string) (*Node, error) {
@@ -40,8 +49,10 @@ func ParseTrimmed(input string) (*Node, error) {
 	return ParseWith(input, ParseOptions{TrimWhitespace: true})
 }
 
-// MustParse is Parse that panics on error; intended for tests and embedded
-// literals known to be well-formed.
+// MustParse is Parse that panics on error. It is intended ONLY for tests
+// and embedded literals known at compile time to be well-formed; a panic
+// here is programmer misuse, per the package's panic contract. Never feed
+// it user or network input — use Parse, which returns a *ParseError.
 func MustParse(input string) *Node {
 	d, err := Parse(input)
 	if err != nil {
@@ -83,7 +94,15 @@ type parser struct {
 	src       string
 	pos       int
 	line, col int
+	depth     int
 	opts      ParseOptions
+}
+
+func (p *parser) maxDepth() int {
+	if p.opts.MaxDepth > 0 {
+		return p.opts.MaxDepth
+	}
+	return DefaultMaxDepth
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
@@ -254,6 +273,11 @@ func (p *parser) parsePI(parent *Node) error {
 }
 
 func (p *parser) parseElement(parent *Node) error {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > p.maxDepth() {
+		return p.errorf("element nesting exceeds %d levels", p.maxDepth())
+	}
 	if err := p.expect("<"); err != nil {
 		return err
 	}

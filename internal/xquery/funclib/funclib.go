@@ -28,6 +28,36 @@ type Context interface {
 	Doc(uri string) (xdm.Sequence, error)
 }
 
+// Budgeter is optionally implemented by Contexts that enforce evaluation
+// resource limits (the interpreter's evalCtx does). Built-ins with
+// data-dependent loops or output — distinct-values, string-join, concat —
+// charge the shared budget through it so a query cannot dodge its step or
+// output-byte limits by hiding work inside a function call. Contexts that
+// do not implement Budgeter (test fakes) are simply unlimited.
+type Budgeter interface {
+	// ChargeSteps charges n evaluation steps; a non-nil return is the
+	// budget-exhausted error to propagate.
+	ChargeSteps(n int) error
+	// ChargeBytes charges n bytes of constructed output.
+	ChargeBytes(n int) error
+}
+
+// chargeSteps charges steps if ctx keeps a budget.
+func chargeSteps(ctx Context, n int) error {
+	if b, ok := ctx.(Budgeter); ok {
+		return b.ChargeSteps(n)
+	}
+	return nil
+}
+
+// chargeBytes charges output bytes if ctx keeps a budget.
+func chargeBytes(ctx Context, n int) error {
+	if b, ok := ctx.(Budgeter); ok {
+		return b.ChargeBytes(n)
+	}
+	return nil
+}
+
 // Func is one registered built-in.
 type Func struct {
 	Name    string

@@ -20,9 +20,14 @@ func registerSequenceFuncs() {
 		return xdm.Atomize(args[0]), nil
 	})
 
-	register("distinct-values", 1, 1, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+	register("distinct-values", 1, 1, func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		// Quadratic over the input: charge each inner probe so a large
+		// distinct-values cannot dodge the sandbox step budget.
 		var out xdm.Sequence
 		for _, it := range xdm.Atomize(args[0]) {
+			if err := chargeSteps(ctx, 1+len(out)); err != nil {
+				return nil, err
+			}
 			dup := false
 			for _, seen := range out {
 				if sameValue(seen, it) {

@@ -27,11 +27,16 @@ func registerStringFuncs() {
 		return singleton(xdm.String(it.StringValue()))
 	})
 
-	register("concat", 2, -1, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+	register("concat", 2, -1, func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
 		var b strings.Builder
 		for _, a := range args {
 			s, err := stringArg(a)
 			if err != nil {
+				return nil, err
+			}
+			// Repeated self-concatenation doubles output per call; charging
+			// the bytes keeps string growth inside the sandbox budget.
+			if err := chargeBytes(ctx, len(s)); err != nil {
 				return nil, err
 			}
 			b.WriteString(s)
@@ -39,7 +44,7 @@ func registerStringFuncs() {
 		return singleton(xdm.String(b.String()))
 	})
 
-	register("string-join", 2, 2, func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+	register("string-join", 2, 2, func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
 		sep, err := stringArg(args[1])
 		if err != nil {
 			return nil, err
@@ -47,6 +52,9 @@ func registerStringFuncs() {
 		parts := make([]string, len(args[0]))
 		for i, it := range xdm.Atomize(args[0]) {
 			parts[i] = it.StringValue()
+			if err := chargeBytes(ctx, len(parts[i])+len(sep)); err != nil {
+				return nil, err
+			}
 		}
 		return singleton(xdm.String(strings.Join(parts, sep)))
 	})

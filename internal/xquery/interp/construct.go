@@ -24,10 +24,19 @@ import (
 // evalDirElem evaluates a direct element constructor.
 func (c *evalCtx) evalDirElem(n *ast.DirElem) (xdm.Sequence, error) {
 	el := xmltree.NewElement(n.Name)
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
 	for _, attr := range n.Attrs {
 		val, err := c.evalAttrValue(attr)
 		if err != nil {
 			return nil, err
+		}
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+		if err := c.chargeBytes(len(val)); err != nil {
+			return nil, errAt(err, n.Pos())
 		}
 		el.SetAttr(attr.Name, val)
 	}
@@ -93,31 +102,52 @@ func (c *evalCtx) contentItems(n *ast.DirElem) ([]contentItem, error) {
 // fillElement applies the content sequence to a freshly built element.
 func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos) error {
 	sawContent := false // any non-attribute content so far
-	appendText := func(s string) {
+	appendText := func(s string) error {
 		if s == "" {
-			return
+			return nil
+		}
+		if err := c.chargeBytes(len(s)); err != nil {
+			return errAt(err, pos)
 		}
 		if k := len(el.Children); k > 0 && el.Children[k-1].Kind == xmltree.TextNode {
 			el.Children[k-1].Data += s
-			return
+			return nil
+		}
+		if err := c.chargeNodes(1); err != nil {
+			return errAt(err, pos)
 		}
 		el.AppendChild(xmltree.NewText(s))
+		return nil
+	}
+	// appendCopy deep-copies a content node into el, charging the clone's
+	// full node count against the budget before the copy is made.
+	appendCopy := func(node *xmltree.Node) error {
+		if err := c.chargeNodes(xmltree.CountNodes(node)); err != nil {
+			return errAt(err, pos)
+		}
+		el.AppendChild(node.Clone())
+		return nil
 	}
 	for _, item := range items {
 		if !item.isSeq {
-			appendText(item.text)
+			if err := appendText(item.text); err != nil {
+				return err
+			}
 			sawContent = true
 			continue
 		}
 		// One enclosed expression: runs of adjacent atomics join with
 		// single spaces into one text node; nodes are copied.
 		pendingAtomics := []string{}
-		flushAtomics := func() {
+		flushAtomics := func() error {
 			if len(pendingAtomics) > 0 {
-				appendText(strings.Join(pendingAtomics, " "))
+				if err := appendText(strings.Join(pendingAtomics, " ")); err != nil {
+					return err
+				}
 				pendingAtomics = pendingAtomics[:0]
 				sawContent = true
 			}
+			return nil
 		}
 		for _, it := range item.seq {
 			node, isNode := xdm.IsNode(it)
@@ -125,9 +155,11 @@ func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos
 				pendingAtomics = append(pendingAtomics, it.StringValue())
 				continue
 			}
+			if err := flushAtomics(); err != nil {
+				return err
+			}
 			switch node.Kind {
 			case xmltree.AttributeNode:
-				flushAtomics()
 				if sawContent {
 					// The paper: "if the attribute value is in the wrong
 					// position (after a non-attribute), it will cause an
@@ -139,22 +171,27 @@ func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos
 					return err
 				}
 			case xmltree.DocumentNode:
-				flushAtomics()
 				for _, kid := range node.Children {
-					el.AppendChild(kid.Clone())
+					if err := appendCopy(kid); err != nil {
+						return err
+					}
 				}
 				sawContent = true
 			case xmltree.TextNode:
-				flushAtomics()
-				appendText(node.Data)
+				if err := appendText(node.Data); err != nil {
+					return err
+				}
 				sawContent = true
 			default:
-				flushAtomics()
-				el.AppendChild(node.Clone())
+				if err := appendCopy(node); err != nil {
+					return err
+				}
 				sawContent = true
 			}
 		}
-		flushAtomics()
+		if err := flushAtomics(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -162,6 +199,9 @@ func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos
 // foldAttribute attaches a computed attribute node to el, resolving
 // duplicates per the configured policy.
 func (c *evalCtx) foldAttribute(el *xmltree.Node, attr *xmltree.Node, pos ast.Pos) error {
+	if err := c.chargeNodes(1); err != nil {
+		return errAt(err, pos)
+	}
 	copied := attr.Clone()
 	for i, existing := range el.Attrs {
 		if existing.Name != copied.Name {
@@ -216,6 +256,9 @@ func (c *evalCtx) evalCompElem(n *ast.CompElem) (xdm.Sequence, error) {
 		return nil, err
 	}
 	el := xmltree.NewElement(name)
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
 	if n.Content != nil {
 		v, err := c.eval(n.Content)
 		if err != nil {
@@ -241,6 +284,12 @@ func (c *evalCtx) evalCompAttr(n *ast.CompAttr) (xdm.Sequence, error) {
 		}
 		val = xdm.Atomize(v).StringJoin()
 	}
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	if err := c.chargeBytes(len(val)); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
 	return xdm.Singleton(xdm.NewNode(xmltree.NewAttr(name, val))), nil
 }
 
@@ -255,7 +304,14 @@ func (c *evalCtx) evalCompText(n *ast.CompText) (xdm.Sequence, error) {
 	if v.IsEmpty() {
 		return xdm.Empty, nil
 	}
-	return xdm.Singleton(xdm.NewNode(xmltree.NewText(xdm.Atomize(v).StringJoin()))), nil
+	data := xdm.Atomize(v).StringJoin()
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	if err := c.chargeBytes(len(data)); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	return xdm.Singleton(xdm.NewNode(xmltree.NewText(data))), nil
 }
 
 func (c *evalCtx) evalCompComment(n *ast.CompComment) (xdm.Sequence, error) {
@@ -266,6 +322,12 @@ func (c *evalCtx) evalCompComment(n *ast.CompComment) (xdm.Sequence, error) {
 			return nil, err
 		}
 		data = xdm.Atomize(v).StringJoin()
+	}
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	if err := c.chargeBytes(len(data)); err != nil {
+		return nil, errAt(err, n.Pos())
 	}
 	return xdm.Singleton(xdm.NewNode(xmltree.NewComment(data))), nil
 }
@@ -279,11 +341,20 @@ func (c *evalCtx) evalCompPI(n *ast.CompPI) (xdm.Sequence, error) {
 		}
 		data = xdm.Atomize(v).StringJoin()
 	}
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
+	if err := c.chargeBytes(len(data)); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
 	return xdm.Singleton(xdm.NewNode(xmltree.NewPI(n.Target, data))), nil
 }
 
 func (c *evalCtx) evalCompDoc(n *ast.CompDoc) (xdm.Sequence, error) {
 	doc := xmltree.NewDocument()
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, n.Pos())
+	}
 	if n.Content != nil {
 		v, err := c.eval(n.Content)
 		if err != nil {
@@ -292,11 +363,19 @@ func (c *evalCtx) evalCompDoc(n *ast.CompDoc) (xdm.Sequence, error) {
 		// Document content: copy nodes; atomics become text; attributes
 		// are illegal at document level.
 		var pending []string
-		flush := func() {
+		flush := func() error {
 			if len(pending) > 0 {
-				doc.AppendChild(xmltree.NewText(strings.Join(pending, " ")))
+				text := strings.Join(pending, " ")
+				if err := c.chargeNodes(1); err != nil {
+					return errAt(err, n.Pos())
+				}
+				if err := c.chargeBytes(len(text)); err != nil {
+					return errAt(err, n.Pos())
+				}
+				doc.AppendChild(xmltree.NewText(text))
 				pending = nil
 			}
+			return nil
 		}
 		for _, it := range v {
 			node, isNode := xdm.IsNode(it)
@@ -304,20 +383,30 @@ func (c *evalCtx) evalCompDoc(n *ast.CompDoc) (xdm.Sequence, error) {
 				pending = append(pending, it.StringValue())
 				continue
 			}
-			flush()
+			if err := flush(); err != nil {
+				return nil, err
+			}
 			switch node.Kind {
 			case xmltree.AttributeNode:
 				return nil, &Error{Code: "XPTY0004", Pos: n.Pos(),
 					Msg: "attribute node in document constructor content"}
 			case xmltree.DocumentNode:
 				for _, kid := range node.Children {
+					if err := c.chargeNodes(xmltree.CountNodes(kid)); err != nil {
+						return nil, errAt(err, n.Pos())
+					}
 					doc.AppendChild(kid.Clone())
 				}
 			default:
+				if err := c.chargeNodes(xmltree.CountNodes(node)); err != nil {
+					return nil, errAt(err, n.Pos())
+				}
 				doc.AppendChild(node.Clone())
 			}
 		}
-		flush()
+		if err := flush(); err != nil {
+			return nil, err
+		}
 	}
 	return xdm.Singleton(xdm.NewNode(doc)), nil
 }

@@ -12,6 +12,14 @@ import (
 )
 
 func (c *evalCtx) eval(e ast.Expr) (xdm.Sequence, error) {
+	// The sandbox charges one step per expression evaluation, which covers
+	// every loop iteration, function call and constructor site (each is an
+	// expression evaluated per iteration/call).
+	if c.bud != nil {
+		if err := c.bud.step(); err != nil {
+			return nil, errAt(err, e.Pos())
+		}
+	}
 	switch n := e.(type) {
 	case *ast.StringLit:
 		return xdm.Singleton(xdm.String(n.Value)), nil
@@ -141,8 +149,28 @@ func (c *evalCtx) evalRange(n *ast.RangeExpr) (xdm.Sequence, error) {
 	if *hi-*lo > 50_000_000 {
 		return nil, &Error{Code: "FOAR0002", Pos: n.Pos(), Msg: "range expression too large"}
 	}
-	out := make(xdm.Sequence, 0, *hi-*lo+1)
+	// A range materializes its full width in one expression; charge it as
+	// bulk steps so `1 to 10000000` cannot dodge the step budget.
+	if c.bud != nil {
+		if err := c.bud.addSteps(*hi - *lo + 1); err != nil {
+			return nil, errAt(err, n.Pos())
+		}
+	}
+	width := *hi - *lo + 1
+	// Cap the preallocation and poll while materializing: a wide range under
+	// a wall-clock budget must stay interruptible mid-build, not only after
+	// the whole slice exists.
+	capHint := width
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make(xdm.Sequence, 0, capHint)
 	for v := *lo; v <= *hi; v++ {
+		if c.bud != nil && (v-*lo)%pollEvery == 0 {
+			if err := c.bud.poll(); err != nil {
+				return nil, errAt(err, n.Pos())
+			}
+		}
 		out = append(out, xdm.Integer(v))
 	}
 	return out, nil
@@ -431,13 +459,19 @@ func (c *evalCtx) evalFLWOR(n *ast.FLWOR) (xdm.Sequence, error) {
 		if err != nil {
 			return err
 		}
-		out = xdm.Concat(out, ret)
+		// Amortized append, not xdm.Concat: a fresh copy per iteration is
+		// quadratic in the result size, which lets a long loop outrun every
+		// budget charged downstream of it.
+		out = append(out, ret...)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	if len(n.OrderBy) == 0 {
+		if out == nil {
+			return xdm.Empty, nil
+		}
 		return out, nil
 	}
 	var sortErr error
@@ -457,7 +491,10 @@ func (c *evalCtx) evalFLWOR(n *ast.FLWOR) (xdm.Sequence, error) {
 		return nil, sortErr
 	}
 	for _, row := range rows {
-		out = xdm.Concat(out, row.seq)
+		out = append(out, row.seq...)
+	}
+	if out == nil {
+		return xdm.Empty, nil
 	}
 	return out, nil
 }
@@ -664,10 +701,10 @@ func (c *evalCtx) evalCall(n *ast.FunctionCall) (xdm.Sequence, error) {
 
 func (c *evalCtx) callUser(fd *ast.FuncDecl, args []xdm.Sequence, pos ast.Pos) (xdm.Sequence, error) {
 	if c.depth+1 > c.ip.opts.MaxDepth {
-		return nil, &Error{Code: "LOPS0001", Pos: pos,
+		return nil, &Error{Code: CodeDepth, Pos: pos,
 			Msg: fmt.Sprintf("recursion depth limit (%d) exceeded calling %s", c.ip.opts.MaxDepth, fd.Name)}
 	}
-	inner := evalCtx{ip: c.ip, depth: c.depth + 1, env: c.globals, globals: c.globals}
+	inner := evalCtx{ip: c.ip, depth: c.depth + 1, env: c.globals, globals: c.globals, bud: c.bud}
 	for i, p := range fd.Params {
 		if !p.Type.Matches(args[i]) {
 			return nil, &Error{Code: "XPTY0004", Pos: pos,

@@ -9,6 +9,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,10 +45,14 @@ type Options struct {
 	Tracer func(values []string)
 	// DocResolver resolves fn:doc URIs; nil makes fn:doc fail.
 	DocResolver func(uri string) (*xmltree.Node, error)
-	// MaxDepth bounds user-function recursion (default 8192).
+	// MaxDepth bounds user-function recursion (default 8192). Superseded by
+	// Limits.MaxDepth when that is set.
 	MaxDepth int
 	// DupAttr selects duplicate computed-attribute behavior.
 	DupAttr DupAttrPolicy
+	// Limits is the per-evaluation resource sandbox (see limits.go). The
+	// zero value imposes no limits.
+	Limits Limits
 }
 
 // Error is a positioned evaluation error carrying an XQuery error code.
@@ -72,6 +77,9 @@ type Interp struct {
 
 // New prepares an interpreter for a parsed module.
 func New(mod *ast.Module, opts Options) (*Interp, error) {
+	if opts.Limits.MaxDepth > 0 {
+		opts.MaxDepth = opts.Limits.MaxDepth
+	}
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 8192
 	}
@@ -140,6 +148,8 @@ type evalCtx struct {
 	globals *env
 	focus   focus
 	depth   int
+	// bud is the shared per-evaluation resource budget; nil = unlimited.
+	bud *budget
 }
 
 // FocusItem implements funclib.Context.
@@ -188,7 +198,27 @@ func (c *evalCtx) Doc(uri string) (xdm.Sequence, error) {
 // Eval evaluates the module body. ctxItem may be nil (no context item);
 // vars pre-binds external variables by name (without '$').
 func (ip *Interp) Eval(ctxItem xdm.Item, vars map[string]xdm.Sequence) (xdm.Sequence, error) {
-	c := &evalCtx{ip: ip}
+	return ip.EvalContext(context.Background(), ctxItem, vars)
+}
+
+// EvalContext evaluates the module body under ctx: cancelling ctx (or
+// passing one with a deadline) terminates the evaluation with a LOPS0001
+// error. The interpreter's Limits apply on top of ctx.
+//
+// EvalContext is the panic-containment boundary required by the public xq
+// API: any panic escaping the evaluator (including xmltree assertion
+// panics) is converted into a coded LOPS0009 error instead of crashing the
+// embedding process. Goroutine-stack overflow is the one failure Go does
+// not let us recover; the parser's nesting limits and the recursion depth
+// limit exist to keep evaluation away from it.
+func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[string]xdm.Sequence) (out xdm.Sequence, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &Error{Code: CodePanic, Msg: fmt.Sprintf("internal panic contained at Eval boundary: %v", r)}
+		}
+	}()
+	c := &evalCtx{ip: ip, bud: newBudget(ctx, ip.opts.Limits)}
 	for name, val := range vars {
 		c.env = c.env.bind(name, val)
 	}

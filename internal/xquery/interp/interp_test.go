@@ -399,7 +399,7 @@ func TestRecursionLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = ip.Eval(nil, nil)
-	if err == nil || !strings.Contains(err.Error(), "LOPS0001") {
+	if err == nil || !strings.Contains(err.Error(), "LOPS0003") {
 		t.Fatalf("want recursion limit error, got %v", err)
 	}
 }

@@ -1,0 +1,220 @@
+package interp
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"lopsided/internal/xdm"
+)
+
+// evalLimited compiles src and evaluates it under the given limits,
+// returning the error (nil means the query completed).
+func evalLimited(t *testing.T, src string, lim Limits, opts Options) error {
+	t.Helper()
+	opts.Limits = lim
+	ip, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	_, err = ip.Eval(nil, nil)
+	return err
+}
+
+func wantCode(t *testing.T, err error, code string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected %s error, got success", code)
+	}
+	var got string
+	switch e := err.(type) {
+	case *Error:
+		got = e.Code
+	case *xdm.Error:
+		got = e.Code
+	default:
+		t.Fatalf("expected coded %s error, got %T: %v", code, err, err)
+	}
+	if got != code {
+		t.Fatalf("expected %s, got %s (%v)", code, got, err)
+	}
+}
+
+// The acceptance cases from the sandbox design: runaway queries terminate
+// with the documented LOPS* code, within bounded wall-clock time.
+
+func TestInfiniteForHitsStepBudget(t *testing.T) {
+	err := evalLimited(t,
+		`for $i in 1 to 40000000 return $i * 2`,
+		Limits{MaxSteps: 50000}, Options{})
+	wantCode(t, err, CodeSteps)
+}
+
+func TestInfiniteRecursionHitsStepBudget(t *testing.T) {
+	// With the depth limit raised out of the way, unbounded recursion must
+	// still terminate via the step budget.
+	err := evalLimited(t,
+		`declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)`,
+		Limits{MaxSteps: 20000, MaxDepth: 1 << 20}, Options{})
+	wantCode(t, err, CodeSteps)
+}
+
+func TestInfiniteRecursionHitsDepthLimit(t *testing.T) {
+	err := evalLimited(t,
+		`declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)`,
+		Limits{MaxDepth: 100}, Options{})
+	wantCode(t, err, CodeDepth)
+}
+
+func TestTimeoutTerminatesRunawayLoop(t *testing.T) {
+	const timeout = 250 * time.Millisecond
+	start := time.Now()
+	err := evalLimited(t,
+		`for $i in 1 to 40000000 return $i * 2`,
+		Limits{Timeout: timeout}, Options{})
+	elapsed := time.Since(start)
+	wantCode(t, err, CodeTimeout)
+	// The acceptance bound: termination within 2x the configured timeout.
+	if elapsed > 2*timeout {
+		t.Fatalf("took %v to honor a %v timeout", elapsed, timeout)
+	}
+}
+
+func TestContextCancellationTerminatesEval(t *testing.T) {
+	ip, err := Compile(`for $i in 1 to 40000000 return $i * 2`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, evalErr := ip.EvalContext(ctx, nil, nil)
+	wantCode(t, evalErr, CodeTimeout)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	err := evalLimited(t,
+		`<a>{for $i in 1 to 1000000 return <b/>}</a>`,
+		Limits{MaxNodes: 1000}, Options{})
+	wantCode(t, err, CodeNodes)
+}
+
+func TestOutputByteBudget(t *testing.T) {
+	err := evalLimited(t,
+		`<a>{for $i in 1 to 1000000 return "xxxxxxxxxxxxxxxx"}</a>`,
+		Limits{MaxOutputBytes: 4096}, Options{})
+	wantCode(t, err, CodeOutput)
+}
+
+func TestOutputByteBudgetViaConcat(t *testing.T) {
+	// Doubling through fn:concat must charge the byte budget even though no
+	// nodes are constructed.
+	err := evalLimited(t,
+		`declare function local:dbl($s, $n) {
+		   if ($n = 0) then $s else local:dbl(concat($s, $s), $n - 1)
+		 };
+		 local:dbl("x", 40)`,
+		Limits{MaxOutputBytes: 1 << 20}, Options{})
+	wantCode(t, err, CodeOutput)
+}
+
+func TestLimitErrorsAreNotCatchable(t *testing.T) {
+	// A limit error is sticky: try/catch must not let the query continue
+	// past an exhausted budget, or the sandbox guarantees nothing.
+	err := evalLimited(t,
+		`try { for $i in 1 to 40000000 return $i } catch { "escaped" }`,
+		Limits{MaxSteps: 10000}, Options{})
+	wantCode(t, err, CodeSteps)
+}
+
+func TestDepthErrorRemainsCatchable(t *testing.T) {
+	// Recursion depth is a per-call-chain condition, not an exhausted global
+	// budget: catching it and continuing is sound (and the existing
+	// try/catch tests depend on it).
+	ip, err := Compile(
+		`declare function local:loop($n) { local:loop($n + 1) };
+		 try { local:loop(0) } catch ($c, $m) { $c }`,
+		Options{Limits: Limits{MaxDepth: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ip.EvalString(nil, nil)
+	if err != nil {
+		t.Fatalf("catch should have handled the depth error: %v", err)
+	}
+	if out != CodeDepth {
+		t.Fatalf("caught code = %q, want %q", out, CodeDepth)
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	// A host callback that panics must not crash the caller: the Eval
+	// boundary converts it to a coded LOPS0009 error.
+	ip, err := Compile(`trace("boom")`, Options{
+		Tracer: func([]string) { panic("host tracer exploded") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, evalErr := ip.Eval(nil, nil)
+	wantCode(t, evalErr, CodePanic)
+	if !strings.Contains(evalErr.Error(), "host tracer exploded") {
+		t.Fatalf("contained panic should carry the panic value: %v", evalErr)
+	}
+}
+
+func TestUnlimitedEvalStillWorks(t *testing.T) {
+	ip, err := Compile(`sum(for $i in 1 to 100 return $i)`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ip.EvalString(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "5050" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestDeeplyNestedParensRejected(t *testing.T) {
+	// The parser depth guard: pathological nesting must be a static error,
+	// not a stack overflow.
+	src := strings.Repeat("(", 100000) + "1" + strings.Repeat(")", 100000)
+	if _, err := Compile(src, Options{}); err == nil {
+		t.Fatal("deeply nested parens should fail to compile")
+	}
+}
+
+func TestDeeplyNestedConstructorsRejected(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100000; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < 100000; i++ {
+		b.WriteString("</a>")
+	}
+	if _, err := Compile(b.String(), Options{}); err == nil {
+		t.Fatal("deeply nested constructors should fail to compile")
+	}
+}
+
+func TestIsLimitCode(t *testing.T) {
+	for _, code := range []string{CodeTimeout, CodeSteps, CodeDepth, CodeNodes, CodeOutput} {
+		if !IsLimitCode(code) {
+			t.Errorf("IsLimitCode(%s) = false", code)
+		}
+	}
+	for _, code := range []string{CodePanic, "XPST0008", "FOAR0001", ""} {
+		if IsLimitCode(code) {
+			t.Errorf("IsLimitCode(%q) = true", code)
+		}
+	}
+}

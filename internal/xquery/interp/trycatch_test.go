@@ -77,7 +77,7 @@ func TestTryCatchRecursionLimitCatchable(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := ip.EvalString(nil, nil)
-	if err != nil || out != "LOPS0001" {
+	if err != nil || out != "LOPS0003" {
 		t.Fatalf("got %q, %v", out, err)
 	}
 }

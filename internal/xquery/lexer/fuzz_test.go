@@ -1,0 +1,37 @@
+package lexer
+
+import "testing"
+
+// FuzzLex asserts the lexer never panics and always terminates: every input
+// tokenizes to EOF or fails with a positioned *Error.
+func FuzzLex(f *testing.F) {
+	seeds := []string{
+		`for $b in /lib/book return $b/title`,
+		`let $n-1 := 2 return $n-1`,
+		`declare function local:f($x) { $x + 1 }; local:f(41)`,
+		`<a b="{1+1}">{"text"}</a>`,
+		`(: nested (: comment :) :) 1`,
+		`"string with "" doubled"`,
+		`'&lt;&amp;'`,
+		`1.5e-3 idiv 2`,
+		`$`, `"unterminated`, `(: unterminated`, "\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		lx := New(input)
+		// Bound the walk defensively; the lexer must consume at least one
+		// byte per token, so len(input)+2 iterations always reach EOF.
+		for i := 0; i <= len(input)+2; i++ {
+			tok, err := lx.Next()
+			if err != nil {
+				return
+			}
+			if tok.Kind == EOF {
+				return
+			}
+		}
+		t.Fatalf("lexer did not reach EOF within %d tokens", len(input)+2)
+	})
+}

@@ -271,6 +271,12 @@ type litRun struct {
 // parseDirElemRaw parses a direct element constructor with the lexer
 // positioned at its '<'.
 func (p *Parser) parseDirElemRaw() (ast.Expr, error) {
+	// Direct elements nest through parseDirContentRaw without passing
+	// through parseExprSingle, so they need their own depth charge.
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	b := ast.At(p.lx.Pos())
 	p.lx.RawAdvance(1) // <
 	name, err := p.lx.RawScanQName()

@@ -19,9 +19,28 @@ import (
 
 // Parser parses one source string.
 type Parser struct {
-	lx  *lexer.Lexer
-	tok lexer.Token
+	lx    *lexer.Lexer
+	tok   lexer.Token
+	depth int
 }
+
+// maxNestingDepth bounds expression nesting. Recursive descent consumes
+// goroutine stack per nesting level and a Go stack overflow is not
+// recoverable, so deeply nested input (`((((…`) must be rejected as a
+// static error before it can crash the process. The limit is far above any
+// human-written query.
+const maxNestingDepth = 3000
+
+// enter charges one nesting level; the caller must defer p.leave().
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errf("expression nesting exceeds %d levels", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a complete main module (prolog + body expression).
 func Parse(src string) (*ast.Module, error) {
@@ -363,6 +382,13 @@ func (p *Parser) parseExpr() (ast.Expr, error) {
 }
 
 func (p *Parser) parseExprSingle() (ast.Expr, error) {
+	// Every form of nesting — parenthesized expressions, predicates, FLWOR
+	// bodies, constructor content — recurses through here, so this is the
+	// single chokepoint for the depth guard.
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.tok.Kind == lexer.NAME {
 		nxt := p.peekNext()
 		switch p.tok.Text {

@@ -17,6 +17,9 @@
 package xq
 
 import (
+	"context"
+	"time"
+
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/interp"
@@ -72,6 +75,12 @@ const (
 	DupAttrError     = interp.DupAttrError
 )
 
+// Limits bounds each evaluation of a query: wall-clock timeout, evaluation
+// steps, constructed nodes, output bytes, and recursion depth. The zero
+// value imposes no limits. See the README's "Error model & resource
+// limits" section for the LOPS* code each exhausted budget raises.
+type Limits = interp.Limits
+
 type config struct {
 	optLevel         OptLevel
 	traceIsEffectful bool
@@ -79,6 +88,8 @@ type config struct {
 	docResolver      func(uri string) (*Node, error)
 	dupAttr          DupAttrPolicy
 	maxDepth         int
+	limits           Limits
+	ctx              context.Context
 }
 
 // Option configures compilation.
@@ -106,10 +117,24 @@ func WithDupAttrPolicy(p DupAttrPolicy) Option { return func(c *config) { c.dupA
 // WithMaxDepth bounds user-function recursion.
 func WithMaxDepth(n int) Option { return func(c *config) { c.maxDepth = n } }
 
+// WithLimits installs the evaluation sandbox: every Eval of the query runs
+// under the given resource budgets and returns a coded LOPS* error when one
+// is exhausted, instead of hanging or exhausting host memory.
+func WithLimits(l Limits) Option { return func(c *config) { c.limits = l } }
+
+// WithTimeout is shorthand for WithLimits on the wall-clock budget alone.
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.limits.Timeout = d } }
+
+// WithContext installs a base context checked during every evaluation:
+// cancelling it terminates in-flight Evals with a LOPS0001 error. Use
+// Query.EvalContext instead to scope cancellation to a single evaluation.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
 // Query is a compiled, optimized XQuery program, safe for repeated
 // evaluation (evaluations do not share mutable state).
 type Query struct {
-	ip *interp.Interp
+	ip  *interp.Interp
+	ctx context.Context
 	// Stats reports what the optimizer did at compile time.
 	Stats optimizer.Stats
 }
@@ -125,6 +150,7 @@ func Compile(src string, opts ...Option) (*Query, error) {
 		DocResolver: cfg.docResolver,
 		MaxDepth:    cfg.maxDepth,
 		DupAttr:     cfg.dupAttr,
+		Limits:      cfg.limits,
 	})
 	if err != nil {
 		return nil, err
@@ -133,7 +159,11 @@ func Compile(src string, opts ...Option) (*Query, error) {
 		Level:            cfg.optLevel,
 		TraceIsEffectful: cfg.traceIsEffectful,
 	})
-	return &Query{ip: ip, Stats: stats}, nil
+	q := &Query{ip: ip, ctx: cfg.ctx, Stats: stats}
+	if q.ctx == nil {
+		q.ctx = context.Background()
+	}
+	return q, nil
 }
 
 // MustCompile is Compile that panics on error, for static programs.
@@ -146,16 +176,28 @@ func MustCompile(src string, opts ...Option) *Query {
 }
 
 // Eval evaluates the query with no context item and no external variables.
-func (q *Query) Eval() (Sequence, error) { return q.ip.Eval(nil, nil) }
+func (q *Query) Eval() (Sequence, error) { return q.EvalWith(nil, nil) }
 
 // EvalWith evaluates with ctx as the context item (may be nil) and vars
 // bound as external variables (names without '$').
 func (q *Query) EvalWith(ctx *Node, vars map[string]Sequence) (Sequence, error) {
+	return q.EvalContext(q.ctx, ctx, vars)
+}
+
+// EvalContext evaluates under ctx: cancellation or an expired deadline
+// terminates the evaluation with a LOPS0001 error. Compile-time Limits
+// still apply. The evaluation never panics — internal engine panics are
+// contained at this boundary and surface as LOPS0009 errors — so a server
+// can evaluate untrusted queries without crashing.
+func (q *Query) EvalContext(ctx context.Context, ctxNode *Node, vars map[string]Sequence) (Sequence, error) {
 	var it Item
-	if ctx != nil {
-		it = xdm.NewNode(ctx)
+	if ctxNode != nil {
+		it = xdm.NewNode(ctxNode)
 	}
-	return q.ip.Eval(it, vars)
+	if ctx == nil {
+		ctx = q.ctx
+	}
+	return q.ip.EvalContext(ctx, it, vars)
 }
 
 // EvalStringWith evaluates and serializes the result.
@@ -173,3 +215,27 @@ func ParseXML(src string) (*Node, error) { return xmltree.Parse(src) }
 // Serialize renders a result sequence: nodes as XML, atomics as string
 // values, items separated by spaces.
 func Serialize(seq Sequence) string { return interp.SerializeSeq(seq) }
+
+// ---- Error model ----
+
+// EvalError is a positioned evaluation error carrying an XQuery error code
+// (XP*/FO*/XQ* spec codes, or the engine's LOPS* sandbox codes).
+type EvalError = interp.Error
+
+// ErrorCode extracts the XQuery error code from any error this package
+// returns ("XPST0008", "LOPS0001", …), or "" for uncoded errors such as
+// I/O failures from a document resolver.
+func ErrorCode(err error) string {
+	switch e := err.(type) {
+	case *interp.Error:
+		return e.Code
+	case *xdm.Error:
+		return e.Code
+	}
+	return ""
+}
+
+// IsLimitError reports whether err is a sandbox resource-limit error —
+// timeout/cancellation (LOPS0001), step budget (LOPS0002), recursion depth
+// (LOPS0003), node budget (LOPS0004) or output budget (LOPS0005).
+func IsLimitError(err error) bool { return interp.IsLimitCode(ErrorCode(err)) }
