@@ -1,0 +1,92 @@
+// Benchmarks for the two-stage engine: the Compile family measures the
+// cost of lowering source to a runnable plan, the EvalCompiled family
+// measures pure runtime cost on an already-compiled *xq.Query. Before and
+// after numbers for the compile/runtime split live in BENCH_interp.json.
+//
+// Run:
+//
+//	go test -bench='Compile' -benchmem
+package lopsided_test
+
+import (
+	"testing"
+
+	"lopsided/internal/docgen/xqgen"
+	"lopsided/xq"
+)
+
+// smallSrc is the paper's sequence-indexing one-liner: a minimal mixed
+// let/index program.
+const smallSrc = `let $X := ("1a","1b") let $Y := 2 let $Z := 3 return ($X,$Y,$Z)[2]`
+
+// deepFLWORSrc is the variable-lookup-heavy case: nested for/let clauses,
+// a user function call per row, where/order-by — every iteration touches
+// many variables, so it magnifies the cost of environment lookups.
+const deepFLWORSrc = `
+declare function local:score($a, $b, $c) { $a + $b * 2 + $c * 3 };
+let $base := 7
+return
+  for $i in 1 to 40
+  let $i2 := $i * $i
+  return
+    for $j in 1 to 20
+    let $s := $i2 + $j + $base
+    let $t := local:score($i, $j, $s)
+    where $t mod 3 = 0 and $s > $base
+    order by $t descending
+    return ($i, $j, $t)`
+
+// varChainSrc stresses variable resolution depth: twelve nested lets, then
+// a loop whose body references both the deepest and shallowest binding (a
+// linked-list environment walks the whole chain for $v1 on every
+// iteration; slot resolution makes both lookups O(1)).
+const varChainSrc = `
+let $v1 := 1 let $v2 := $v1 + 1 let $v3 := $v2 + 1 let $v4 := $v3 + 1
+let $v5 := $v4 + 1 let $v6 := $v5 + 1 let $v7 := $v6 + 1 let $v8 := $v7 + 1
+let $v9 := $v8 + 1 let $v10 := $v9 + 1 let $v11 := $v10 + 1 let $v12 := $v11 + 1
+return
+  for $i in 1 to 300
+  return $v1 + $v12 + $i`
+
+// constructSrc exercises the constructor path: xs: constructor calls (one
+// per iteration) plus direct element construction.
+const constructSrc = `
+<out>{
+  for $i in 1 to 100
+  return <row n="{$i}">{xs:string($i * 2)}</row>
+}</out>`
+
+// ---- Compile family: source -> runnable plan ----
+
+func benchCompile(b *testing.B, src string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := xq.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileSmall(b *testing.B)     { benchCompile(b, smallSrc) }
+func BenchmarkCompileDeepFLWOR(b *testing.B) { benchCompile(b, deepFLWORSrc) }
+func BenchmarkCompileGeneratorPhase1(b *testing.B) {
+	benchCompile(b, xqgen.PhaseSources()[0])
+}
+
+// ---- EvalCompiled family: runtime cost on a shared compiled query ----
+
+func benchEvalCompiled(b *testing.B, src string) {
+	q := xq.MustCompile(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.EvalWith(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCompiledSmall(b *testing.B)     { benchEvalCompiled(b, smallSrc) }
+func BenchmarkEvalCompiledDeepFLWOR(b *testing.B) { benchEvalCompiled(b, deepFLWORSrc) }
+func BenchmarkEvalCompiledVarChain(b *testing.B)  { benchEvalCompiled(b, varChainSrc) }
+func BenchmarkEvalCompiledConstruct(b *testing.B) { benchEvalCompiled(b, constructSrc) }

@@ -261,17 +261,8 @@ return count($hits)`
 func BenchmarkSetsSequence(b *testing.B)   { benchSet(b, seqSetSrc, 64) }
 func BenchmarkSetsXMLEncoded(b *testing.B) { benchSet(b, xmlSetSrc, 64) }
 
-// ---- engine plumbing: compile and parse throughput ----
-
-func BenchmarkCompileGeneratorPhase1(b *testing.B) {
-	src := xqgen.PhaseSources()[0]
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := xq.Compile(src); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// ---- engine plumbing: parse throughput ----
+// (Compile throughput lives in bench_interp_test.go's Compile family.)
 
 func BenchmarkParseModelXML(b *testing.B) {
 	model := workload.BuildITModel(workload.Config{Seed: 1, Users: 50})

@@ -79,7 +79,7 @@ func main() {
 			return xq.ParseXML(string(data))
 		}),
 	}
-	q, err := xq.Compile(src, opts...)
+	q, err := xq.CompileCached(src, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -132,7 +132,7 @@ func (q *Query) CompileWith(opts ...xq.Option) (*Compiled, error) {
 		return nil, fmt.Errorf("calculus: focus-rooted query cannot be compiled standalone")
 	}
 	src := q.CompileXQuery()
-	compiled, err := xq.Compile(src, opts...)
+	compiled, err := xq.CompileCached(src, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("calculus: compiled XQuery does not parse: %w\n%s", err, src)
 	}

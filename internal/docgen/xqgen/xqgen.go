@@ -77,7 +77,7 @@ func (g *Generator) compile() error {
 	g.once.Do(func() {
 		g.sources = [5]string{phase1Src, phase2Src, phase3Src, phase4Src, phase5Src}
 		for i, src := range g.sources {
-			q, err := xq.Compile(src, g.opts...)
+			q, err := xq.CompileCached(src, g.opts...)
 			if err != nil {
 				g.err = fmt.Errorf("xqgen: phase %d does not compile: %w", i+1, err)
 				return

@@ -108,7 +108,7 @@ func runE4() (Report, error) {
 		xqLoc := textkit.XQueryCount(xqSrc)
 		goLoc := textkit.GoCount(goSrc)
 		// Scaffolding lines beyond the k=0 fixed prelude.
-		q, err := xq.Compile(xqSrc)
+		q, err := xq.CompileCached(xqSrc)
 		if err != nil {
 			return Report{}, fmt.Errorf("chain program k=%d does not compile: %w", k, err)
 		}
@@ -139,7 +139,7 @@ func runE4() (Report, error) {
 	}
 	// The failing case: deepest child missing — both styles surface it.
 	kb := 4
-	qbad, _ := xq.Compile(XQueryChainProgram(kb))
+	qbad, _ := xq.CompileCached(XQueryChainProgram(kb))
 	badDoc := chainDoc(kb - 1)
 	vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(badDoc))}
 	outBad, _ := qbad.EvalWith(nil, vars)

@@ -48,11 +48,11 @@ func runE11() (Report, error) {
 
 		doc := chainDoc(k)
 		vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(doc))}
-		qConv, err := xq.Compile(convSrc)
+		qConv, err := xq.CompileCached(convSrc)
 		if err != nil {
 			return Report{}, fmt.Errorf("conventional chain k=%d does not compile: %w", k, err)
 		}
-		qTC, err := xq.Compile(tcSrc)
+		qTC, err := xq.CompileCached(tcSrc)
 		if err != nil {
 			return Report{}, fmt.Errorf("try/catch chain k=%d does not compile: %w", k, err)
 		}
@@ -74,7 +74,7 @@ func runE11() (Report, error) {
 		})
 	}
 	// The failure path still surfaces a proper message.
-	q, err := xq.Compile(TryCatchChainProgram(3))
+	q, err := xq.CompileCached(TryCatchChainProgram(3))
 	if err != nil {
 		return Report{}, fmt.Errorf("failure-path chain does not compile: %w", err)
 	}

@@ -27,7 +27,7 @@ return $y`
 
 func runTraceConfig(src string, lvl xq.OptLevel, effectful bool) (result string, traces int, eliminated int, err error) {
 	count := 0
-	q, err := xq.Compile(src,
+	q, err := xq.CompileCached(src,
 		xq.WithOptLevel(lvl),
 		xq.WithTraceEffectful(effectful),
 		xq.WithTracer(func([]string) { count++ }))
@@ -103,11 +103,11 @@ return count($hits)`
 }
 
 func runE8() (Report, error) {
-	qSeq, err := xq.Compile(stringSetProgram())
+	qSeq, err := xq.CompileCached(stringSetProgram())
 	if err != nil {
 		return Report{}, fmt.Errorf("sequence-set program does not compile: %w", err)
 	}
-	qXML, err := xq.Compile(xmlSetProgram())
+	qXML, err := xq.CompileCached(xmlSetProgram())
 	if err != nil {
 		return Report{}, fmt.Errorf("xml-set program does not compile: %w", err)
 	}

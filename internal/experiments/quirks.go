@@ -16,7 +16,7 @@ func init() {
 
 // evalStr evaluates one expression and serializes, "error: ..." on failure.
 func evalStr(src string, opts ...xq.Option) string {
-	q, err := xq.Compile(src, opts...)
+	q, err := xq.CompileCached(src, opts...)
 	if err != nil {
 		return "compile error: " + err.Error()
 	}

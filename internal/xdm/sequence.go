@@ -104,13 +104,27 @@ func FromNodes(nodes []*xmltree.Node) Sequence {
 // Atomize converts every item to its typed value: atomics pass through,
 // nodes become xs:untypedAtomic of their string value (untyped mode; the
 // project never had a usable schema, as the paper recounts).
+//
+// A sequence with no nodes atomizes to itself and is returned without
+// copying; callers must treat the result as read-only.
 func Atomize(s Sequence) Sequence {
-	out := make(Sequence, len(s))
+	first := -1
 	for i, it := range s {
-		if n, ok := IsNode(it); ok {
+		if _, ok := it.(NodeItem); ok {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return s
+	}
+	out := make(Sequence, len(s))
+	copy(out, s[:first])
+	for i := first; i < len(s); i++ {
+		if n, ok := IsNode(s[i]); ok {
 			out[i] = Untyped(n.StringValue())
 		} else {
-			out[i] = it
+			out[i] = s[i]
 		}
 	}
 	return out

@@ -9,6 +9,7 @@ package funclib
 import (
 	"math"
 	"strings"
+	"sync"
 
 	"lopsided/internal/xdm"
 )
@@ -72,9 +73,16 @@ func register(name string, minArgs, maxArgs int, call func(Context, []xdm.Sequen
 	registry[name] = &Func{Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Call: call}
 }
 
+// ctorFuncs lazily caches the xs:/xdt: constructor *Func values by type
+// name, so repeated lookups of the same constructor return one shared
+// instance instead of allocating a fresh closure per call site (or, before
+// dispatch was pre-bound, per call).
+var ctorFuncs sync.Map // typeName string -> *Func
+
 // Lookup finds a built-in by name and arity. The fn: prefix is optional, as
 // it is the default function namespace. xs:TYPE constructor functions
-// resolve for any castable atomic type.
+// resolve for any castable atomic type. The returned *Func is shared and
+// immutable: callers may hold it and Call it concurrently.
 func Lookup(name string, arity int) (*Func, bool) {
 	bare := strings.TrimPrefix(name, "fn:")
 	f, ok := registry[bare]
@@ -86,6 +94,9 @@ func Lookup(name string, arity int) (*Func, bool) {
 	}
 	// xs: constructor functions: xs:integer("42") etc.
 	if arity == 1 && (strings.HasPrefix(name, "xs:") || strings.HasPrefix(name, "xdt:")) {
+		if cached, ok := ctorFuncs.Load(name); ok {
+			return cached.(*Func), true
+		}
 		typeName := name
 		cf := &Func{Name: name, MinArgs: 1, MaxArgs: 1,
 			Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
@@ -102,7 +113,8 @@ func Lookup(name string, arity int) (*Func, bool) {
 				}
 				return xdm.Singleton(out), nil
 			}}
-		return cf, true
+		actual, _ := ctorFuncs.LoadOrStore(name, cf)
+		return actual.(*Func), true
 	}
 	return nil, false
 }

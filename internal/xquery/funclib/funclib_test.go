@@ -358,3 +358,27 @@ func TestTranslateDeletion(t *testing.T) {
 		t.Fatalf("translate deletion: %q", out[0].StringValue())
 	}
 }
+
+func TestConstructorFuncCached(t *testing.T) {
+	// xs:/xdt: constructor lookups must return one shared *Func per type
+	// name, not a fresh closure per lookup.
+	for _, name := range []string{"xs:integer", "xs:string", "xdt:untypedAtomic"} {
+		a, ok := Lookup(name, 1)
+		if !ok {
+			t.Fatalf("Lookup(%s, 1) not found", name)
+		}
+		b, ok := Lookup(name, 1)
+		if !ok {
+			t.Fatalf("second Lookup(%s, 1) not found", name)
+		}
+		if a != b {
+			t.Fatalf("Lookup(%s, 1) allocated a new *Func on repeat lookup", name)
+		}
+	}
+	// The cached constructor still works.
+	f, _ := Lookup("xs:integer", 1)
+	out, err := f.Call(&fakeCtx{}, []xdm.Sequence{one(xdm.String("42"))})
+	if err != nil || out[0].(xdm.Integer) != 42 {
+		t.Fatalf("cached constructor call: %v %v", out, err)
+	}
+}

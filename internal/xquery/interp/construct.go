@@ -20,47 +20,108 @@ import (
 //     to arrange it");
 //   - an attribute node after non-attribute content is an error (XQTY0024);
 //   - duplicate attribute names resolve per the configured policy.
+//
+// Constructors compile into plans: literal text runs, attribute-value
+// templates, and boundary-whitespace stripping decisions are resolved at
+// compile time; only enclosed expressions remain as compiled closures.
 
-// evalDirElem evaluates a direct element constructor.
-func (c *evalCtx) evalDirElem(n *ast.DirElem) (xdm.Sequence, error) {
-	el := xmltree.NewElement(n.Name)
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
+// attrPart is one run of a direct attribute value: literal text (expr nil)
+// or an enclosed expression.
+type attrPart struct {
+	static string
+	expr   compiledExpr
+}
+
+type dirAttrPlan struct {
+	name  string
+	parts []attrPart
+}
+
+// contentEntry is one entry of a direct element's content list: a literal
+// text run that survived boundary-whitespace stripping, or an enclosed
+// expression / nested constructor.
+type contentEntry struct {
+	isText bool
+	text   string
+	expr   compiledExpr
+}
+
+type dirElemPlan struct {
+	name    string
+	attrs   []dirAttrPlan
+	content []contentEntry
+	pos     ast.Pos
+}
+
+func (cp *compiler) compileDirElem(n *ast.DirElem) compiledExpr {
+	p := &dirElemPlan{name: n.Name, pos: n.Pos()}
 	for _, attr := range n.Attrs {
-		val, err := c.evalAttrValue(attr)
+		ap := dirAttrPlan{name: attr.Name}
+		for _, part := range attr.Parts {
+			if lit, ok := part.(*ast.StringLit); ok {
+				ap.parts = append(ap.parts, attrPart{static: lit.Value})
+				continue
+			}
+			ap.parts = append(ap.parts, attrPart{expr: cp.compile(part)})
+		}
+		p.attrs = append(p.attrs, ap)
+	}
+	preserve := cp.prog.mod.BoundarySpacePreserve
+	for i, expr := range n.Content {
+		if lit, ok := expr.(*ast.StringLit); ok && i < len(n.LiteralText) {
+			text := lit.Value
+			if n.LiteralText[i] && !preserve && strings.TrimSpace(text) == "" {
+				continue // boundary whitespace stripped (draft default)
+			}
+			p.content = append(p.content, contentEntry{isText: true, text: text})
+			continue
+		}
+		p.content = append(p.content, contentEntry{expr: cp.compile(expr)})
+	}
+	return p.eval
+}
+
+func (p *dirElemPlan) eval(c *evalCtx) (xdm.Sequence, error) {
+	el := xmltree.NewElement(p.name)
+	if err := c.chargeNodes(1); err != nil {
+		return nil, errAt(err, p.pos)
+	}
+	for i := range p.attrs {
+		ap := &p.attrs[i]
+		val, err := ap.value(c)
 		if err != nil {
 			return nil, err
 		}
 		if err := c.chargeNodes(1); err != nil {
-			return nil, errAt(err, n.Pos())
+			return nil, errAt(err, p.pos)
 		}
 		if err := c.chargeBytes(len(val)); err != nil {
-			return nil, errAt(err, n.Pos())
+			return nil, errAt(err, p.pos)
 		}
-		el.SetAttr(attr.Name, val)
+		el.SetAttr(ap.name, val)
 	}
-	items, err := c.contentItems(n)
+	items, err := p.contentItems(c)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.fillElement(el, items, n.Pos()); err != nil {
+	if err := c.fillElement(el, items, p.pos); err != nil {
 		return nil, err
 	}
 	return xdm.Singleton(xdm.NewNode(el)), nil
 }
 
-// evalAttrValue concatenates the literal and enclosed parts of a direct
-// attribute value; each enclosed expression's sequence is atomized and
-// space-joined (attribute value template semantics).
-func (c *evalCtx) evalAttrValue(attr ast.DirAttr) (string, error) {
+// value concatenates the literal and enclosed parts of a direct attribute
+// value; each enclosed expression's sequence is atomized and space-joined
+// (attribute value template semantics).
+func (ap *dirAttrPlan) value(c *evalCtx) (string, error) {
 	var b strings.Builder
-	for _, part := range attr.Parts {
-		if lit, ok := part.(*ast.StringLit); ok {
-			b.WriteString(lit.Value)
+	for i := range ap.parts {
+		part := &ap.parts[i]
+		if part.expr == nil {
+			b.WriteString(part.static)
 			continue
 		}
-		v, err := c.eval(part)
+		v, err := part.expr(c)
 		if err != nil {
 			return "", err
 		}
@@ -77,20 +138,16 @@ type contentItem struct {
 	seq   xdm.Sequence
 }
 
-// contentItems evaluates a direct constructor's content list, applying
-// boundary-whitespace stripping to unprotected literal runs.
-func (c *evalCtx) contentItems(n *ast.DirElem) ([]contentItem, error) {
+// contentItems evaluates the plan's content list.
+func (p *dirElemPlan) contentItems(c *evalCtx) ([]contentItem, error) {
 	var items []contentItem
-	for i, expr := range n.Content {
-		if lit, ok := expr.(*ast.StringLit); ok && i < len(n.LiteralText) {
-			text := lit.Value
-			if n.LiteralText[i] && !c.ip.mod.BoundarySpacePreserve && strings.TrimSpace(text) == "" {
-				continue // boundary whitespace stripped (draft default)
-			}
-			items = append(items, contentItem{text: text})
+	for i := range p.content {
+		entry := &p.content[i]
+		if entry.isText {
+			items = append(items, contentItem{text: entry.text})
 			continue
 		}
-		v, err := c.eval(expr)
+		v, err := entry.expr(c)
 		if err != nil {
 			return nil, err
 		}
@@ -231,11 +288,13 @@ func (c *evalCtx) foldAttribute(el *xmltree.Node, attr *xmltree.Node, pos ast.Po
 
 // ---- Computed constructors ----
 
-func (c *evalCtx) constructorName(static string, nameExpr ast.Expr, pos ast.Pos) (string, error) {
+// constructorName resolves a computed constructor's name: the static name
+// when present, otherwise the compiled name expression.
+func constructorName(c *evalCtx, static string, nameExpr compiledExpr, pos ast.Pos) (string, error) {
 	if static != "" {
 		return static, nil
 	}
-	v, err := c.eval(nameExpr)
+	v, err := nameExpr(c)
 	if err != nil {
 		return "", err
 	}
@@ -250,163 +309,213 @@ func (c *evalCtx) constructorName(static string, nameExpr ast.Expr, pos ast.Pos)
 	return name, nil
 }
 
-func (c *evalCtx) evalCompElem(n *ast.CompElem) (xdm.Sequence, error) {
-	name, err := c.constructorName(n.Name, n.NameExpr, n.Pos())
-	if err != nil {
-		return nil, err
+// compileName compiles the optional dynamic-name expression of a computed
+// constructor (nil when the name is static).
+func (cp *compiler) compileName(nameExpr ast.Expr) compiledExpr {
+	if nameExpr == nil {
+		return nil
 	}
-	el := xmltree.NewElement(name)
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
+	return cp.compile(nameExpr)
+}
+
+func (cp *compiler) compileCompElem(n *ast.CompElem) compiledExpr {
+	nameExpr := cp.compileName(n.NameExpr)
+	var content compiledExpr
 	if n.Content != nil {
-		v, err := c.eval(n.Content)
+		content = cp.compile(n.Content)
+	}
+	static, pos := n.Name, n.Pos()
+	return func(c *evalCtx) (xdm.Sequence, error) {
+		name, err := constructorName(c, static, nameExpr, pos)
 		if err != nil {
 			return nil, err
 		}
-		if err := c.fillElement(el, []contentItem{{isSeq: true, seq: v}}, n.Pos()); err != nil {
-			return nil, err
+		el := xmltree.NewElement(name)
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, pos)
 		}
-	}
-	return xdm.Singleton(xdm.NewNode(el)), nil
-}
-
-func (c *evalCtx) evalCompAttr(n *ast.CompAttr) (xdm.Sequence, error) {
-	name, err := c.constructorName(n.Name, n.NameExpr, n.Pos())
-	if err != nil {
-		return nil, err
-	}
-	val := ""
-	if n.Content != nil {
-		v, err := c.eval(n.Content)
-		if err != nil {
-			return nil, err
-		}
-		val = xdm.Atomize(v).StringJoin()
-	}
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	if err := c.chargeBytes(len(val)); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	return xdm.Singleton(xdm.NewNode(xmltree.NewAttr(name, val))), nil
-}
-
-func (c *evalCtx) evalCompText(n *ast.CompText) (xdm.Sequence, error) {
-	if n.Content == nil {
-		return xdm.Empty, nil
-	}
-	v, err := c.eval(n.Content)
-	if err != nil {
-		return nil, err
-	}
-	if v.IsEmpty() {
-		return xdm.Empty, nil
-	}
-	data := xdm.Atomize(v).StringJoin()
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	if err := c.chargeBytes(len(data)); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	return xdm.Singleton(xdm.NewNode(xmltree.NewText(data))), nil
-}
-
-func (c *evalCtx) evalCompComment(n *ast.CompComment) (xdm.Sequence, error) {
-	data := ""
-	if n.Content != nil {
-		v, err := c.eval(n.Content)
-		if err != nil {
-			return nil, err
-		}
-		data = xdm.Atomize(v).StringJoin()
-	}
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	if err := c.chargeBytes(len(data)); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	return xdm.Singleton(xdm.NewNode(xmltree.NewComment(data))), nil
-}
-
-func (c *evalCtx) evalCompPI(n *ast.CompPI) (xdm.Sequence, error) {
-	data := ""
-	if n.Content != nil {
-		v, err := c.eval(n.Content)
-		if err != nil {
-			return nil, err
-		}
-		data = xdm.Atomize(v).StringJoin()
-	}
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	if err := c.chargeBytes(len(data)); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	return xdm.Singleton(xdm.NewNode(xmltree.NewPI(n.Target, data))), nil
-}
-
-func (c *evalCtx) evalCompDoc(n *ast.CompDoc) (xdm.Sequence, error) {
-	doc := xmltree.NewDocument()
-	if err := c.chargeNodes(1); err != nil {
-		return nil, errAt(err, n.Pos())
-	}
-	if n.Content != nil {
-		v, err := c.eval(n.Content)
-		if err != nil {
-			return nil, err
-		}
-		// Document content: copy nodes; atomics become text; attributes
-		// are illegal at document level.
-		var pending []string
-		flush := func() error {
-			if len(pending) > 0 {
-				text := strings.Join(pending, " ")
-				if err := c.chargeNodes(1); err != nil {
-					return errAt(err, n.Pos())
-				}
-				if err := c.chargeBytes(len(text)); err != nil {
-					return errAt(err, n.Pos())
-				}
-				doc.AppendChild(xmltree.NewText(text))
-				pending = nil
+		if content != nil {
+			v, err := content(c)
+			if err != nil {
+				return nil, err
 			}
-			return nil
+			if err := c.fillElement(el, []contentItem{{isSeq: true, seq: v}}, pos); err != nil {
+				return nil, err
+			}
 		}
-		for _, it := range v {
-			node, isNode := xdm.IsNode(it)
-			if !isNode {
-				pending = append(pending, it.StringValue())
-				continue
+		return xdm.Singleton(xdm.NewNode(el)), nil
+	}
+}
+
+func (cp *compiler) compileCompAttr(n *ast.CompAttr) compiledExpr {
+	nameExpr := cp.compileName(n.NameExpr)
+	var content compiledExpr
+	if n.Content != nil {
+		content = cp.compile(n.Content)
+	}
+	static, pos := n.Name, n.Pos()
+	return func(c *evalCtx) (xdm.Sequence, error) {
+		name, err := constructorName(c, static, nameExpr, pos)
+		if err != nil {
+			return nil, err
+		}
+		val := ""
+		if content != nil {
+			v, err := content(c)
+			if err != nil {
+				return nil, err
+			}
+			val = xdm.Atomize(v).StringJoin()
+		}
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, pos)
+		}
+		if err := c.chargeBytes(len(val)); err != nil {
+			return nil, errAt(err, pos)
+		}
+		return xdm.Singleton(xdm.NewNode(xmltree.NewAttr(name, val))), nil
+	}
+}
+
+func (cp *compiler) compileCompText(n *ast.CompText) compiledExpr {
+	if n.Content == nil {
+		return constExpr(xdm.Empty)
+	}
+	content := cp.compile(n.Content)
+	pos := n.Pos()
+	return func(c *evalCtx) (xdm.Sequence, error) {
+		v, err := content(c)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsEmpty() {
+			return xdm.Empty, nil
+		}
+		data := xdm.Atomize(v).StringJoin()
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, pos)
+		}
+		if err := c.chargeBytes(len(data)); err != nil {
+			return nil, errAt(err, pos)
+		}
+		return xdm.Singleton(xdm.NewNode(xmltree.NewText(data))), nil
+	}
+}
+
+func (cp *compiler) compileCompComment(n *ast.CompComment) compiledExpr {
+	var content compiledExpr
+	if n.Content != nil {
+		content = cp.compile(n.Content)
+	}
+	pos := n.Pos()
+	return func(c *evalCtx) (xdm.Sequence, error) {
+		data := ""
+		if content != nil {
+			v, err := content(c)
+			if err != nil {
+				return nil, err
+			}
+			data = xdm.Atomize(v).StringJoin()
+		}
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, pos)
+		}
+		if err := c.chargeBytes(len(data)); err != nil {
+			return nil, errAt(err, pos)
+		}
+		return xdm.Singleton(xdm.NewNode(xmltree.NewComment(data))), nil
+	}
+}
+
+func (cp *compiler) compileCompPI(n *ast.CompPI) compiledExpr {
+	var content compiledExpr
+	if n.Content != nil {
+		content = cp.compile(n.Content)
+	}
+	target, pos := n.Target, n.Pos()
+	return func(c *evalCtx) (xdm.Sequence, error) {
+		data := ""
+		if content != nil {
+			v, err := content(c)
+			if err != nil {
+				return nil, err
+			}
+			data = xdm.Atomize(v).StringJoin()
+		}
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, pos)
+		}
+		if err := c.chargeBytes(len(data)); err != nil {
+			return nil, errAt(err, pos)
+		}
+		return xdm.Singleton(xdm.NewNode(xmltree.NewPI(target, data))), nil
+	}
+}
+
+func (cp *compiler) compileCompDoc(n *ast.CompDoc) compiledExpr {
+	var content compiledExpr
+	if n.Content != nil {
+		content = cp.compile(n.Content)
+	}
+	pos := n.Pos()
+	return func(c *evalCtx) (xdm.Sequence, error) {
+		doc := xmltree.NewDocument()
+		if err := c.chargeNodes(1); err != nil {
+			return nil, errAt(err, pos)
+		}
+		if content != nil {
+			v, err := content(c)
+			if err != nil {
+				return nil, err
+			}
+			// Document content: copy nodes; atomics become text; attributes
+			// are illegal at document level.
+			var pending []string
+			flush := func() error {
+				if len(pending) > 0 {
+					text := strings.Join(pending, " ")
+					if err := c.chargeNodes(1); err != nil {
+						return errAt(err, pos)
+					}
+					if err := c.chargeBytes(len(text)); err != nil {
+						return errAt(err, pos)
+					}
+					doc.AppendChild(xmltree.NewText(text))
+					pending = nil
+				}
+				return nil
+			}
+			for _, it := range v {
+				node, isNode := xdm.IsNode(it)
+				if !isNode {
+					pending = append(pending, it.StringValue())
+					continue
+				}
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				switch node.Kind {
+				case xmltree.AttributeNode:
+					return nil, &Error{Code: "XPTY0004", Pos: pos,
+						Msg: "attribute node in document constructor content"}
+				case xmltree.DocumentNode:
+					for _, kid := range node.Children {
+						if err := c.chargeNodes(xmltree.CountNodes(kid)); err != nil {
+							return nil, errAt(err, pos)
+						}
+						doc.AppendChild(kid.Clone())
+					}
+				default:
+					if err := c.chargeNodes(xmltree.CountNodes(node)); err != nil {
+						return nil, errAt(err, pos)
+					}
+					doc.AppendChild(node.Clone())
+				}
 			}
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			switch node.Kind {
-			case xmltree.AttributeNode:
-				return nil, &Error{Code: "XPTY0004", Pos: n.Pos(),
-					Msg: "attribute node in document constructor content"}
-			case xmltree.DocumentNode:
-				for _, kid := range node.Children {
-					if err := c.chargeNodes(xmltree.CountNodes(kid)); err != nil {
-						return nil, errAt(err, n.Pos())
-					}
-					doc.AppendChild(kid.Clone())
-				}
-			default:
-				if err := c.chargeNodes(xmltree.CountNodes(node)); err != nil {
-					return nil, errAt(err, n.Pos())
-				}
-				doc.AppendChild(node.Clone())
-			}
 		}
-		if err := flush(); err != nil {
-			return nil, err
-		}
+		return xdm.Singleton(xdm.NewNode(doc)), nil
 	}
-	return xdm.Singleton(xdm.NewNode(doc)), nil
 }

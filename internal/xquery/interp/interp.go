@@ -1,4 +1,8 @@
-// Package interp evaluates parsed XQuery modules.
+// Package interp evaluates parsed XQuery modules through a two-stage
+// engine: a compile layer that lowers the (optimizer-processed) AST into
+// closure-compiled expressions with slot-resolved variables and pre-bound
+// function dispatch (see compile.go), and a runtime layer that executes
+// the compiled program against per-evaluation frames.
 //
 // The evaluator runs in untyped mode — node atomization yields
 // xs:untypedAtomic, as in the paper's schema-less AWB pipeline — and
@@ -39,7 +43,10 @@ const (
 	DupAttrError
 )
 
-// Options configures an interpreter.
+// Options configures an interpreter. Options are runtime configuration
+// only: they never influence what the compile layer produces, which is
+// what lets one compiled Program back many differently-configured Interps
+// (the basis of the xq plan cache).
 type Options struct {
 	// Tracer receives fn:trace output; nil discards it.
 	Tracer func(values []string)
@@ -68,35 +75,37 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("xquery: %d:%d: %s: %s", e.Pos.Line, e.Pos.Col, e.Code, e.Msg)
 }
 
-// Interp evaluates one compiled module.
+// Interp evaluates one compiled module: an immutable compiled Program plus
+// the runtime Options for this instance.
+//
+// An Interp is safe for concurrent use: the compiled program is read-only
+// after construction and every evaluation allocates its own frames, so any
+// number of goroutines may call Eval/EvalContext on one Interp at once.
 type Interp struct {
-	mod   *ast.Module
-	opts  Options
-	funcs map[string]map[int]*ast.FuncDecl
+	prog *Program
+	opts Options
 }
 
-// New prepares an interpreter for a parsed module.
+// New compiles a parsed module and prepares an interpreter for it.
 func New(mod *ast.Module, opts Options) (*Interp, error) {
+	prog, err := NewProgram(mod)
+	if err != nil {
+		return nil, err
+	}
+	return FromProgram(prog, opts), nil
+}
+
+// FromProgram wraps an already-compiled program with runtime options. The
+// program may be shared: many Interps with different options can execute
+// the same Program concurrently.
+func FromProgram(prog *Program, opts Options) *Interp {
 	if opts.Limits.MaxDepth > 0 {
 		opts.MaxDepth = opts.Limits.MaxDepth
 	}
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 8192
 	}
-	ip := &Interp{mod: mod, opts: opts, funcs: map[string]map[int]*ast.FuncDecl{}}
-	for _, f := range mod.Functions {
-		byArity := ip.funcs[f.Name]
-		if byArity == nil {
-			byArity = map[int]*ast.FuncDecl{}
-			ip.funcs[f.Name] = byArity
-		}
-		if _, dup := byArity[len(f.Params)]; dup {
-			return nil, &Error{Code: "XQST0034", Pos: f.P,
-				Msg: fmt.Sprintf("function %s/%d declared twice", f.Name, len(f.Params))}
-		}
-		byArity[len(f.Params)] = f
-	}
-	return ip, nil
+	return &Interp{prog: prog, opts: opts}
 }
 
 // Compile parses and prepares src in one step.
@@ -109,7 +118,10 @@ func Compile(src string, opts Options) (*Interp, error) {
 }
 
 // Module returns the underlying parsed module.
-func (ip *Interp) Module() *ast.Module { return ip.mod }
+func (ip *Interp) Module() *ast.Module { return ip.prog.mod }
+
+// Program returns the compiled program backing this interpreter.
+func (ip *Interp) Program() *Program { return ip.prog }
 
 // focus is the dynamic focus: context item, position, size.
 type focus struct {
@@ -119,33 +131,21 @@ type focus struct {
 	set  bool
 }
 
-// env is a persistent variable environment.
-type env struct {
-	parent *env
-	name   string
-	val    xdm.Sequence
-}
-
-func (e *env) bind(name string, val xdm.Sequence) *env {
-	return &env{parent: e, name: name, val: val}
-}
-
-func (e *env) lookup(name string) (xdm.Sequence, bool) {
-	for cur := e; cur != nil; cur = cur.parent {
-		if cur.name == name {
-			return cur.val, true
-		}
-	}
-	return nil, false
-}
-
-// evalCtx carries evaluation state; it implements funclib.Context.
+// evalCtx carries the runtime state of one evaluation; it implements
+// funclib.Context. Variables live in flat slot-indexed frames resolved at
+// compile time — frame for the current scope's locals, globals for prolog
+// and external variables — so the runtime never looks a variable up by
+// name.
 type evalCtx struct {
 	ip *Interp
-	// env is the current lexical environment; globals is the environment
-	// holding the prolog variables, the base for user-function bodies.
-	env     *env
-	globals *env
+	// frame holds the current scope's local bindings (FLWOR/quantified/
+	// typeswitch/try-catch variables and function parameters), indexed by
+	// the slots the compiler assigned.
+	frame []xdm.Sequence
+	// globals holds prolog and externally-supplied variables, shared by
+	// every scope of the evaluation; gset marks which slots are bound.
+	globals []xdm.Sequence
+	gset    []bool
 	focus   focus
 	depth   int
 	// bud is the shared per-evaluation resource budget; nil = unlimited.
@@ -211,6 +211,9 @@ func (ip *Interp) Eval(ctxItem xdm.Item, vars map[string]xdm.Sequence) (xdm.Sequ
 // embedding process. Goroutine-stack overflow is the one failure Go does
 // not let us recover; the parser's nesting limits and the recursion depth
 // limit exist to keep evaluation away from it.
+//
+// EvalContext is safe to call concurrently on one Interp: each call builds
+// its own frames and budget over the shared read-only program.
 func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[string]xdm.Sequence) (out xdm.Sequence, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -218,32 +221,41 @@ func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[st
 			err = &Error{Code: CodePanic, Msg: fmt.Sprintf("internal panic contained at Eval boundary: %v", r)}
 		}
 	}()
-	c := &evalCtx{ip: ip, bud: newBudget(ctx, ip.opts.Limits)}
+	p := ip.prog
+	c := &evalCtx{
+		ip:      ip,
+		bud:     newBudget(ctx, ip.opts.Limits),
+		frame:   make([]xdm.Sequence, p.frameSize),
+		globals: make([]xdm.Sequence, len(p.globalNames)),
+		gset:    make([]bool, len(p.globalNames)),
+	}
 	for name, val := range vars {
-		c.env = c.env.bind(name, val)
+		if slot, ok := p.globalIdx[name]; ok {
+			c.globals[slot] = val
+			c.gset[slot] = true
+		}
 	}
 	if ctxItem != nil {
 		c.focus = focus{item: ctxItem, pos: 1, size: 1, set: true}
 	}
-	// Prolog variables evaluate in order, each seeing the previous ones;
-	// the resulting environment is the global base for function bodies.
-	c.globals = c.env
-	for _, vd := range ip.mod.Vars {
-		if vd.Val == nil {
-			if _, ok := c.env.lookup(vd.Name); !ok {
-				return nil, &Error{Code: "XPDY0002", Pos: vd.P,
-					Msg: fmt.Sprintf("external variable $%s not supplied", vd.Name)}
+	// Prolog variables evaluate in order, each seeing the external
+	// variables plus the prolog variables before it.
+	for _, st := range p.prolog {
+		if st.init == nil {
+			if !c.gset[st.slot] {
+				return nil, &Error{Code: "XPDY0002", Pos: st.pos,
+					Msg: fmt.Sprintf("external variable $%s not supplied", st.name)}
 			}
 			continue
 		}
-		val, err := c.eval(vd.Val)
+		val, err := st.init(c)
 		if err != nil {
 			return nil, err
 		}
-		c.env = c.env.bind(vd.Name, val)
-		c.globals = c.env
+		c.globals[st.slot] = val
+		c.gset[st.slot] = true
 	}
-	return c.eval(ip.mod.Body)
+	return p.body(c)
 }
 
 // EvalString is a convenience for tests and tools: evaluate and serialize
@@ -281,4 +293,17 @@ func errAt(err error, pos ast.Pos) error {
 		return &Error{Code: e.Code, Msg: e.Desc, Pos: pos}
 	}
 	return &Error{Code: "FOER0000", Msg: err.Error(), Pos: pos}
+}
+
+// errorParts extracts (code, description) from any evaluation error.
+func errorParts(err error) (code, msg string) {
+	switch e := err.(type) {
+	case *Error:
+		return e.Code, e.Msg
+	case *xdm.Error:
+		return e.Code, e.Msg
+	case *funclib.ErrorValue:
+		return e.Code, e.Desc
+	}
+	return "FOER0000", err.Error()
 }

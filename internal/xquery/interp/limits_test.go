@@ -218,3 +218,106 @@ func TestIsLimitCode(t *testing.T) {
 		}
 	}
 }
+
+// ---- Threshold parity through the compiled path ----
+//
+// The exact budget consumption of representative programs, measured on the
+// pre-refactor tree-walking evaluator. The closure-compiled engine charges
+// at the same sites, so each program must succeed with exactly its
+// threshold and trip one unit below it — byte-for-byte budget parity.
+
+// thresholdCase is one program with its measured exact budget consumption.
+type thresholdCase struct {
+	name string
+	src  string
+	need int64
+}
+
+// checkThreshold asserts src completes with budget `need` and trips with
+// code `code` at `need-1`.
+func checkThreshold(t *testing.T, tc thresholdCase, mk func(n int64) Limits, code string) {
+	t.Helper()
+	t.Run(tc.name, func(t *testing.T) {
+		if err := evalLimited(t, tc.src, mk(tc.need), Options{}); err != nil {
+			t.Fatalf("budget %d should be exactly enough: %v", tc.need, err)
+		}
+		wantCode(t, evalLimited(t, tc.src, mk(tc.need-1), Options{}), code)
+	})
+}
+
+func TestStepBudgetExactThresholds(t *testing.T) {
+	cases := []thresholdCase{
+		{"arith", `1 + 2`, 3},
+		{"flwor", `for $i in 1 to 5 return $i * 2`, 24},
+		{"let-count", `let $x := (1,2,3) return count($x)`, 7},
+		{"construct", `<a id="1"><b/>{ "hi" }</a>`, 2},
+		{"string-join", `string-join(("aa","bb","cc"), "-")`, 6},
+	}
+	for _, tc := range cases {
+		checkThreshold(t, tc, func(n int64) Limits { return Limits{MaxSteps: n} }, CodeSteps)
+	}
+}
+
+func TestNodeBudgetExactThresholds(t *testing.T) {
+	cases := []thresholdCase{
+		{"direct", `<a id="1"><b/>{ "hi" }</a>`, 5},
+		{"computed", `element out { (attribute k {"v"}, <x/>, "text") }`, 6},
+	}
+	for _, tc := range cases {
+		checkThreshold(t, tc, func(n int64) Limits { return Limits{MaxNodes: n} }, CodeNodes)
+	}
+}
+
+func TestOutputByteBudgetExactThresholds(t *testing.T) {
+	cases := []thresholdCase{
+		{"direct", `<a id="1"><b/>{ "hi" }</a>`, 3},
+		{"comp-text", `text { "hello world" }`, 11},
+	}
+	for _, tc := range cases {
+		checkThreshold(t, tc, func(n int64) Limits { return Limits{MaxOutputBytes: n} }, CodeOutput)
+	}
+}
+
+func TestDepthLimitExactThreshold(t *testing.T) {
+	// Recursion to depth 10 needs MaxDepth 11 (the initial call plus ten
+	// recursive frames).
+	tc := thresholdCase{"recursion-10", `
+		declare function local:down($n) {
+		  if ($n = 0) then 0 else local:down($n - 1)
+		};
+		local:down(10)`, 11}
+	checkThreshold(t, tc, func(n int64) Limits { return Limits{MaxDepth: int(n)} }, CodeDepth)
+}
+
+// ---- Uncatchability of exhausted budgets through the compiled path ----
+
+func TestStepBudgetNotCatchable(t *testing.T) {
+	err := evalLimited(t,
+		`try { for $i in 1 to 5 return $i * 2 } catch { "escaped" }`,
+		Limits{MaxSteps: 23}, Options{})
+	wantCode(t, err, CodeSteps)
+}
+
+func TestNodeBudgetNotCatchable(t *testing.T) {
+	err := evalLimited(t,
+		`try { <a id="1"><b/>{ "hi" }</a> } catch { "escaped" }`,
+		Limits{MaxNodes: 4}, Options{})
+	wantCode(t, err, CodeNodes)
+}
+
+func TestOutputByteBudgetNotCatchable(t *testing.T) {
+	err := evalLimited(t,
+		`try { text { "hello world" } } catch { "escaped" }`,
+		Limits{MaxOutputBytes: 10}, Options{})
+	wantCode(t, err, CodeOutput)
+}
+
+func TestTimeoutNotCatchable(t *testing.T) {
+	err := evalLimited(t,
+		`try { for $i in 1 to 40000000 return $i * 2 } catch { "escaped" }`,
+		Limits{Timeout: 100 * time.Millisecond}, Options{})
+	wantCode(t, err, CodeTimeout)
+}
+
+// Depth (LOPS0003) stays deliberately catchable — a per-call-chain
+// condition, not a global budget; TestDepthErrorRemainsCatchable covers it.

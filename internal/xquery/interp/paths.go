@@ -8,39 +8,147 @@ import (
 	"lopsided/internal/xquery/ast"
 )
 
-// evalPath evaluates a path expression: optional rooting, then steps, each
+// Path expressions compile into pathPlans: the axis function and node test
+// of every step are resolved to direct funcs at compile time, and the
+// primaries/predicates are closure-compiled. The runtime walk mutates the
+// context focus in place (saving and restoring around each use) instead of
+// copying the whole evaluation context per item.
+
+// predPlan is one compiled predicate.
+type predPlan struct {
+	expr compiledExpr
+	pos  ast.Pos
+}
+
+// stepPlan is one compiled path step: an axis step (axisFunc+test) or a
+// filter step (primary non-nil), each with predicates.
+type stepPlan struct {
+	axisFunc func(*xmltree.Node) []*xmltree.Node
+	test     func(*xmltree.Node) bool
+	primary  compiledExpr
+	preds    []predPlan
+	pos      ast.Pos
+}
+
+type pathPlan struct {
+	root  ast.PathRoot
+	steps []stepPlan
+	pos   ast.Pos
+}
+
+func (cp *compiler) compilePath(n *ast.PathExpr) compiledExpr {
+	p := &pathPlan{root: n.Root, pos: n.Pos()}
+	for _, st := range n.Steps {
+		p.steps = append(p.steps, cp.compileStep(st))
+	}
+	// A single filter step with no rooting is a standalone filter
+	// expression, not a path: no homogeneity requirement, no document-order
+	// sorting.
+	if n.Root == ast.RootNone && len(n.Steps) == 1 && n.Steps[0].Primary != nil {
+		sp := &p.steps[0]
+		return sp.eval
+	}
+	return p.eval
+}
+
+func (cp *compiler) compileStep(st ast.Step) stepPlan {
+	sp := stepPlan{pos: st.P}
+	if st.Primary != nil {
+		sp.primary = cp.compile(st.Primary)
+	} else {
+		sp.axisFunc = axisFunc(st.Axis)
+		sp.test = makeTest(st.Test, st.Axis)
+	}
+	for _, pr := range st.Preds {
+		sp.preds = append(sp.preds, predPlan{expr: cp.compile(pr), pos: pr.Pos()})
+	}
+	return sp
+}
+
+func axisFunc(axis ast.Axis) func(*xmltree.Node) []*xmltree.Node {
+	switch axis {
+	case ast.AxisChild:
+		return xmltree.ChildAxis
+	case ast.AxisDescendant:
+		return xmltree.DescendantAxis
+	case ast.AxisAttribute:
+		return xmltree.AttributeAxis
+	case ast.AxisSelf:
+		return xmltree.SelfAxis
+	case ast.AxisDescendantOrSelf:
+		return xmltree.DescendantOrSelfAxis
+	case ast.AxisFollowingSibling:
+		return xmltree.FollowingSiblingAxis
+	case ast.AxisFollowing:
+		return xmltree.FollowingAxis
+	case ast.AxisParent:
+		return xmltree.ParentAxis
+	case ast.AxisAncestor:
+		return xmltree.AncestorAxis
+	case ast.AxisPrecedingSibling:
+		return xmltree.PrecedingSiblingAxis
+	case ast.AxisPreceding:
+		return xmltree.PrecedingAxis
+	case ast.AxisAncestorOrSelf:
+		return xmltree.AncestorOrSelfAxis
+	}
+	return func(*xmltree.Node) []*xmltree.Node { return nil }
+}
+
+// makeTest compiles a node test into a direct matcher. Name tests select
+// the axis's principal node kind: attributes on the attribute axis,
+// elements elsewhere.
+func makeTest(test ast.NodeTest, axis ast.Axis) func(*xmltree.Node) bool {
+	if test.Kind != nil {
+		kind := test.Kind
+		return func(n *xmltree.Node) bool { return kind.MatchesItem(xdm.NewNode(n)) }
+	}
+	principal := xmltree.ElementNode
+	if axis == ast.AxisAttribute {
+		principal = xmltree.AttributeNode
+	}
+	name := test.Name
+	switch {
+	case name == "*":
+		return func(n *xmltree.Node) bool { return n.Kind == principal }
+	case strings.HasSuffix(name, ":*"):
+		prefix := strings.TrimSuffix(name, ":*")
+		return func(n *xmltree.Node) bool { return n.Kind == principal && n.Prefix() == prefix }
+	case strings.HasPrefix(name, "*:"):
+		local := strings.TrimPrefix(name, "*:")
+		return func(n *xmltree.Node) bool { return n.Kind == principal && n.LocalName() == local }
+	}
+	return func(n *xmltree.Node) bool { return n.Kind == principal && n.Name == name }
+}
+
+// eval evaluates the compiled path: optional rooting, then steps, each
 // applied to every item of the previous step's result with a fresh focus.
-func (c *evalCtx) evalPath(n *ast.PathExpr) (xdm.Sequence, error) {
+func (p *pathPlan) eval(c *evalCtx) (xdm.Sequence, error) {
 	var current xdm.Sequence
-	switch n.Root {
+	switch p.root {
 	case ast.RootNone:
-		// A single filter step is a standalone filter expression, not a
-		// path: no homogeneity requirement, no document-order sorting.
-		if len(n.Steps) == 1 && n.Steps[0].Primary != nil {
-			return c.evalStep(n.Steps[0])
-		}
 		// First step runs against the current focus (axis steps) or no
 		// input at all (filter steps such as variables and literals).
-		return c.evalSteps(n, n.Steps, nil)
+		return p.evalSteps(c, nil)
 	case ast.RootSlash, ast.RootSlashSlash:
 		it, err := c.FocusItem()
 		if err != nil {
-			return nil, errAt(err, n.Pos())
+			return nil, errAt(err, p.pos)
 		}
 		node, ok := xdm.IsNode(it)
 		if !ok {
-			return nil, &Error{Code: "XPDY0050", Pos: n.Pos(), Msg: "'/' with a non-node context item"}
+			return nil, &Error{Code: "XPDY0050", Pos: p.pos, Msg: "'/' with a non-node context item"}
 		}
 		root := node.Root()
 		current = xdm.Singleton(xdm.NewNode(root))
-		if n.Root == ast.RootSlashSlash {
+		if p.root == ast.RootSlashSlash {
 			// Leading // is /descendant-or-self::node()/ before the steps.
 			current = xdm.FromNodes(xmltree.DescendantOrSelfAxis(root))
 		}
-		if len(n.Steps) == 0 {
+		if len(p.steps) == 0 {
 			return current, nil
 		}
-		return c.evalSteps(n, n.Steps, current)
+		return p.evalSteps(c, current)
 	}
 	return current, nil
 }
@@ -48,27 +156,35 @@ func (c *evalCtx) evalPath(n *ast.PathExpr) (xdm.Sequence, error) {
 // evalSteps applies each step in order. input nil means "use current focus
 // for axis steps, nothing for filter steps" (the first step of a relative
 // path).
-func (c *evalCtx) evalSteps(n *ast.PathExpr, steps []ast.Step, input xdm.Sequence) (xdm.Sequence, error) {
+func (p *pathPlan) evalSteps(c *evalCtx, input xdm.Sequence) (xdm.Sequence, error) {
 	current := input
-	for si, step := range steps {
+	saved := c.focus
+	for si := range p.steps {
+		sp := &p.steps[si]
 		var result xdm.Sequence
 		if current == nil {
-			// First step of a relative path.
+			// First step of a relative path: axis steps need the enclosing
+			// focus, filter primaries are focus-free.
+			if sp.primary == nil && !c.focus.set {
+				return nil, &Error{Code: "XPDY0002", Pos: sp.pos,
+					Msg: "axis step with no context item"}
+			}
 			var err error
-			result, err = c.evalFirstStep(step)
+			result, err = sp.eval(c)
 			if err != nil {
 				return nil, err
 			}
 		} else {
 			for pos, it := range current {
-				inner := *c
-				inner.focus = focus{item: it, pos: pos + 1, size: len(current), set: true}
-				part, err := inner.evalStep(step)
+				c.focus = focus{item: it, pos: pos + 1, size: len(current), set: true}
+				part, err := sp.eval(c)
 				if err != nil {
+					c.focus = saved
 					return nil, err
 				}
 				result = xdm.Concat(result, part)
 			}
+			c.focus = saved
 		}
 		// Normalize node results into document order; mixed node/atomic
 		// results are illegal; pure atomic results are allowed only in the
@@ -76,16 +192,16 @@ func (c *evalCtx) evalSteps(n *ast.PathExpr, steps []ast.Step, input xdm.Sequenc
 		hasNode, hasAtomic := classify(result)
 		switch {
 		case hasNode && hasAtomic:
-			return nil, &Error{Code: "XPTY0018", Pos: step.P,
+			return nil, &Error{Code: "XPTY0018", Pos: sp.pos,
 				Msg: "path step produced both nodes and atomic values"}
 		case hasNode:
 			sorted, err := xdm.SortDoc(result)
 			if err != nil {
-				return nil, errAt(err, step.P)
+				return nil, errAt(err, sp.pos)
 			}
 			result = sorted
-		case hasAtomic && si < len(steps)-1:
-			return nil, &Error{Code: "XPTY0019", Pos: steps[si+1].P,
+		case hasAtomic && si < len(p.steps)-1:
+			return nil, &Error{Code: "XPTY0019", Pos: p.steps[si+1].pos,
 				Msg: "path step applied to atomic values"}
 		}
 		current = result
@@ -104,120 +220,60 @@ func classify(s xdm.Sequence) (hasNode, hasAtomic bool) {
 	return hasNode, hasAtomic
 }
 
-// evalFirstStep evaluates the first step of a relative path, which uses the
-// enclosing focus for axis steps and is focus-free for filter primaries.
-func (c *evalCtx) evalFirstStep(step ast.Step) (xdm.Sequence, error) {
-	if step.Primary == nil && !c.focus.set {
-		return nil, &Error{Code: "XPDY0002", Pos: step.P,
-			Msg: "axis step with no context item"}
-	}
-	return c.evalStep(step)
-}
-
-func (c *evalCtx) evalStep(step ast.Step) (xdm.Sequence, error) {
-	if step.Primary != nil {
-		prim, err := c.eval(step.Primary)
+// eval evaluates one step against the current focus.
+func (sp *stepPlan) eval(c *evalCtx) (xdm.Sequence, error) {
+	if sp.primary != nil {
+		prim, err := sp.primary(c)
 		if err != nil {
 			return nil, err
 		}
-		return c.applyPredicates(prim, step.Preds, false)
+		return sp.applyPredicates(c, prim)
 	}
 	it, err := c.FocusItem()
 	if err != nil {
-		return nil, errAt(err, step.P)
+		return nil, errAt(err, sp.pos)
 	}
 	node, ok := xdm.IsNode(it)
 	if !ok {
-		return nil, &Error{Code: "XPTY0019", Pos: step.P,
+		return nil, &Error{Code: "XPTY0019", Pos: sp.pos,
 			Msg: "axis step applied to atomic value " + it.TypeName()}
 	}
-	var nodes []*xmltree.Node
-	switch step.Axis {
-	case ast.AxisChild:
-		nodes = xmltree.ChildAxis(node)
-	case ast.AxisDescendant:
-		nodes = xmltree.DescendantAxis(node)
-	case ast.AxisAttribute:
-		nodes = xmltree.AttributeAxis(node)
-	case ast.AxisSelf:
-		nodes = xmltree.SelfAxis(node)
-	case ast.AxisDescendantOrSelf:
-		nodes = xmltree.DescendantOrSelfAxis(node)
-	case ast.AxisFollowingSibling:
-		nodes = xmltree.FollowingSiblingAxis(node)
-	case ast.AxisFollowing:
-		nodes = xmltree.FollowingAxis(node)
-	case ast.AxisParent:
-		nodes = xmltree.ParentAxis(node)
-	case ast.AxisAncestor:
-		nodes = xmltree.AncestorAxis(node)
-	case ast.AxisPrecedingSibling:
-		nodes = xmltree.PrecedingSiblingAxis(node)
-	case ast.AxisPreceding:
-		nodes = xmltree.PrecedingAxis(node)
-	case ast.AxisAncestorOrSelf:
-		nodes = xmltree.AncestorOrSelfAxis(node)
-	}
+	nodes := sp.axisFunc(node)
 	filtered := nodes[:0:0]
 	for _, cand := range nodes {
-		if matchesTest(cand, step.Test, step.Axis) {
+		if sp.test(cand) {
 			filtered = append(filtered, cand)
 		}
 	}
 	// Predicates see positions in axis order (reverse axes count backward
 	// from the context node), which is already the order of `filtered`.
-	return c.applyPredicates(xdm.FromNodes(filtered), step.Preds, false)
-}
-
-// matchesTest applies a node test. Name tests select the axis's principal
-// node kind: attributes on the attribute axis, elements elsewhere.
-func matchesTest(n *xmltree.Node, test ast.NodeTest, axis ast.Axis) bool {
-	if test.Kind != nil {
-		return test.Kind.MatchesItem(xdm.NewNode(n))
-	}
-	if axis == ast.AxisAttribute {
-		if n.Kind != xmltree.AttributeNode {
-			return false
-		}
-	} else if n.Kind != xmltree.ElementNode {
-		return false
-	}
-	return nameMatches(n, test.Name)
-}
-
-func nameMatches(n *xmltree.Node, pattern string) bool {
-	switch {
-	case pattern == "*":
-		return true
-	case strings.HasSuffix(pattern, ":*"):
-		return n.Prefix() == strings.TrimSuffix(pattern, ":*")
-	case strings.HasPrefix(pattern, "*:"):
-		return n.LocalName() == strings.TrimPrefix(pattern, "*:")
-	}
-	return n.Name == pattern
+	return sp.applyPredicates(c, xdm.FromNodes(filtered))
 }
 
 // applyPredicates filters seq through each predicate in turn. A predicate
 // evaluating to a singleton numeric value selects by position; anything
 // else filters by effective boolean value.
-func (c *evalCtx) applyPredicates(seq xdm.Sequence, preds []ast.Expr, reverse bool) (xdm.Sequence, error) {
-	for _, pred := range preds {
+func (sp *stepPlan) applyPredicates(c *evalCtx, seq xdm.Sequence) (xdm.Sequence, error) {
+	if len(sp.preds) == 0 {
+		return seq, nil
+	}
+	saved := c.focus
+	for pi := range sp.preds {
+		pred := &sp.preds[pi]
 		var kept xdm.Sequence
 		size := len(seq)
 		for i, it := range seq {
 			pos := i + 1
-			if reverse {
-				pos = size - i
-			}
-			inner := *c
-			inner.focus = focus{item: it, pos: pos, size: size, set: true}
-			pv, err := inner.eval(pred)
+			c.focus = focus{item: it, pos: pos, size: size, set: true}
+			pv, err := pred.expr(c)
 			if err != nil {
+				c.focus = saved
 				return nil, err
 			}
 			keep, err := predicateHolds(pv, pos)
 			if err != nil {
-				return nil, errAt(err, pred.Pos())
+				c.focus = saved
+				return nil, errAt(err, pred.pos)
 			}
 			if keep {
 				kept = append(kept, it)
@@ -225,6 +281,7 @@ func (c *evalCtx) applyPredicates(seq xdm.Sequence, preds []ast.Expr, reverse bo
 		}
 		seq = kept
 	}
+	c.focus = saved
 	return seq, nil
 }
 

@@ -1,0 +1,100 @@
+package xq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lopsided/internal/xquery/interp"
+	"lopsided/internal/xquery/optimizer"
+	"lopsided/internal/xquery/parser"
+)
+
+// The process-wide plan cache. Most embedders (the document generator, the
+// AWB calculus, the CLIs) compile a small fixed set of programs and then
+// evaluate them against many inputs — often from many goroutines. Caching
+// the compiled plan makes repeat compilation a map hit.
+//
+// The key is the source text plus the option fingerprint that affects
+// compilation: the optimizer level and the trace-effectfulness flag.
+// Everything else in Options is runtime-only configuration (tracers,
+// resolvers, limits, policies) and is applied per returned *Query, so
+// callers with different runtime options still share one compiled plan.
+
+type planKey struct {
+	src            string
+	optLevel       OptLevel
+	traceEffectful bool
+}
+
+// planEntry is one cache slot. The sync.Once makes concurrent first
+// requests for the same key compile exactly once; the losers block until
+// the winner finishes and then share its result.
+type planEntry struct {
+	once  sync.Once
+	prog  *interp.Program
+	stats optimizer.Stats
+	err   error
+}
+
+var (
+	planCache sync.Map // planKey -> *planEntry
+
+	// Cache effectiveness counters, exposed via PlanCacheStats.
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+)
+
+// CompileCached is Compile backed by a process-wide concurrent plan cache.
+// The compiled plan is keyed by the source text and the compile-affecting
+// options (optimizer level, trace effectfulness); runtime options such as
+// tracers, document resolvers, limits, and duplicate-attribute policies are
+// applied to the returned *Query without affecting the shared plan.
+//
+// Compilation errors are cached too: recompiling a bad program is as cheap
+// as recompiling a good one.
+//
+// The cache never evicts. It is intended for the common embedding shape —
+// a bounded set of programs compiled from static templates — not for
+// caching unbounded user-supplied source; use Compile for one-off programs.
+func CompileCached(src string, opts ...Option) (*Query, error) {
+	cfg := config{optLevel: O2, traceIsEffectful: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	key := planKey{src: src, optLevel: cfg.optLevel, traceEffectful: cfg.traceIsEffectful}
+	v, ok := planCache.Load(key)
+	if !ok {
+		v, _ = planCache.LoadOrStore(key, &planEntry{})
+	}
+	e := v.(*planEntry)
+	missed := false
+	e.once.Do(func() {
+		missed = true
+		mod, err := parser.Parse(src)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.stats = optimizer.Optimize(mod, optimizer.Options{
+			Level:            cfg.optLevel,
+			TraceIsEffectful: cfg.traceIsEffectful,
+		})
+		e.prog, e.err = interp.NewProgram(mod)
+	})
+	if missed {
+		planMisses.Add(1)
+	} else {
+		planHits.Add(1)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return newQuery(e.prog, e.stats, cfg), nil
+}
+
+// PlanCacheStats reports how the process-wide plan cache has performed:
+// hits, misses, and the number of cached plans (including cached failures).
+func PlanCacheStats() (hits, misses, entries int64) {
+	planCache.Range(func(any, any) bool { entries++; return true })
+	return planHits.Load(), planMisses.Load(), entries
+}

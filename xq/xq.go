@@ -24,6 +24,7 @@ import (
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/interp"
 	"lopsided/internal/xquery/optimizer"
+	"lopsided/internal/xquery/parser"
 )
 
 // Sequence is an XQuery result sequence (always flat).
@@ -130,8 +131,17 @@ func WithTimeout(d time.Duration) Option { return func(c *config) { c.limits.Tim
 // Query.EvalContext instead to scope cancellation to a single evaluation.
 func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
-// Query is a compiled, optimized XQuery program, safe for repeated
-// evaluation (evaluations do not share mutable state).
+// Query is a compiled, optimized XQuery program with an explicit
+// compile-once / evaluate-many contract: compilation (parse, optimize,
+// closure-lowering) happens once, and the compiled plan is immutable
+// afterward.
+//
+// A *Query is safe for concurrent use. Any number of goroutines may call
+// Eval/EvalWith/EvalContext on one Query simultaneously: every evaluation
+// allocates its own variable frames and resource budget over the shared
+// read-only plan. The only shared mutable touch points are the callbacks
+// the caller installed (WithTracer, WithDocResolver), which must themselves
+// be safe for concurrent invocation.
 type Query struct {
 	ip  *interp.Interp
 	ctx context.Context
@@ -139,31 +149,45 @@ type Query struct {
 	Stats optimizer.Stats
 }
 
-// Compile parses and optimizes an XQuery program.
+// Compile parses, optimizes, and compiles an XQuery program: the AST is
+// lowered once into a closure-compiled plan with slot-resolved variables
+// and pre-bound function dispatch, so repeated evaluations pay no
+// per-evaluation analysis cost.
 func Compile(src string, opts ...Option) (*Query, error) {
 	cfg := config{optLevel: O2, traceIsEffectful: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ip, err := interp.Compile(src, interp.Options{
+	mod, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	stats := optimizer.Optimize(mod, optimizer.Options{
+		Level:            cfg.optLevel,
+		TraceIsEffectful: cfg.traceIsEffectful,
+	})
+	prog, err := interp.NewProgram(mod)
+	if err != nil {
+		return nil, err
+	}
+	return newQuery(prog, stats, cfg), nil
+}
+
+// newQuery wraps a compiled (possibly shared) program with this caller's
+// runtime configuration.
+func newQuery(prog *interp.Program, stats optimizer.Stats, cfg config) *Query {
+	ip := interp.FromProgram(prog, interp.Options{
 		Tracer:      cfg.tracer,
 		DocResolver: cfg.docResolver,
 		MaxDepth:    cfg.maxDepth,
 		DupAttr:     cfg.dupAttr,
 		Limits:      cfg.limits,
 	})
-	if err != nil {
-		return nil, err
-	}
-	stats := optimizer.Optimize(ip.Module(), optimizer.Options{
-		Level:            cfg.optLevel,
-		TraceIsEffectful: cfg.traceIsEffectful,
-	})
 	q := &Query{ip: ip, ctx: cfg.ctx, Stats: stats}
 	if q.ctx == nil {
 		q.ctx = context.Background()
 	}
-	return q, nil
+	return q
 }
 
 // MustCompile is Compile that panics on error, for static programs.
