@@ -80,7 +80,7 @@ func benchEvalCompiled(b *testing.B, src string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.EvalWith(nil, nil); err != nil {
+		if _, err := q.Eval(nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,7 +23,7 @@ func BenchmarkPaperTable1Row(b *testing.B) {
 	q := xq.MustCompile(`let $X := ("1a","1b") let $Y := 2 let $Z := 3 return ($X,$Y,$Z)[2]`)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.EvalWith(nil, nil); err != nil {
+		if _, err := q.Eval(nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +77,7 @@ func BenchmarkErrorChainXQuery(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := q.EvalWith(nil, vars); err != nil {
+				if _, err := q.Eval(nil, nil, xq.WithVars(vars)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -224,7 +224,7 @@ func benchOptLevel(b *testing.B, lvl xq.OptLevel) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.EvalWith(nil, nil); err != nil {
+		if _, err := q.Eval(nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -240,7 +240,7 @@ func benchSet(b *testing.B, src string, n int) {
 	vars := map[string]xq.Sequence{"n": xq.Singleton(xq.Integer(n))}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.EvalWith(nil, vars); err != nil {
+		if _, err := q.Eval(nil, nil, xq.WithVars(vars)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -317,7 +317,7 @@ func BenchmarkErrorChainTryCatch(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := q.EvalWith(nil, vars); err != nil {
+				if _, err := q.Eval(nil, nil, xq.WithVars(vars)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,6 +4,7 @@
 //	awbgen -demo -engine=xquery -indent
 //	awbgen -model model.xml -template report.xml -engine=native -o out.html
 //	awbgen -demo -degrade -fault-rate 0.3
+//	awbgen -demo -engine=xquery -slow-query 10ms
 //
 // -degrade switches the native generator into Accumulate mode: recoverable
 // trouble (missing properties, bad selectors, injected faults) is marked
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lopsided/internal/awb"
 	"lopsided/internal/cliutil"
@@ -26,6 +28,7 @@ import (
 	"lopsided/internal/faultinject"
 	"lopsided/internal/workload"
 	"lopsided/internal/xmltree"
+	"lopsided/xq"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 	degrade := flag.Bool("degrade", false, "accumulate recoverable trouble as inline problem markers instead of aborting")
 	faultRate := flag.Float64("fault-rate", 0, "inject property-read faults with this probability (native engine)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+	slowQuery := flag.Duration("slow-query", 0, "log any xquery phase slower than this to stderr with its stats (0 = off)")
 	flag.Parse()
 
 	var (
@@ -83,7 +87,13 @@ func main() {
 			gen = native.New()
 		}
 	case "xquery":
-		gen = xqgen.New()
+		xg := xqgen.New()
+		if *slowQuery > 0 {
+			xg.SlowQueryLog(*slowQuery, func(phase int, st xq.EvalStats) {
+				fmt.Fprintf(os.Stderr, "slow-query: phase %d took %v (%s)\n", phase, st.Wall.Round(time.Microsecond), st.String())
+			})
+		}
+		gen = xg
 	default:
 		fatal(fmt.Errorf("unknown engine %q (native|xquery)", *engine))
 	}

@@ -4,6 +4,8 @@
 //	awbquery -demo -e '<query><start type="User"/><sort by="label"/></query>'
 //	awbquery -model m.xml -query q.xml -engine=xquery -print-xquery
 //	awbquery -demo -engine=xquery -timeout 5s -max-steps 5000000 -query q.xml
+//	awbquery -demo -engine=xquery -explain -query q.xml
+//	awbquery -demo -engine=xquery -stats -query q.xml
 //
 // Errors print with their code and position; exit codes follow the
 // cliutil taxonomy (2 usage, 3 static, 4 dynamic, 5 resource limit).
@@ -28,8 +30,7 @@ func main() {
 	engine := flag.String("engine", "native", "evaluator: native | xquery")
 	printXQ := flag.Bool("print-xquery", false, "print the compiled XQuery source and exit")
 	demo := flag.Bool("demo", false, "use the built-in demo model")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the xquery engine (0 = none)")
-	maxSteps := flag.Int64("max-steps", 0, "step budget for the xquery engine (0 = unlimited)")
+	ef := cliutil.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
 	var model *awb.Model
@@ -80,8 +81,24 @@ func main() {
 		}
 		return
 	case "xquery":
-		lim := xq.WithLimits(xq.Limits{Timeout: *timeout, MaxSteps: *maxSteps})
-		if ids, err = q.EvalXQueryWith(model, lim); err != nil {
+		compiled, err := q.CompileWith(xq.WithLimits(ef.Limits()))
+		if err != nil {
+			fatal(err)
+		}
+		if ef.Explain {
+			fmt.Print(compiled.Explain())
+			return
+		}
+		var evalOpts []xq.Option
+		var st xq.EvalStats
+		if ef.Stats {
+			evalOpts = append(evalOpts, xq.WithStats(&st))
+		}
+		ids, err = compiled.Run(model.ExportXML(), evalOpts...)
+		if ef.Stats {
+			fmt.Fprintln(os.Stderr, "stats:", st.String())
+		}
+		if err != nil {
 			fatal(err)
 		}
 	default:

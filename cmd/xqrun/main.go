@@ -4,6 +4,8 @@
 //	xqrun -ctx data.xml query.xq
 //	xqrun -O 2 -galax-trace -e 'let $d := trace("gone", 1) return 2'
 //	xqrun -timeout 2s -max-steps 1000000 -e 'some untrusted query'
+//	xqrun -explain -e 'for $b in /lib/book return $b/title'
+//	xqrun -stats -e 'count(1 to 100000)'
 //
 // Errors print as "xqrun: [CODE] line:col: message"; the exit code
 // distinguishes usage (2), static (3), dynamic (4) and resource-limit (5)
@@ -38,10 +40,8 @@ func main() {
 	ctxFile := flag.String("ctx", "", "XML file to use as the context item")
 	optLevel := flag.Int("O", 2, "optimizer level (0-2)")
 	galaxTrace := flag.Bool("galax-trace", false, "treat fn:trace as pure, reproducing the dead-code bug")
-	timeout := flag.Duration("timeout", 0, "wall-clock evaluation budget (0 = none)")
-	maxSteps := flag.Int64("max-steps", 0, "evaluation step budget (0 = unlimited)")
-	maxNodes := flag.Int64("max-nodes", 0, "constructed-node budget (0 = unlimited)")
-	maxOutput := flag.Int64("max-output-bytes", 0, "constructed-output byte budget (0 = unlimited)")
+	traceEvents := flag.Bool("trace-events", false, "log every structured engine event (phases, clauses, calls, traces) to stderr")
+	ef := cliutil.AddEngineFlags(flag.CommandLine)
 	vars := varFlags{}
 	flag.Var(vars, "var", "bind an external variable: -var name=value (repeatable)")
 	flag.Parse()
@@ -59,18 +59,20 @@ func main() {
 		src = string(data)
 	}
 
+	// fn:trace output always reaches stderr; -trace-events widens the same
+	// tracer to the full structured event stream.
+	var tracer xq.Tracer = xq.TraceFunc(func(values []string) {
+		fmt.Fprintln(os.Stderr, "trace:", strings.Join(values, " "))
+	})
+	if *traceEvents {
+		tracer = xq.NewLogTracer(os.Stderr)
+	}
+
 	opts := []xq.Option{
-		xq.WithLimits(xq.Limits{
-			Timeout:        *timeout,
-			MaxSteps:       *maxSteps,
-			MaxNodes:       *maxNodes,
-			MaxOutputBytes: *maxOutput,
-		}),
+		xq.WithLimits(ef.Limits()),
 		xq.WithOptLevel(xq.OptLevel(*optLevel)),
 		xq.WithTraceEffectful(!*galaxTrace),
-		xq.WithTracer(func(values []string) {
-			fmt.Fprintln(os.Stderr, "trace:", strings.Join(values, " "))
-		}),
+		xq.WithTracer(tracer),
 		xq.WithDocResolver(func(uri string) (*xq.Node, error) {
 			data, err := os.ReadFile(uri)
 			if err != nil {
@@ -82,6 +84,10 @@ func main() {
 	q, err := xq.CompileCached(src, opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if ef.Explain {
+		fmt.Print(q.Explain())
+		return
 	}
 	var ctx *xq.Node
 	if *ctxFile != "" {
@@ -97,7 +103,15 @@ func main() {
 	for name, val := range vars {
 		external[name] = xq.Singleton(xq.String(val))
 	}
-	out, err := q.EvalStringWith(ctx, external)
+	evalOpts := []xq.Option{xq.WithVars(external)}
+	var st xq.EvalStats
+	if ef.Stats {
+		evalOpts = append(evalOpts, xq.WithStats(&st))
+	}
+	out, err := q.EvalString(nil, ctx, evalOpts...)
+	if ef.Stats {
+		fmt.Fprintln(os.Stderr, "stats:", st.String())
+	}
 	if err != nil {
 		fatal(err)
 	}

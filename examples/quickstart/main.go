@@ -4,6 +4,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"lopsided/xq"
 )
@@ -27,7 +28,7 @@ func main() {
 			fmt.Printf("%-34s compile error: %v\n", label, err)
 			return
 		}
-		out, err := q.EvalStringWith(doc, nil)
+		out, err := q.EvalString(nil, doc)
 		if err != nil {
 			fmt.Printf("%-34s error: %v\n", label, err)
 			return
@@ -58,7 +59,22 @@ func main() {
 	// The trace that Galax's dead-code pass used to eat (see xqrun
 	// -galax-trace for the buggy behavior).
 	q := xq.MustCompile(`let $x := trace("x is", 21) return 2 * $x`,
-		xq.WithTracer(func(values []string) { fmt.Println("  trace said:", values) }))
-	out, _ := q.EvalStringWith(nil, nil)
+		xq.WithTracer(xq.TraceFunc(func(values []string) { fmt.Println("  trace said:", values) })))
+	out, _ := q.EvalString(nil, nil)
 	fmt.Printf("%-34s %s\n", "traced computation:", out)
+
+	// Observability: per-evaluation stats and the compiled-plan dump.
+	var st xq.EvalStats
+	q = xq.MustCompile(`count(for $b in /lib/book where $b/@year > 1990 return $b)`)
+	out, _ = q.EvalString(nil, doc, xq.WithStats(&st))
+	fmt.Printf("%-34s %s (%s)\n", "recent books, with stats:", out, st.String())
+	fmt.Println("plan dump (first line):", firstLine(q.Explain()))
+}
+
+// firstLine trims a multi-line dump to its headline.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

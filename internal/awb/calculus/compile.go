@@ -140,9 +140,10 @@ func (q *Query) CompileWith(opts ...xq.Option) (*Compiled, error) {
 }
 
 // Run evaluates the compiled query against an exported model document and
-// returns the matching node IDs.
-func (c *Compiled) Run(modelDoc *xmltree.Node) ([]string, error) {
-	out, err := c.query.EvalWith(modelDoc, nil)
+// returns the matching node IDs. Per-evaluation engine options (xq.WithStats,
+// xq.WithTracer, xq.WithLimits) pass straight through.
+func (c *Compiled) Run(modelDoc *xmltree.Node, opts ...xq.Option) ([]string, error) {
+	out, err := c.query.Eval(nil, modelDoc, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +153,10 @@ func (c *Compiled) Run(modelDoc *xmltree.Node) ([]string, error) {
 	}
 	return ids, nil
 }
+
+// Explain returns the compiled plan dump of the underlying XQuery program
+// (the awbquery -explain output).
+func (c *Compiled) Explain() string { return c.query.Explain() }
 
 // EvalXQuery is the full generation-era pipeline: export the model to XML,
 // compile the query to XQuery, and interpret it. This is the path the

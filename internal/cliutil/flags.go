@@ -1,0 +1,51 @@
+package cliutil
+
+// flags.go consolidates the engine flags every query-running CLI repeats:
+// the sandbox budgets (-timeout, -max-steps, -max-nodes,
+// -max-output-bytes) and the observability switches (-explain, -stats).
+// Registering them through one helper keeps names, defaults, and help text
+// identical across xqrun, awbquery, awbgen, and friends.
+
+import (
+	"flag"
+	"time"
+
+	"lopsided/internal/xquery/interp"
+)
+
+// EngineFlags holds the values of the shared engine flags after parsing.
+type EngineFlags struct {
+	// Sandbox budgets; zero values impose no limit.
+	Timeout        time.Duration
+	MaxSteps       int64
+	MaxNodes       int64
+	MaxOutputBytes int64
+	// Explain requests a compiled-plan dump instead of (or alongside)
+	// evaluation.
+	Explain bool
+	// Stats requests per-evaluation resource statistics on stderr.
+	Stats bool
+}
+
+// AddEngineFlags registers the shared engine flags on fs and returns the
+// struct their parsed values land in. Call before fs.Parse.
+func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
+	ef := &EngineFlags{}
+	fs.DurationVar(&ef.Timeout, "timeout", 0, "wall-clock evaluation budget (0 = none)")
+	fs.Int64Var(&ef.MaxSteps, "max-steps", 0, "evaluation step budget (0 = unlimited)")
+	fs.Int64Var(&ef.MaxNodes, "max-nodes", 0, "constructed-node budget (0 = unlimited)")
+	fs.Int64Var(&ef.MaxOutputBytes, "max-output-bytes", 0, "constructed-output byte budget (0 = unlimited)")
+	fs.BoolVar(&ef.Explain, "explain", false, "print the compiled plan (slots, dispatch, elided traces) and exit")
+	fs.BoolVar(&ef.Stats, "stats", false, "report per-evaluation resource statistics on stderr")
+	return ef
+}
+
+// Limits converts the parsed budget flags into the engine's Limits.
+func (ef *EngineFlags) Limits() interp.Limits {
+	return interp.Limits{
+		Timeout:        ef.Timeout,
+		MaxSteps:       ef.MaxSteps,
+		MaxNodes:       ef.MaxNodes,
+		MaxOutputBytes: ef.MaxOutputBytes,
+	}
+}

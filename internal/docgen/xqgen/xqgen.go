@@ -7,6 +7,7 @@ package xqgen
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lopsided/internal/awb"
 	"lopsided/internal/docgen"
@@ -49,6 +50,19 @@ type Generator struct {
 	// helper to the paper's literal pipeline: "a little XSLT program could
 	// split them apart".
 	xsltSplit bool
+	// slowThreshold/slowHook are the slow-query log: any phase whose
+	// evaluation takes at least slowThreshold reports its stats to the hook.
+	slowThreshold time.Duration
+	slowHook      func(phase int, st xq.EvalStats)
+}
+
+// SlowQueryLog installs a slow-phase hook: after any phase evaluation whose
+// wall time is at least threshold, hook is called with the 1-based phase
+// number and that evaluation's full resource statistics. Installing a hook
+// turns on per-phase stats collection; a nil hook turns the log off.
+func (g *Generator) SlowQueryLog(threshold time.Duration, hook func(phase int, st xq.EvalStats)) {
+	g.slowThreshold = threshold
+	g.slowHook = hook
 }
 
 // UseXSLTSplitter selects how the phase-5 <SPLIT-OUTPUT> bundle is
@@ -154,7 +168,15 @@ func (g *Generator) runPhase(i int, ctxRoot *xmltree.Node, vars map[string]xq.Se
 		ctx = xmltree.NewDocument()
 		ctx.AppendChild(ctxRoot)
 	}
-	out, err := g.phases[i].EvalWith(ctx, vars)
+	evalOpts := []xq.Option{xq.WithVars(vars)}
+	var st xq.EvalStats
+	if g.slowHook != nil {
+		evalOpts = append(evalOpts, xq.WithStats(&st))
+	}
+	out, err := g.phases[i].Eval(nil, ctx, evalOpts...)
+	if g.slowHook != nil && st.Wall >= g.slowThreshold {
+		g.slowHook(i+1, st)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("xqgen: phase %d failed: %w", i+1, err)
 	}

@@ -114,7 +114,7 @@ func runE4() (Report, error) {
 		}
 		doc := chainDoc(k)
 		vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(doc))}
-		out, err := q.EvalWith(nil, vars)
+		out, err := q.Eval(nil, nil, xq.WithVars(vars))
 		if err != nil {
 			return Report{}, fmt.Errorf("chain program k=%d: %w", k, err)
 		}
@@ -126,7 +126,7 @@ func runE4() (Report, error) {
 		if err != nil || goOut != want {
 			return Report{}, fmt.Errorf("go chain mismatch at k=%d: %q %v", k, goOut, err)
 		}
-		xqT := medianTime(7, func() { _, _ = q.EvalWith(nil, vars) })
+		xqT := medianTime(7, func() { _, _ = q.Eval(nil, nil, xq.WithVars(vars)) })
 		goT := medianTime(7, func() { _, _ = GoChainRun(doc, k) })
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", k),
@@ -142,7 +142,7 @@ func runE4() (Report, error) {
 	qbad, _ := xq.CompileCached(XQueryChainProgram(kb))
 	badDoc := chainDoc(kb - 1)
 	vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(badDoc))}
-	outBad, _ := qbad.EvalWith(nil, vars)
+	outBad, _ := qbad.Eval(nil, nil, xq.WithVars(vars))
 	xqErrSurfaced := strings.Contains(xq.Serialize(outBad), "no child named c4")
 	_, goErr := GoChainRun(badDoc, kb)
 	return Report{

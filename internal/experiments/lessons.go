@@ -58,13 +58,13 @@ func runE11() (Report, error) {
 		}
 		want := fmt.Sprintf("c%d", k)
 		for name, q := range map[string]*xq.Query{"conv": qConv, "trycatch": qTC} {
-			out, err := q.EvalWith(nil, vars)
+			out, err := q.Eval(nil, nil, xq.WithVars(vars))
 			if err != nil || xq.Serialize(out) != want {
 				return Report{}, fmt.Errorf("%s chain k=%d returned %v (err %v), want %s", name, k, out, err, want)
 			}
 		}
-		convT := medianTime(7, func() { _, _ = qConv.EvalWith(nil, vars) })
-		tcT := medianTime(7, func() { _, _ = qTC.EvalWith(nil, vars) })
+		convT := medianTime(7, func() { _, _ = qConv.Eval(nil, nil, xq.WithVars(vars)) })
+		tcT := medianTime(7, func() { _, _ = qTC.Eval(nil, nil, xq.WithVars(vars)) })
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", k),
 			fmt.Sprintf("%d", convLoc), fmt.Sprintf("%d", tcLoc),
@@ -79,7 +79,7 @@ func runE11() (Report, error) {
 		return Report{}, fmt.Errorf("failure-path chain does not compile: %w", err)
 	}
 	vars := map[string]xq.Sequence{"doc": xq.Singleton(xq.NewNodeItem(chainDoc(2)))}
-	out, err := q.EvalWith(nil, vars)
+	out, err := q.Eval(nil, nil, xq.WithVars(vars))
 	failMsg := ""
 	if err == nil {
 		failMsg = xq.Serialize(out)

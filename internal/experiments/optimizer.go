@@ -30,11 +30,11 @@ func runTraceConfig(src string, lvl xq.OptLevel, effectful bool) (result string,
 	q, err := xq.CompileCached(src,
 		xq.WithOptLevel(lvl),
 		xq.WithTraceEffectful(effectful),
-		xq.WithTracer(func([]string) { count++ }))
+		xq.WithTracer(xq.TraceFunc(func([]string) { count++ })))
 	if err != nil {
 		return "", 0, 0, fmt.Errorf("trace program does not compile: %w", err)
 	}
-	out, err := q.EvalStringWith(nil, nil)
+	out, err := q.EvalString(nil, nil)
 	if err != nil {
 		return "", 0, 0, fmt.Errorf("trace program failed: %w", err)
 	}
@@ -116,7 +116,7 @@ func runE8() (Report, error) {
 	for _, n := range sizes {
 		vars := map[string]xq.Sequence{"n": xq.Singleton(xq.Integer(n))}
 		check := func(q *xq.Query) error {
-			out, err := q.EvalStringWith(nil, vars)
+			out, err := q.EvalString(nil, nil, xq.WithVars(vars))
 			if err != nil || out != fmt.Sprintf("%d", n) {
 				return fmt.Errorf("bad set result at n=%d: %q %v", n, out, err)
 			}
@@ -132,8 +132,8 @@ func runE8() (Report, error) {
 		if n >= 256 {
 			runs = 3
 		}
-		seqT := medianTime(runs, func() { _, _ = qSeq.EvalWith(nil, vars) })
-		xmlT := medianTime(runs, func() { _, _ = qXML.EvalWith(nil, vars) })
+		seqT := medianTime(runs, func() { _, _ = qSeq.Eval(nil, nil, xq.WithVars(vars)) })
+		xmlT := medianTime(runs, func() { _, _ = qXML.Eval(nil, nil, xq.WithVars(vars)) })
 		rows = append(rows, []string{fmt.Sprintf("%d", n), fmtDur(seqT), fmtDur(xmlT),
 			textkit.Ratio(float64(xmlT), float64(seqT))})
 	}

@@ -20,7 +20,7 @@ func evalStr(src string, opts ...xq.Option) string {
 	if err != nil {
 		return "compile error: " + err.Error()
 	}
-	out, err := q.EvalStringWith(nil, nil)
+	out, err := q.EvalString(nil, nil)
 	if err != nil {
 		return "error: " + err.Error()
 	}

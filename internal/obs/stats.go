@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// EvalStats reports what one evaluation consumed, next to the budgets it
+// ran under (zero budget = unlimited). The engine fills the struct passed
+// via the public WithStats option after every evaluation, successful or
+// not, overwriting the previous contents.
+type EvalStats struct {
+	// Steps is the number of evaluation steps charged (expression
+	// evaluations, loop iterations, bulk charges from built-ins);
+	// MaxSteps is the budget it ran under.
+	Steps, MaxSteps int64
+	// Nodes counts XML nodes constructed; MaxNodes is the budget.
+	Nodes, MaxNodes int64
+	// OutputBytes counts bytes of constructed text/atomized output;
+	// MaxOutputBytes is the budget.
+	OutputBytes, MaxOutputBytes int64
+	// Timeout is the wall-clock budget the evaluation ran under.
+	Timeout time.Duration
+	// Wall is the measured wall-clock time of the evaluation.
+	Wall time.Duration
+	// TraceEvents counts fn:trace hits during the evaluation (live hits
+	// only, not elided-site reports).
+	TraceEvents int64
+	// PlanCacheHit reports whether the query's compiled plan came out of
+	// the process-wide plan cache (false for plain Compile).
+	PlanCacheHit bool
+}
+
+// String renders the stats as the one-line form the CLIs print:
+// "steps=412/1000000 nodes=7 output-bytes=123 wall=1.2ms plan-cache=hit".
+// A consumed counter with a nonzero budget prints as used/budget.
+func (s EvalStats) String() string {
+	var b strings.Builder
+	quota := func(name string, used, max int64) {
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		if max > 0 {
+			fmt.Fprintf(&b, "%s=%d/%d", name, used, max)
+		} else {
+			fmt.Fprintf(&b, "%s=%d", name, used)
+		}
+	}
+	quota("steps", s.Steps, s.MaxSteps)
+	quota("nodes", s.Nodes, s.MaxNodes)
+	quota("output-bytes", s.OutputBytes, s.MaxOutputBytes)
+	fmt.Fprintf(&b, " wall=%v", s.Wall.Round(time.Microsecond))
+	if s.Timeout > 0 {
+		fmt.Fprintf(&b, " timeout=%v", s.Timeout)
+	}
+	if s.TraceEvents > 0 {
+		fmt.Fprintf(&b, " trace-events=%d", s.TraceEvents)
+	}
+	cache := "miss"
+	if s.PlanCacheHit {
+		cache = "hit"
+	}
+	fmt.Fprintf(&b, " plan-cache=%s", cache)
+	return b.String()
+}

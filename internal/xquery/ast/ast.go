@@ -453,6 +453,19 @@ type Module struct {
 	Functions             []*FuncDecl
 	Vars                  []*VarDecl
 	Body                  Expr
+	// ElidedTraces records fn:trace call sites the optimizer's dead-code
+	// pass removed (the Galax quirk). The compiled runtime reports each of
+	// them to the host tracer once per evaluation, flagged as elided, so
+	// structured tracing can never be silently optimized away.
+	ElidedTraces []ElidedTrace
+}
+
+// ElidedTrace is one fn:trace call site removed by dead-let elimination:
+// its position and whatever arguments were statically known (literals;
+// anything computed is rendered as "…" because the computation is gone).
+type ElidedTrace struct {
+	P      Pos
+	Values []string
 }
 
 // NewPos is a convenience constructor for positions.

@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/ast"
@@ -70,6 +71,33 @@ type Program struct {
 	// initializers and the main body.
 	frameSize int
 	funcs     map[string]map[int]*compiledFunc
+	// notes records the compile-time decisions (slot assignments, dispatch
+	// pre-binding, FLWOR shapes) for Explain; built once per compile.
+	notes []PlanNote
+	// elided carries the fn:trace sites dead-code elimination removed, for
+	// once-per-evaluation reporting to the tracer.
+	elided []ast.ElidedTrace
+}
+
+// PlanNote is one compile-time fact about the plan: what the compiler
+// decided at a source position. The sequence of notes, printed by Explain,
+// is the human-readable face of the closure-compiled plan.
+type PlanNote struct {
+	Pos  ast.Pos
+	Text string
+}
+
+// Notes exposes the compile-time plan facts in source order.
+func (p *Program) Notes() []PlanNote {
+	out := make([]PlanNote, len(p.notes))
+	copy(out, p.notes)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Col < out[j].Pos.Col
+	})
+	return out
 }
 
 // Module returns the parsed module this program was compiled from.
@@ -78,7 +106,8 @@ func (p *Program) Module() *ast.Module { return p.mod }
 // NewProgram compiles a parsed (and typically optimizer-processed) module
 // into its closure-compiled form.
 func NewProgram(mod *ast.Module) (*Program, error) {
-	p := &Program{mod: mod, globalIdx: map[string]int{}, funcs: map[string]map[int]*compiledFunc{}}
+	p := &Program{mod: mod, globalIdx: map[string]int{}, funcs: map[string]map[int]*compiledFunc{},
+		elided: mod.ElidedTraces}
 	// Pass 1: declare shells so call sites pre-bind in any order.
 	for _, f := range mod.Functions {
 		byArity := p.funcs[f.Name]
@@ -142,6 +171,11 @@ func (cp *compiler) bindLocal(name string) int {
 // compilation ends; the slots are reused by sibling constructs.
 func (cp *compiler) popLocals(n int) {
 	cp.scope = cp.scope[:len(cp.scope)-n]
+}
+
+// note records one compile-time plan fact for Explain.
+func (cp *compiler) note(pos ast.Pos, format string, args ...interface{}) {
+	cp.prog.notes = append(cp.prog.notes, PlanNote{Pos: pos, Text: fmt.Sprintf(format, args...)})
 }
 
 // resolveLocal finds the innermost local slot for name.
@@ -339,9 +373,11 @@ func (cp *compiler) compileBody(e ast.Expr) compiledExpr {
 
 func (cp *compiler) compileVarRef(n *ast.VarRef) compiledExpr {
 	if slot, ok := cp.resolveLocal(n.Name); ok {
+		cp.note(n.P, "var $%s -> local slot %d", n.Name, slot)
 		return func(c *evalCtx) (xdm.Sequence, error) { return c.frame[slot], nil }
 	}
 	slot := cp.globalSlot(n.Name)
+	cp.note(n.P, "var $%s -> global slot %d", n.Name, slot)
 	name, pos := n.Name, n.P
 	return func(c *evalCtx) (xdm.Sequence, error) {
 		if !c.gset[slot] {
@@ -705,6 +741,10 @@ type flworClausePlan struct {
 	expr    compiledExpr // for: the "in" sequence; let: the bound value
 	slot    int
 	posSlot int // -1 when the for clause has no "at $p"
+	// label names the clause for tracer events ("for $x at $i", "let $y");
+	// pos is the clause's own source position.
+	label string
+	pos   ast.Pos
 }
 
 type orderPlan struct {
@@ -737,16 +777,23 @@ func (cp *compiler) compileFLWOR(n *ast.FLWOR) compiledExpr {
 			slot := cp.bindLocal(c.Var)
 			bound++
 			posSlot := -1
+			label := "for $" + c.Var
 			if c.PosVar != "" {
 				posSlot = cp.bindLocal(c.PosVar)
 				bound++
+				label += " at $" + c.PosVar
 			}
-			p.clauses = append(p.clauses, flworClausePlan{isFor: true, expr: in, slot: slot, posSlot: posSlot})
+			cp.note(c.P, "flwor %s -> slot %d (pos slot %d)", label, slot, posSlot)
+			p.clauses = append(p.clauses, flworClausePlan{isFor: true, expr: in, slot: slot, posSlot: posSlot,
+				label: label, pos: c.P})
 		case ast.LetClause:
 			val := cp.compile(c.Val)
 			slot := cp.bindLocal(c.Var)
 			bound++
-			p.clauses = append(p.clauses, flworClausePlan{expr: val, slot: slot, posSlot: -1})
+			label := "let $" + c.Var
+			cp.note(c.P, "flwor %s -> slot %d", label, slot)
+			p.clauses = append(p.clauses, flworClausePlan{expr: val, slot: slot, posSlot: -1,
+				label: label, pos: c.P})
 		}
 	}
 	if n.Where != nil {
@@ -811,12 +858,20 @@ func (p *flworPlan) run(c *evalCtx, i int, sink *flworSink) error {
 	}
 	if !cl.isFor {
 		c.frame[cl.slot] = seq
+		if c.tr != nil {
+			c.tr.Emit(obs.Event{Kind: obs.ClauseIter, Name: cl.label,
+				Line: cl.pos.Line, Col: cl.pos.Col})
+		}
 		return p.run(c, i+1, sink)
 	}
 	for idx, it := range seq {
 		c.frame[cl.slot] = xdm.Singleton(it)
 		if cl.posSlot >= 0 {
 			c.frame[cl.posSlot] = xdm.Singleton(xdm.Integer(idx + 1))
+		}
+		if c.tr != nil {
+			c.tr.Emit(obs.Event{Kind: obs.ClauseIter, Name: cl.label,
+				Line: cl.pos.Line, Col: cl.pos.Col, Iter: int64(idx + 1)})
 		}
 		if err := p.run(c, i+1, sink); err != nil {
 			return err
@@ -1084,6 +1139,7 @@ func (cp *compiler) compileCall(n *ast.FunctionCall) compiledExpr {
 	pos := n.P
 	if byArity, ok := cp.prog.funcs[n.Name]; ok {
 		if fn, ok := byArity[len(n.Args)]; ok {
+			cp.note(pos, "call %s/%d -> user function (frame %d)", n.Name, len(n.Args), fn.frameSize)
 			return func(c *evalCtx) (xdm.Sequence, error) {
 				// The callee frame doubles as the argument vector: params
 				// occupy its first slots.
@@ -1105,8 +1161,12 @@ func (cp *compiler) compileCall(n *ast.FunctionCall) compiledExpr {
 							Msg: fmt.Sprintf("argument %d of %s does not match %s", i+1, fn.name, fn.params[i].Type)}
 					}
 				}
+				if c.tr != nil {
+					c.tr.Emit(obs.Event{Kind: obs.FuncCall, Name: fn.name,
+						Line: pos.Line, Col: pos.Col})
+				}
 				inner := evalCtx{ip: c.ip, frame: frame, globals: c.globals, gset: c.gset,
-					depth: c.depth + 1, bud: c.bud}
+					depth: c.depth + 1, bud: c.bud, tr: c.tr}
 				out, err := fn.body(&inner)
 				if err != nil {
 					return nil, err
@@ -1120,6 +1180,7 @@ func (cp *compiler) compileCall(n *ast.FunctionCall) compiledExpr {
 		}
 	}
 	if f, ok := funclib.Lookup(n.Name, len(n.Args)); ok {
+		cp.note(pos, "call %s/%d -> built-in", n.Name, len(n.Args))
 		return func(c *evalCtx) (xdm.Sequence, error) {
 			argv := make([]xdm.Sequence, len(args))
 			for i, ae := range args {
@@ -1137,6 +1198,7 @@ func (cp *compiler) compileCall(n *ast.FunctionCall) compiledExpr {
 		}
 	}
 	name := n.Name
+	cp.note(pos, "call %s/%d -> unknown (XPST0017 at call time)", n.Name, len(n.Args))
 	return func(c *evalCtx) (xdm.Sequence, error) {
 		for _, ae := range args {
 			if _, err := ae(c); err != nil {

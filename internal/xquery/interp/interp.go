@@ -16,7 +16,9 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/ast"
@@ -48,8 +50,13 @@ const (
 // what lets one compiled Program back many differently-configured Interps
 // (the basis of the xq plan cache).
 type Options struct {
-	// Tracer receives fn:trace output; nil discards it.
-	Tracer func(values []string)
+	// Tracer receives structured engine events: fn:trace hits (live and
+	// DCE-elided), FLWOR clause iterations, and user-function calls. Nil
+	// disables tracing; hosts that only want the classic fn:trace output
+	// can install obs.TraceFunc. The tracer may be called from any
+	// evaluating goroutine and must be safe for concurrent use if the
+	// Interp is.
+	Tracer obs.Tracer
 	// DocResolver resolves fn:doc URIs; nil makes fn:doc fail.
 	DocResolver func(uri string) (*xmltree.Node, error)
 	// MaxDepth bounds user-function recursion (default 8192). Superseded by
@@ -150,6 +157,10 @@ type evalCtx struct {
 	depth   int
 	// bud is the shared per-evaluation resource budget; nil = unlimited.
 	bud *budget
+	// tr is the structured tracer for this evaluation (cached off Options
+	// so the hot path pays one nil check, not two pointer chases); nil
+	// disables event emission.
+	tr obs.Tracer
 }
 
 // FocusItem implements funclib.Context.
@@ -176,10 +187,14 @@ func (c *evalCtx) FocusSize() (int, error) {
 	return c.focus.size, nil
 }
 
-// Trace implements funclib.Context.
+// Trace implements funclib.Context: one live fn:trace hit.
 func (c *evalCtx) Trace(values []string) {
-	if c.ip.opts.Tracer != nil {
-		c.ip.opts.Tracer(values)
+	if c.bud != nil {
+		c.bud.traceHits++
+	}
+	if c.tr != nil {
+		obs.Default().TraceEvents.Add(1)
+		c.tr.Emit(obs.Event{Kind: obs.TraceHit, Values: values})
 	}
 }
 
@@ -214,7 +229,24 @@ func (ip *Interp) Eval(ctxItem xdm.Item, vars map[string]xdm.Sequence) (xdm.Sequ
 //
 // EvalContext is safe to call concurrently on one Interp: each call builds
 // its own frames and budget over the shared read-only program.
-func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[string]xdm.Sequence) (out xdm.Sequence, err error) {
+func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[string]xdm.Sequence) (xdm.Sequence, error) {
+	return ip.EvalWithOpts(ctx, ctxItem, vars, EvalOpts{})
+}
+
+// EvalOpts are per-evaluation observability options, layered on top of the
+// Interp's Options for one EvalWithOpts call.
+type EvalOpts struct {
+	// Stats, when non-nil, is overwritten with what the evaluation
+	// consumed (steps, nodes, output bytes, wall time) next to the budgets
+	// it ran under. Requesting stats forces resource counting even when no
+	// Limits are set; the counters then never trip.
+	Stats *obs.EvalStats
+}
+
+// EvalWithOpts is EvalContext plus per-evaluation observability: it fills
+// eo.Stats (when non-nil) and reports structured events — including
+// fn:trace sites the optimizer eliminated — to the configured Tracer.
+func (ip *Interp) EvalWithOpts(ctx context.Context, ctxItem xdm.Item, vars map[string]xdm.Sequence, eo EvalOpts) (out xdm.Sequence, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
@@ -224,10 +256,25 @@ func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[st
 	p := ip.prog
 	c := &evalCtx{
 		ip:      ip,
-		bud:     newBudget(ctx, ip.opts.Limits),
+		bud:     newBudget(ctx, ip.opts.Limits, eo.Stats != nil),
+		tr:      ip.opts.Tracer,
 		frame:   make([]xdm.Sequence, p.frameSize),
 		globals: make([]xdm.Sequence, len(p.globalNames)),
 		gset:    make([]bool, len(p.globalNames)),
+	}
+	var start time.Time
+	if eo.Stats != nil {
+		start = time.Now()
+		defer func() { ip.fillStats(eo.Stats, c.bud, time.Since(start)) }()
+	}
+	// Trace sites the optimizer's dead-code pass removed are reported
+	// up front, once per evaluation: the host still learns the program
+	// traced here, which Galax-era tracing never did.
+	if c.tr != nil {
+		for _, et := range p.elided {
+			c.tr.Emit(obs.Event{Kind: obs.TraceHit, Line: et.P.Line, Col: et.P.Col,
+				Values: et.Values, Elided: true})
+		}
 	}
 	for name, val := range vars {
 		if slot, ok := p.globalIdx[name]; ok {
@@ -256,6 +303,24 @@ func (ip *Interp) EvalContext(ctx context.Context, ctxItem xdm.Item, vars map[st
 		c.gset[st.slot] = true
 	}
 	return p.body(c)
+}
+
+// fillStats copies the evaluation's resource consumption and budgets into
+// st. Runs in a defer so stats are reported for failed (and even panicked)
+// evaluations too.
+func (ip *Interp) fillStats(st *obs.EvalStats, b *budget, wall time.Duration) {
+	l := ip.opts.Limits
+	*st = obs.EvalStats{
+		MaxSteps:       l.MaxSteps,
+		MaxNodes:       l.MaxNodes,
+		MaxOutputBytes: l.MaxOutputBytes,
+		Timeout:        l.Timeout,
+		Wall:           wall,
+	}
+	if b != nil {
+		st.Steps, st.Nodes, st.OutputBytes = b.steps, b.nodes, b.bytes
+		st.TraceEvents = b.traceHits
+	}
 }
 
 // EvalString is a convenience for tests and tools: evaluate and serialize

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 )
@@ -619,7 +620,7 @@ func TestErrorFunction(t *testing.T) {
 func TestTraceVariadic(t *testing.T) {
 	var traced [][]string
 	ip, err := Compile(`let $x := trace("x=", 5) return $x + 1`, Options{
-		Tracer: func(values []string) { traced = append(traced, values) },
+		Tracer: obs.TraceFunc(func(values []string) { traced = append(traced, values) }),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -91,13 +91,17 @@ type budget struct {
 	nodes, maxNodes int64
 	bytes, maxBytes int64
 
+	// traceHits counts live fn:trace calls, for EvalStats.
+	traceHits int64
+
 	untilPoll int
 	tripped   error
 }
 
 // newBudget builds a budget for one evaluation, or nil if nothing is
-// limited and ctx can never be cancelled.
-func newBudget(ctx context.Context, l Limits) *budget {
+// limited and ctx can never be cancelled. forceCount builds one anyway —
+// with zero limits it never trips, but its counters feed EvalStats.
+func newBudget(ctx context.Context, l Limits, forceCount bool) *budget {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -116,7 +120,7 @@ func newBudget(ctx context.Context, l Limits) *budget {
 		b.deadline = d
 		b.hasDeadline = true
 	}
-	if !b.hasDeadline && b.maxSteps == 0 && b.maxNodes == 0 && b.maxBytes == 0 && ctx.Done() == nil {
+	if !forceCount && !b.hasDeadline && b.maxSteps == 0 && b.maxNodes == 0 && b.maxBytes == 0 && ctx.Done() == nil {
 		return nil
 	}
 	return b

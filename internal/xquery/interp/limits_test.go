@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 )
 
@@ -158,7 +159,7 @@ func TestPanicContainment(t *testing.T) {
 	// A host callback that panics must not crash the caller: the Eval
 	// boundary converts it to a coded LOPS0009 error.
 	ip, err := Compile(`trace("boom")`, Options{
-		Tracer: func([]string) { panic("host tracer exploded") },
+		Tracer: obs.TraceFunc(func([]string) { panic("host tracer exploded") }),
 	})
 	if err != nil {
 		t.Fatal(err)

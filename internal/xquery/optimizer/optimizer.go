@@ -10,6 +10,8 @@
 package optimizer
 
 import (
+	"fmt"
+
 	"lopsided/internal/xquery/ast"
 )
 
@@ -39,6 +41,11 @@ type Options struct {
 type Stats struct {
 	FoldedConstants int
 	EliminatedLets  int
+	// ElidedTraces counts fn:trace call sites that dead-let elimination
+	// removed (only possible when TraceIsEffectful is false, the Galax-era
+	// behavior). The sites themselves are recorded on the module so the
+	// runtime can still report them to a structured tracer.
+	ElidedTraces int
 }
 
 // Optimize rewrites the module in place (expressions are replaced, shared
@@ -60,6 +67,7 @@ func Optimize(mod *ast.Module, opts Options) Stats {
 		}
 	}
 	mod.Body = o.rewrite(mod.Body)
+	mod.ElidedTraces = o.elided
 	return o.stats
 }
 
@@ -67,6 +75,9 @@ type optimizer struct {
 	opts      Options
 	stats     Stats
 	userFuncs map[string]bool
+	// elided accumulates the fn:trace call sites dead-let elimination
+	// removed; Optimize stashes them on the module for the runtime.
+	elided []ast.ElidedTrace
 }
 
 func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
@@ -241,6 +252,7 @@ func (o *optimizer) rewriteFLWOR(n *ast.FLWOR) ast.Expr {
 	// and E is pure. This is exactly the pass that ate the paper's
 	// `let $dummy := trace("x=", $x)`.
 	kept := out.Clauses[:0:len(out.Clauses)]
+	lastElided := 0 // elided-trace records from the most recent dropped let
 	for i, cl := range out.Clauses {
 		lc, isLet := cl.(ast.LetClause)
 		if !isLet || !o.pure(lc.Val) || o.usedAfter(out, i, lc.Var) {
@@ -248,18 +260,57 @@ func (o *optimizer) rewriteFLWOR(n *ast.FLWOR) ast.Expr {
 			continue
 		}
 		o.stats.EliminatedLets++
+		lastElided = o.recordElidedTraces(lc.Val)
 	}
 	if len(kept) == 0 && out.Where == nil && len(out.OrderBy) == 0 {
 		// Every clause was a dead let: the FLWOR reduces to its return.
 		return out.Return
 	}
 	if len(kept) == 0 {
-		// A where/order-by needs at least one clause; keep a harmless one.
+		// A where/order-by needs at least one clause; keep a harmless one —
+		// the last clause, whose trace sites (if any) are live again.
 		kept = append(kept, out.Clauses[len(out.Clauses)-1])
 		o.stats.EliminatedLets--
+		o.elided = o.elided[:len(o.elided)-lastElided]
+		o.stats.ElidedTraces -= lastElided
 	}
 	out.Clauses = kept
 	return out
+}
+
+// recordElidedTraces scans a dead let's value for fn:trace calls and
+// records each as an elided site (position plus the statically-known
+// arguments). Returns how many were recorded.
+func (o *optimizer) recordElidedTraces(e ast.Expr) int {
+	n := 0
+	walk(e, func(x ast.Expr) bool {
+		call, ok := x.(*ast.FunctionCall)
+		if !ok || (call.Name != "trace" && call.Name != "fn:trace") {
+			return true
+		}
+		et := ast.ElidedTrace{P: call.P}
+		for _, a := range call.Args {
+			switch lit := a.(type) {
+			case *ast.StringLit:
+				et.Values = append(et.Values, lit.Value)
+			case *ast.IntLit:
+				et.Values = append(et.Values, fmt.Sprintf("%d", lit.Value))
+			case *ast.DoubleLit:
+				et.Values = append(et.Values, fmt.Sprintf("%g", lit.Value))
+			case *ast.DecimalLit:
+				et.Values = append(et.Values, fmt.Sprintf("%g", lit.Value))
+			default:
+				// The computation is gone; all we can report is that an
+				// argument existed here.
+				et.Values = append(et.Values, "…")
+			}
+		}
+		o.elided = append(o.elided, et)
+		o.stats.ElidedTraces++
+		n++
+		return true
+	})
+	return n
 }
 
 // usedAfter reports whether $name is referenced in any clause after index i,

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 	"lopsided/internal/xquery/ast"
 	"lopsided/internal/xquery/interp"
@@ -21,7 +22,7 @@ func evalOpt(t *testing.T, src string, opts Options) (string, []string) {
 	Optimize(mod, opts)
 	var traced []string
 	ip, err := interp.New(mod, interp.Options{
-		Tracer: func(values []string) { traced = append(traced, strings.Join(values, " ")) },
+		Tracer: obs.TraceFunc(func(values []string) { traced = append(traced, strings.Join(values, " ")) }),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -4,9 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xquery/interp"
 	"lopsided/internal/xquery/optimizer"
-	"lopsided/internal/xquery/parser"
 )
 
 // The process-wide plan cache. Most embedders (the document generator, the
@@ -36,12 +36,25 @@ type planEntry struct {
 	err   error
 }
 
+// planCacheMaxEntries bounds the cache. When an insertion pushes the entry
+// count past the cap, eviction sweeps arbitrary entries (sync.Map range
+// order) down to ~7/8 of the cap, so a host that feeds unbounded
+// user-supplied source through CompileCached degrades to extra compiles
+// instead of unbounded memory growth.
+const planCacheMaxEntries = 1024
+
 var (
 	planCache sync.Map // planKey -> *planEntry
 
-	// Cache effectiveness counters, exposed via PlanCacheStats.
-	planHits   atomic.Int64
-	planMisses atomic.Int64
+	// Cache effectiveness counters, exposed via CacheStats. planEntries
+	// tracks the map size so CacheStats and the eviction check are O(1).
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planEvictions atomic.Int64
+	planEntries   atomic.Int64
+
+	// planEvictMu serializes eviction sweeps; insertion stays lock-free.
+	planEvictMu sync.Mutex
 )
 
 // CompileCached is Compile backed by a process-wide concurrent plan cache.
@@ -53,48 +66,109 @@ var (
 // Compilation errors are cached too: recompiling a bad program is as cheap
 // as recompiling a good one.
 //
-// The cache never evicts. It is intended for the common embedding shape —
-// a bounded set of programs compiled from static templates — not for
-// caching unbounded user-supplied source; use Compile for one-off programs.
+// The cache holds at most planCacheMaxEntries plans; past that, arbitrary
+// entries are evicted (recompiling is always safe). EvalStats.PlanCacheHit
+// and the process metrics record hit/miss/eviction traffic.
 func CompileCached(src string, opts ...Option) (*Query, error) {
-	cfg := config{optLevel: O2, traceIsEffectful: true}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	key := planKey{src: src, optLevel: cfg.optLevel, traceEffectful: cfg.traceIsEffectful}
 	v, ok := planCache.Load(key)
 	if !ok {
-		v, _ = planCache.LoadOrStore(key, &planEntry{})
+		var loaded bool
+		v, loaded = planCache.LoadOrStore(key, &planEntry{})
+		if !loaded {
+			if planEntries.Add(1) > planCacheMaxEntries {
+				evictPlans(key)
+			}
+		}
 	}
 	e := v.(*planEntry)
 	missed := false
 	e.once.Do(func() {
 		missed = true
-		mod, err := parser.Parse(src)
-		if err != nil {
-			e.err = err
-			return
-		}
-		e.stats = optimizer.Optimize(mod, optimizer.Options{
-			Level:            cfg.optLevel,
-			TraceIsEffectful: cfg.traceIsEffectful,
-		})
-		e.prog, e.err = interp.NewProgram(mod)
+		e.prog, e.stats, e.err = compileModule(src, cfg)
 	})
+	reg := obs.Default()
 	if missed {
 		planMisses.Add(1)
+		reg.PlanCacheMisses.Add(1)
 	} else {
 		planHits.Add(1)
+		reg.PlanCacheHits.Add(1)
 	}
 	if e.err != nil {
 		return nil, e.err
 	}
-	return newQuery(e.prog, e.stats, cfg), nil
+	q := newQuery(e.prog, e.stats, cfg)
+	q.cacheHit = !missed
+	return q, nil
 }
 
-// PlanCacheStats reports how the process-wide plan cache has performed:
-// hits, misses, and the number of cached plans (including cached failures).
+// evictPlans sweeps the cache down to ~7/8 of the cap, sparing keep (the
+// key just inserted). sync.Map range order is unspecified, so this is
+// effectively random eviction — cheap, and correct for a cache whose
+// entries can always be rebuilt.
+func evictPlans(keep planKey) {
+	planEvictMu.Lock()
+	defer planEvictMu.Unlock()
+	target := int64(planCacheMaxEntries - planCacheMaxEntries/8)
+	if planEntries.Load() <= planCacheMaxEntries {
+		return // another goroutine already swept
+	}
+	reg := obs.Default()
+	planCache.Range(func(k, _ any) bool {
+		if k.(planKey) == keep {
+			return true
+		}
+		if _, loaded := planCache.LoadAndDelete(k); loaded {
+			planEvictions.Add(1)
+			reg.PlanCacheEvictions.Add(1)
+			if planEntries.Add(-1) <= target {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// CacheStats describes the process-wide plan cache: hit/miss/eviction
+// traffic plus current occupancy. All fields are monotonic except Entries
+// and SourceBytes, which are point-in-time. Safe to call concurrently with
+// compilation.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Entries is the current number of cached plans, cached compile
+	// failures included.
+	Entries int64
+	// SourceBytes is the total source-text length of the cached keys — a
+	// proxy for the cache's memory footprint.
+	SourceBytes int64
+}
+
+// PlanCache reports the plan cache's current statistics.
+func PlanCache() CacheStats {
+	st := CacheStats{
+		Hits:      planHits.Load(),
+		Misses:    planMisses.Load(),
+		Evictions: planEvictions.Load(),
+	}
+	planCache.Range(func(k, _ any) bool {
+		st.Entries++
+		st.SourceBytes += int64(len(k.(planKey).src))
+		return true
+	})
+	return st
+}
+
+// PlanCacheStats reports plan-cache hits, misses, and entry count.
+//
+// Deprecated: use PlanCache, which also reports evictions and footprint.
 func PlanCacheStats() (hits, misses, entries int64) {
-	planCache.Range(func(any, any) bool { entries++; return true })
-	return planHits.Load(), planMisses.Load(), entries
+	st := PlanCache()
+	return st.Hits, st.Misses, st.Entries
 }

@@ -1,0 +1,109 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated
+// pre-options API to pin its behavior until the wrappers are removed.
+
+package xq
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The deprecated entry points must keep working, verbatim, for one release
+// cycle: EvalWith / EvalContext / EvalStringWith delegate to Eval with
+// WithVars, and WithContext still threads a compile-time context into
+// evaluations that pass nil.
+
+func TestDeprecatedEvalWith(t *testing.T) {
+	q := MustCompile(`declare variable $n external; $n * 2`)
+	vars := map[string]Sequence{"n": Singleton(Integer(21))}
+	out, err := q.EvalWith(nil, vars)
+	if err != nil {
+		t.Fatalf("EvalWith: %v", err)
+	}
+	if s := Serialize(out); s != "42" {
+		t.Fatalf("EvalWith = %q, want 42", s)
+	}
+	// Must match the replacement exactly.
+	out2, err := q.Eval(nil, nil, WithVars(vars))
+	if err != nil || Serialize(out2) != Serialize(out) {
+		t.Fatalf("Eval+WithVars = %q (%v), want %q", Serialize(out2), err, Serialize(out))
+	}
+}
+
+func TestDeprecatedEvalStringWith(t *testing.T) {
+	q := MustCompile(`declare variable $name external; concat("hello, ", $name)`)
+	out, err := q.EvalStringWith(nil, map[string]Sequence{"name": Singleton(String("world"))})
+	if err != nil {
+		t.Fatalf("EvalStringWith: %v", err)
+	}
+	if out != "hello, world" {
+		t.Fatalf("EvalStringWith = %q", out)
+	}
+}
+
+func TestDeprecatedEvalContext(t *testing.T) {
+	q := MustCompile(`sum(for $i in 1 to 200000 return $i)`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := q.EvalContext(ctx, nil, nil)
+	if code := ErrorCode(err); code != "LOPS0001" {
+		t.Fatalf("EvalContext with canceled ctx: code = %q (%v), want LOPS0001", code, err)
+	}
+}
+
+// TestWithContextAppliesToEvalWith pins the old coupling: a context supplied
+// at compile time via the deprecated WithContext option governs evaluations
+// made through entry points that pass no context of their own.
+func TestWithContextAppliesToEvalWith(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	q, err := Compile(`sum(for $i in 1 to 500000 return $i)`, WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_, evalErr := q.EvalWith(nil, nil)
+	if code := ErrorCode(evalErr); code != "LOPS0001" {
+		t.Fatalf("ErrorCode = %q (%v), want LOPS0001", code, evalErr)
+	}
+	// An explicit context passed to Eval overrides the compile-time one.
+	out, err := q.Eval(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("explicit ctx should win over canceled compile-time ctx: %v", err)
+	}
+	if s := Serialize(out); s != "125000250000" {
+		t.Fatalf("Eval = %q", s)
+	}
+}
+
+func TestWithContextTimeoutStillHonored(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	q, err := Compile(`sum(for $i in 1 to 500000 return $i)`, WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, evalErr := q.EvalString(nil, nil)
+	if code := ErrorCode(evalErr); code != "LOPS0001" {
+		t.Fatalf("ErrorCode = %q (%v), want LOPS0001", code, evalErr)
+	}
+}
+
+func TestDeprecatedPlanCacheStats(t *testing.T) {
+	src := `1 + count((1, 2, 3)) (: compat cache probe :)`
+	if _, err := CompileCached(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileCached(src); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, entries := PlanCacheStats()
+	st := PlanCache()
+	if hits != st.Hits || misses != st.Misses || entries != st.Entries {
+		t.Fatalf("PlanCacheStats (%d,%d,%d) disagrees with PlanCache %+v", hits, misses, entries, st)
+	}
+	if entries < 1 || misses < 1 {
+		t.Fatalf("expected at least one cached entry and one miss, got entries=%d misses=%d", entries, misses)
+	}
+}

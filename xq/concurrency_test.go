@@ -29,7 +29,7 @@ return concat($b/t, ":", $score)`
 		t.Fatal(err)
 	}
 	vars := map[string]xq.Sequence{"offset": xq.Singleton(xq.Integer(100))}
-	want, err := q.EvalStringWith(nil, vars)
+	want, err := q.EvalString(nil, nil, xq.WithVars(vars))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ return concat($b/t, ":", $score)`
 		go func() {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				got, err := q.EvalStringWith(nil, vars)
+				got, err := q.EvalString(nil, nil, xq.WithVars(vars))
 				if err != nil {
 					errs <- err
 					return
@@ -82,7 +82,7 @@ func TestConcurrentCompileCached(t *testing.T) {
 				errs <- err
 				return
 			}
-			out, err := q.EvalStringWith(nil, nil)
+			out, err := q.EvalString(nil, nil)
 			if err != nil {
 				errs <- err
 				return
@@ -111,7 +111,7 @@ func TestCompileCachedKeying(t *testing.T) {
 	}
 	// Same source + same compile options: hit, even with different runtime
 	// options (a tracer does not affect the plan).
-	if _, err := xq.CompileCached(src, xq.WithTracer(func([]string) {})); err != nil {
+	if _, err := xq.CompileCached(src, xq.WithTracer(xq.TraceFunc(func([]string) {}))); err != nil {
 		t.Fatal(err)
 	}
 	hits2, misses2, _ := countStats(t)
@@ -139,5 +139,6 @@ func TestCompileCachedKeying(t *testing.T) {
 
 func countStats(t *testing.T) (hits, misses, entries int64) {
 	t.Helper()
-	return xq.PlanCacheStats()
+	st := xq.PlanCache()
+	return st.Hits, st.Misses, st.Entries
 }

@@ -12,7 +12,7 @@ func ExampleCompile() {
 	if err != nil {
 		panic(err)
 	}
-	out, _ := q.EvalStringWith(doc, nil)
+	out, _ := q.EvalString(nil, doc)
 	fmt.Println(out)
 	// Output: Little Languages
 }
@@ -20,7 +20,7 @@ func ExampleCompile() {
 func ExampleCompile_flattening() {
 	// Sequences flatten: there is no sequence of sequences.
 	q := xq.MustCompile(`(1,(2,3,4),(),(5,((6,7))))`)
-	out, _ := q.EvalStringWith(nil, nil)
+	out, _ := q.EvalString(nil, nil)
 	fmt.Println(out)
 	// Output: 1 2 3 4 5 6 7
 }
@@ -28,7 +28,7 @@ func ExampleCompile_flattening() {
 func ExampleCompile_generalComparison() {
 	// The paper's quirk #4: = is existential.
 	q := xq.MustCompile(`1 = (1,2,3)`)
-	out, _ := q.EvalStringWith(nil, nil)
+	out, _ := q.EvalString(nil, nil)
 	fmt.Println(out)
 	// Output: true
 }
@@ -40,17 +40,17 @@ func ExampleWithTraceEffectful() {
 	        return $x * 10`
 	buggy := xq.MustCompile(src,
 		xq.WithTraceEffectful(false),
-		xq.WithTracer(func(values []string) { fmt.Println("trace:", values) }))
-	out, _ := buggy.EvalStringWith(nil, nil)
+		xq.WithTracer(xq.TraceFunc(func(values []string) { fmt.Println("trace:", values) })))
+	out, _ := buggy.EvalString(nil, nil)
 	fmt.Println("result:", out, "| lets eliminated:", buggy.Stats.EliminatedLets)
 	// Output: result: 50 | lets eliminated: 1
 }
 
-func ExampleQuery_EvalWith_externalVariables() {
+func ExampleWithVars() {
 	q := xq.MustCompile(`declare variable $n external; for $i in 1 to $n return $i * $i`)
-	out, _ := q.EvalStringWith(nil, map[string]xq.Sequence{
+	out, _ := q.EvalString(nil, nil, xq.WithVars(map[string]xq.Sequence{
 		"n": xq.Singleton(xq.Integer(4)),
-	})
+	}))
 	fmt.Println(out)
 	// Output: 1 4 9 16
 }
@@ -58,7 +58,7 @@ func ExampleQuery_EvalWith_externalVariables() {
 func ExampleCompile_tryCatch() {
 	// The exception-handling extension (the paper's lesson #4).
 	q := xq.MustCompile(`try { 1 div 0 } catch ($code, $msg) { concat($code, ": ", $msg) }`)
-	out, _ := q.EvalStringWith(nil, nil)
+	out, _ := q.EvalString(nil, nil)
 	fmt.Println(out)
 	// Output: FOAR0001: division by zero
 }

@@ -40,7 +40,7 @@ func FuzzCompile(f *testing.F) {
 			return // rejected statically: fine
 		}
 		start := time.Now()
-		_, evalErr := q.Eval()
+		_, evalErr := q.Eval(nil, nil)
 		if elapsed := time.Since(start); elapsed > 5*time.Second {
 			t.Fatalf("sandboxed eval of %q ran %v", src, elapsed)
 		}

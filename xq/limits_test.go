@@ -12,7 +12,7 @@ func TestWithLimitsStepsSurfaceAsLimitError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, evalErr := q.Eval()
+	_, evalErr := q.Eval(nil, nil)
 	if evalErr == nil {
 		t.Fatal("expected a limit error")
 	}
@@ -31,7 +31,7 @@ func TestWithTimeoutBoundsEvaluation(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, evalErr := q.Eval()
+	_, evalErr := q.Eval(nil, nil)
 	elapsed := time.Since(start)
 	if code := ErrorCode(evalErr); code != "LOPS0001" {
 		t.Fatalf("ErrorCode = %q (%v), want LOPS0001", code, evalErr)
@@ -51,20 +51,7 @@ func TestEvalContextCancellation(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	_, evalErr := q.EvalContext(ctx, nil, nil)
-	if code := ErrorCode(evalErr); code != "LOPS0001" {
-		t.Fatalf("ErrorCode = %q (%v), want LOPS0001", code, evalErr)
-	}
-}
-
-func TestWithContextAppliesToEvalWith(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // already cancelled: evaluation must fail immediately
-	q, err := Compile(`for $i in 1 to 40000000 return $i`, WithContext(ctx))
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, evalErr := q.EvalWith(nil, nil)
+	_, evalErr := q.Eval(ctx, nil)
 	if code := ErrorCode(evalErr); code != "LOPS0001" {
 		t.Fatalf("ErrorCode = %q (%v), want LOPS0001", code, evalErr)
 	}
@@ -76,7 +63,7 @@ func TestLimitsDoNotAffectNormalQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := q.EvalStringWith(nil, nil)
+	out, err := q.EvalString(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +78,7 @@ func TestErrorCodeClassification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, evalErr := q.Eval()
+	_, evalErr := q.Eval(nil, nil)
 	if code := ErrorCode(evalErr); code != "FOAR0001" {
 		t.Fatalf("ErrorCode = %q, want FOAR0001", code)
 	}
@@ -104,11 +91,11 @@ func TestErrorCodeClassification(t *testing.T) {
 }
 
 func TestPanicContainedAtPublicBoundary(t *testing.T) {
-	q, err := Compile(`trace("x")`, WithTracer(func([]string) { panic("tracer bug") }))
+	q, err := Compile(`trace("x")`, WithTracer(TraceFunc(func([]string) { panic("tracer bug") })))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, evalErr := q.Eval()
+	_, evalErr := q.Eval(nil, nil)
 	if code := ErrorCode(evalErr); code != "LOPS0009" {
 		t.Fatalf("ErrorCode = %q (%v), want LOPS0009", code, evalErr)
 	}

@@ -12,14 +12,35 @@
 //
 //	q, err := xq.Compile(`for $b in /lib/book return $b/title`)
 //	doc, err := xq.ParseXML(libraryXML)
-//	out, err := q.EvalWith(doc, nil)
+//	out, err := q.Eval(context.Background(), doc)
 //	fmt.Println(xq.Serialize(out))
+//
+// # Observability
+//
+// Compile and Eval share one functional-options vocabulary. Options given
+// to Compile become the query's defaults; options given to Eval apply to
+// that evaluation alone:
+//
+//	var st xq.EvalStats
+//	tr := &xq.Collector{}
+//	out, err := q.Eval(ctx, doc, xq.WithStats(&st), xq.WithTracer(tr))
+//	fmt.Println(st.String())         // steps/nodes/bytes vs budgets, wall time
+//	fmt.Println(q.Explain())         // the compiled plan, human-readable
+//	fmt.Println(xq.MetricsSnapshot()) // process-wide counters + latency
+//
+// A Tracer receives structured events for compile phases, FLWOR clause
+// iterations, user-function calls, and every fn:trace hit — including the
+// sites dead-code elimination removed, which arrive flagged Elided instead
+// of silently vanishing (the paper's Galax-era complaint).
 package xq
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"time"
 
+	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/interp"
@@ -82,30 +103,110 @@ const (
 // limits" section for the LOPS* code each exhausted budget raises.
 type Limits = interp.Limits
 
+// ---- Observability surface (re-exported from internal/obs) ----
+
+// Tracer receives structured engine events; see the package comment. A
+// Tracer installed on a Query that is evaluated concurrently must be safe
+// for concurrent use.
+type Tracer = obs.Tracer
+
+// Event is one structured engine observation delivered to a Tracer.
+type Event = obs.Event
+
+// EventKind classifies an Event.
+type EventKind = obs.EventKind
+
+// Event kinds, re-exported for switch statements on Event.Kind.
+const (
+	PhaseBegin = obs.PhaseBegin
+	PhaseEnd   = obs.PhaseEnd
+	ClauseIter = obs.ClauseIter
+	FuncCall   = obs.FuncCall
+	TraceHit   = obs.TraceHit
+)
+
+// TraceFunc adapts a plain fn:trace consumer (the historical WithTracer
+// callback shape) to the Tracer interface; only live fn:trace hits are
+// forwarded.
+type TraceFunc = obs.TraceFunc
+
+// Collector is a Tracer that records every event, for tests and tools.
+type Collector = obs.Collector
+
+// NopTracer is the zero-allocation no-op Tracer. Installing it keeps every
+// emission point live while discarding the events — the measured-overhead
+// baseline for the tracing machinery.
+var NopTracer = obs.Nop
+
+// NewLogTracer returns a Tracer writing one line per event to w.
+var NewLogTracer = obs.NewLogTracer
+
+// EvalStats reports what one evaluation consumed next to the budgets it
+// ran under; fill one via WithStats.
+type EvalStats = obs.EvalStats
+
+// MetricsSnapshot copies the engine's process-wide metrics: compile and
+// eval counts, error and limit-hit counts, plan-cache hits/misses/
+// evictions, and latency histograms. The same data is published through
+// expvar under the key "lopsided_engine".
+func MetricsSnapshot() obs.Snapshot { return obs.MetricsSnapshot() }
+
+// ---- Options ----
+
 type config struct {
 	optLevel         OptLevel
 	traceIsEffectful bool
-	tracer           func(values []string)
+	tracer           Tracer
 	docResolver      func(uri string) (*Node, error)
 	dupAttr          DupAttrPolicy
 	maxDepth         int
 	limits           Limits
 	ctx              context.Context
+	stats            *EvalStats
+	vars             map[string]Sequence
 }
 
-// Option configures compilation.
+func defaultConfig() config { return config{optLevel: O2, traceIsEffectful: true} }
+
+func (c *config) interpOptions() interp.Options {
+	return interp.Options{
+		Tracer:      c.tracer,
+		DocResolver: c.docResolver,
+		MaxDepth:    c.maxDepth,
+		DupAttr:     c.dupAttr,
+		Limits:      c.limits,
+	}
+}
+
+// Option configures compilation and evaluation. One vocabulary serves
+// both: options passed to Compile become the query's defaults, and options
+// passed to Query.Eval override them for that single evaluation.
+// Compile-only options (WithOptLevel, WithTraceEffectful) have no effect
+// when passed to Eval — the plan is already built.
 type Option func(*config)
 
-// WithOptLevel sets the optimizer level (default O2).
+// WithOptLevel sets the optimizer level (default O2). Compile-time only.
 func WithOptLevel(l OptLevel) Option { return func(c *config) { c.optLevel = l } }
 
 // WithTraceEffectful controls whether fn:trace is protected from dead-code
 // elimination. True (the default) is the post-fix Galax behavior; false
 // reproduces the bug that silently swallowed the paper's tracing.
+// Compile-time only.
 func WithTraceEffectful(on bool) Option { return func(c *config) { c.traceIsEffectful = on } }
 
-// WithTracer installs the consumer of fn:trace output.
-func WithTracer(f func(values []string)) Option { return func(c *config) { c.tracer = f } }
+// WithTracer installs the structured event consumer. To reproduce the
+// classic fn:trace-only callback, wrap it: WithTracer(xq.TraceFunc(f)).
+func WithTracer(t Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithStats arranges for st to be overwritten with the evaluation's
+// resource consumption (steps, nodes, output bytes, wall time, trace
+// events, plan-cache provenance) next to the budgets it ran under.
+// Requesting stats turns on resource counting even when no Limits are set.
+func WithStats(st *EvalStats) Option { return func(c *config) { c.stats = st } }
+
+// WithVars binds external variables (names without '$') for the
+// evaluation.
+func WithVars(vars map[string]Sequence) Option { return func(c *config) { c.vars = vars } }
 
 // WithDocResolver installs the fn:doc resolver.
 func WithDocResolver(f func(uri string) (*Node, error)) Option {
@@ -126,10 +227,12 @@ func WithLimits(l Limits) Option { return func(c *config) { c.limits = l } }
 // WithTimeout is shorthand for WithLimits on the wall-clock budget alone.
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.limits.Timeout = d } }
 
-// WithContext installs a base context checked during every evaluation:
-// cancelling it terminates in-flight Evals with a LOPS0001 error. Use
-// Query.EvalContext instead to scope cancellation to a single evaluation.
+// WithContext installs a base context checked during every evaluation.
+//
+// Deprecated: pass the context to Query.Eval directly.
 func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
+// ---- Query ----
 
 // Query is a compiled, optimized XQuery program with an explicit
 // compile-once / evaluate-many contract: compilation (parse, optimize,
@@ -137,16 +240,70 @@ func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = 
 // afterward.
 //
 // A *Query is safe for concurrent use. Any number of goroutines may call
-// Eval/EvalWith/EvalContext on one Query simultaneously: every evaluation
-// allocates its own variable frames and resource budget over the shared
-// read-only plan. The only shared mutable touch points are the callbacks
-// the caller installed (WithTracer, WithDocResolver), which must themselves
-// be safe for concurrent invocation.
+// Eval on one Query simultaneously: every evaluation allocates its own
+// variable frames and resource budget over the shared read-only plan. The
+// only shared mutable touch points are the callbacks the caller installed
+// (WithTracer, WithDocResolver), which must themselves be safe for
+// concurrent invocation.
 type Query struct {
-	ip  *interp.Interp
-	ctx context.Context
+	prog *interp.Program
+	ip   *interp.Interp
+	cfg  config
+	ctx  context.Context
 	// Stats reports what the optimizer did at compile time.
 	Stats optimizer.Stats
+	// cacheHit records whether this query's plan came out of the plan
+	// cache, reported through EvalStats.PlanCacheHit.
+	cacheHit bool
+}
+
+// compileModule runs parse → optimize → lower with metrics and (when a
+// tracer is configured) phase events. It is the one compilation path shared
+// by Compile and CompileCached.
+func compileModule(src string, cfg config) (*interp.Program, optimizer.Stats, error) {
+	obs.PublishExpvar()
+	reg := obs.Default()
+	reg.Compiles.Add(1)
+	start := time.Now()
+	defer func() { reg.CompileLatency.Observe(time.Since(start)) }()
+
+	phase := func(name string, begin bool, since time.Time) {
+		if cfg.tracer == nil {
+			return
+		}
+		if begin {
+			cfg.tracer.Emit(obs.Event{Kind: obs.PhaseBegin, Name: name})
+		} else {
+			cfg.tracer.Emit(obs.Event{Kind: obs.PhaseEnd, Name: name, Elapsed: time.Since(since)})
+		}
+	}
+
+	t := time.Now()
+	phase("parse", true, t)
+	mod, err := parser.Parse(src)
+	phase("parse", false, t)
+	if err != nil {
+		reg.CompileErrors.Add(1)
+		return nil, optimizer.Stats{}, err
+	}
+
+	t = time.Now()
+	phase("optimize", true, t)
+	stats := optimizer.Optimize(mod, optimizer.Options{
+		Level:            cfg.optLevel,
+		TraceIsEffectful: cfg.traceIsEffectful,
+	})
+	phase("optimize", false, t)
+
+	t = time.Now()
+	phase("compile", true, t)
+	prog, err := interp.NewProgram(mod)
+	phase("compile", false, t)
+	if err != nil {
+		reg.CompileErrors.Add(1)
+		return nil, optimizer.Stats{}, err
+	}
+	return prog, stats, nil
 }
 
 // Compile parses, optimizes, and compiles an XQuery program: the AST is
@@ -154,19 +311,11 @@ type Query struct {
 // and pre-bound function dispatch, so repeated evaluations pay no
 // per-evaluation analysis cost.
 func Compile(src string, opts ...Option) (*Query, error) {
-	cfg := config{optLevel: O2, traceIsEffectful: true}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	mod, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	stats := optimizer.Optimize(mod, optimizer.Options{
-		Level:            cfg.optLevel,
-		TraceIsEffectful: cfg.traceIsEffectful,
-	})
-	prog, err := interp.NewProgram(mod)
+	prog, stats, err := compileModule(src, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -176,14 +325,13 @@ func Compile(src string, opts ...Option) (*Query, error) {
 // newQuery wraps a compiled (possibly shared) program with this caller's
 // runtime configuration.
 func newQuery(prog *interp.Program, stats optimizer.Stats, cfg config) *Query {
-	ip := interp.FromProgram(prog, interp.Options{
-		Tracer:      cfg.tracer,
-		DocResolver: cfg.docResolver,
-		MaxDepth:    cfg.maxDepth,
-		DupAttr:     cfg.dupAttr,
-		Limits:      cfg.limits,
-	})
-	q := &Query{ip: ip, ctx: cfg.ctx, Stats: stats}
+	q := &Query{
+		prog:  prog,
+		ip:    interp.FromProgram(prog, cfg.interpOptions()),
+		cfg:   cfg,
+		ctx:   cfg.ctx,
+		Stats: stats,
+	}
 	if q.ctx == nil {
 		q.ctx = context.Background()
 	}
@@ -199,38 +347,104 @@ func MustCompile(src string, opts ...Option) *Query {
 	return q
 }
 
-// Eval evaluates the query with no context item and no external variables.
-func (q *Query) Eval() (Sequence, error) { return q.EvalWith(nil, nil) }
-
-// EvalWith evaluates with ctx as the context item (may be nil) and vars
-// bound as external variables (names without '$').
-func (q *Query) EvalWith(ctx *Node, vars map[string]Sequence) (Sequence, error) {
-	return q.EvalContext(q.ctx, ctx, vars)
-}
-
-// EvalContext evaluates under ctx: cancellation or an expired deadline
-// terminates the evaluation with a LOPS0001 error. Compile-time Limits
-// still apply. The evaluation never panics — internal engine panics are
-// contained at this boundary and surface as LOPS0009 errors — so a server
-// can evaluate untrusted queries without crashing.
-func (q *Query) EvalContext(ctx context.Context, ctxNode *Node, vars map[string]Sequence) (Sequence, error) {
-	var it Item
-	if ctxNode != nil {
-		it = xdm.NewNode(ctxNode)
+// Eval evaluates the query. ctx may be nil (background); doc, when
+// non-nil, becomes the context item. Options override the query's
+// compile-time defaults for this evaluation only — the common ones are
+// WithVars (external variables), WithStats, WithTracer, and WithLimits.
+//
+// Cancelling ctx (or passing one with a deadline) terminates the
+// evaluation with a LOPS0001 error; compile-time Limits still apply. The
+// evaluation never panics — internal engine panics are contained at this
+// boundary and surface as LOPS0009 errors — so a server can evaluate
+// untrusted queries without crashing.
+func (q *Query) Eval(ctx context.Context, doc *Node, opts ...Option) (Sequence, error) {
+	cfg := q.cfg
+	ip := q.ip
+	if len(opts) > 0 {
+		for _, o := range opts {
+			o(&cfg)
+		}
+		// Per-eval overrides get a fresh runtime wrapper over the shared
+		// immutable plan; the no-option fast path reuses the prebuilt one.
+		ip = interp.FromProgram(q.prog, cfg.interpOptions())
 	}
 	if ctx == nil {
 		ctx = q.ctx
 	}
-	return q.ip.EvalContext(ctx, it, vars)
+	var it Item
+	if doc != nil {
+		it = xdm.NewNode(doc)
+	}
+
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Kind: obs.PhaseBegin, Name: "eval"})
+	}
+	reg := obs.Default()
+	start := time.Now()
+	out, err := ip.EvalWithOpts(ctx, it, cfg.vars, interp.EvalOpts{Stats: cfg.stats})
+	wall := time.Since(start)
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Kind: obs.PhaseEnd, Name: "eval", Elapsed: wall})
+	}
+	reg.Evals.Add(1)
+	reg.EvalLatency.Observe(wall)
+	if err != nil {
+		reg.EvalErrors.Add(1)
+		if IsLimitError(err) {
+			reg.LimitHits.Add(1)
+		}
+	}
+	if cfg.stats != nil {
+		cfg.stats.PlanCacheHit = q.cacheHit
+	}
+	return out, err
 }
 
-// EvalStringWith evaluates and serializes the result.
-func (q *Query) EvalStringWith(ctx *Node, vars map[string]Sequence) (string, error) {
-	out, err := q.EvalWith(ctx, vars)
+// EvalString evaluates and serializes the result (nodes as XML, atomics as
+// string values, space-separated).
+func (q *Query) EvalString(ctx context.Context, doc *Node, opts ...Option) (string, error) {
+	out, err := q.Eval(ctx, doc, opts...)
 	if err != nil {
 		return "", err
 	}
 	return Serialize(out), nil
+}
+
+// Explain returns a human-readable dump of the compiled plan: what the
+// optimizer did, every global/local slot assignment, pre-bound function
+// dispatch, FLWOR clause shapes, and the fn:trace sites dead-code
+// elimination removed. This is the `-explain` output of xqrun and
+// awbquery.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "optimizer: level O%d, folded-constants=%d eliminated-lets=%d elided-traces=%d\n",
+		int(q.cfg.optLevel), q.Stats.FoldedConstants, q.Stats.EliminatedLets, q.Stats.ElidedTraces)
+	b.WriteString(q.prog.Explain())
+	return b.String()
+}
+
+// ---- Deprecated evaluation wrappers (pre-options API) ----
+
+// EvalWith evaluates with doc as the context item (may be nil) and vars
+// bound as external variables (names without '$').
+//
+// Deprecated: use Eval(ctx, doc, xq.WithVars(vars)).
+func (q *Query) EvalWith(doc *Node, vars map[string]Sequence) (Sequence, error) {
+	return q.Eval(nil, doc, WithVars(vars))
+}
+
+// EvalContext evaluates under ctx with vars bound as external variables.
+//
+// Deprecated: use Eval(ctx, doc, xq.WithVars(vars)).
+func (q *Query) EvalContext(ctx context.Context, ctxNode *Node, vars map[string]Sequence) (Sequence, error) {
+	return q.Eval(ctx, ctxNode, WithVars(vars))
+}
+
+// EvalStringWith evaluates and serializes the result.
+//
+// Deprecated: use EvalString(ctx, doc, xq.WithVars(vars)).
+func (q *Query) EvalStringWith(doc *Node, vars map[string]Sequence) (string, error) {
+	return q.EvalString(nil, doc, WithVars(vars))
 }
 
 // ParseXML parses an XML document.

@@ -11,7 +11,7 @@ func TestCompileAndEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := q.Eval()
+	out, err := q.Eval(nil, nil)
 	if err != nil || Serialize(out) != "3" {
 		t.Fatalf("got %v, %v", out, err)
 	}
@@ -23,7 +23,7 @@ func TestEvalWithContextAndVars(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := MustCompile(`for $b in /lib/book where $b = $want return $b`)
-	out, err := q.EvalStringWith(doc, map[string]Sequence{"want": Singleton(String("B"))})
+	out, err := q.EvalString(nil, doc, WithVars(map[string]Sequence{"want": Singleton(String("B"))}))
 	if err != nil || out != "<book>B</book>" {
 		t.Fatalf("got %q, %v", out, err)
 	}
@@ -43,7 +43,7 @@ func TestOptionsPlumbing(t *testing.T) {
 	q, err := Compile(`let $d := trace("gone", 1) return 2`,
 		WithOptLevel(O2),
 		WithTraceEffectful(false),
-		WithTracer(func(v []string) { traced = append(traced, v) }),
+		WithTracer(TraceFunc(func(v []string) { traced = append(traced, v) })),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestOptionsPlumbing(t *testing.T) {
 	if q.Stats.EliminatedLets != 1 {
 		t.Fatalf("stats: %+v", q.Stats)
 	}
-	out, err := q.EvalStringWith(nil, nil)
+	out, err := q.EvalString(nil, nil)
 	if err != nil || out != "2" {
 		t.Fatal(out, err)
 	}
@@ -67,7 +67,7 @@ func TestDocResolverOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := q.EvalStringWith(nil, nil)
+	out, err := q.EvalString(nil, nil)
 	if err != nil || out != "3" {
 		t.Fatalf("got %q, %v", out, err)
 	}
@@ -76,19 +76,19 @@ func TestDocResolverOption(t *testing.T) {
 func TestDupAttrOption(t *testing.T) {
 	src := `let $a := attribute a {1} let $b := attribute a {2} return <el>{$a}{$b}</el>`
 	q := MustCompile(src, WithDupAttrPolicy(DupAttrGalaxBug))
-	out, _ := q.EvalStringWith(nil, nil)
+	out, _ := q.EvalString(nil, nil)
 	if out != `<el a="1" a="2"/>` {
 		t.Fatalf("galax bug mode: %q", out)
 	}
 	q2 := MustCompile(src, WithDupAttrPolicy(DupAttrError))
-	if _, err := q2.EvalWith(nil, nil); err == nil || !strings.Contains(err.Error(), "XQDY0025") {
+	if _, err := q2.Eval(nil, nil); err == nil || !strings.Contains(err.Error(), "XQDY0025") {
 		t.Fatalf("strict mode: %v", err)
 	}
 }
 
 func TestMaxDepthOption(t *testing.T) {
 	q := MustCompile(`declare function local:f($n) { local:f($n) }; local:f(1)`, WithMaxDepth(16))
-	if _, err := q.Eval(); err == nil {
+	if _, err := q.Eval(nil, nil); err == nil {
 		t.Fatal("expected recursion limit")
 	}
 }
@@ -98,10 +98,10 @@ func TestQueryReusable(t *testing.T) {
 	a, _ := ParseXML(`<r><i/></r>`)
 	b, _ := ParseXML(`<r><i/><i/></r>`)
 	for i := 0; i < 2; i++ {
-		if out, _ := q.EvalStringWith(a, nil); out != "1" {
+		if out, _ := q.EvalString(nil, a); out != "1" {
 			t.Fatal("doc a")
 		}
-		if out, _ := q.EvalStringWith(b, nil); out != "2" {
+		if out, _ := q.EvalString(nil, b); out != "2" {
 			t.Fatal("doc b")
 		}
 	}
@@ -120,9 +120,9 @@ func TestConcurrentEvaluation(t *testing.T) {
 		k := g
 		go func() {
 			for i := 0; i < 50; i++ {
-				out, err := q.EvalStringWith(doc, map[string]Sequence{
+				out, err := q.EvalString(nil, doc, WithVars(map[string]Sequence{
 					"k": Singleton(Integer(k)),
-				})
+				}))
 				if err != nil {
 					done <- err
 					return
