@@ -45,6 +45,9 @@ func Code(err error) string {
 	case *xdm.Error:
 		return e.Code
 	case *lexer.Error:
+		if e.Code != "" {
+			return e.Code
+		}
 		return "XPST0003"
 	case *xmltree.ParseError:
 		return ""
@@ -99,7 +102,11 @@ func Format(tool string, err error) string {
 		fmt.Fprintf(&b, "[%s] ", e.Code)
 		b.WriteString(e.Msg)
 	case *lexer.Error:
-		fmt.Fprintf(&b, "[XPST0003] %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+		code := e.Code
+		if code == "" {
+			code = "XPST0003"
+		}
+		fmt.Fprintf(&b, "[%s] %d:%d: %s", code, e.Pos.Line, e.Pos.Col, e.Msg)
 	case *xmltree.ParseError:
 		fmt.Fprintf(&b, "xml %d:%d: %s", e.Line, e.Col, e.Msg)
 	default:

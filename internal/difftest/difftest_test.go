@@ -1,0 +1,167 @@
+package difftest
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadSeeds parses testdata/seeds.txt: "<seed> <name> -- <description>".
+func loadSeeds(t *testing.T) map[string]int64 {
+	t.Helper()
+	f, err := os.Open("testdata/seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("malformed seeds.txt line: %q", line)
+		}
+		seed, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			t.Fatalf("malformed seed in line %q: %v", line, err)
+		}
+		if _, dup := out[fields[1]]; dup {
+			t.Fatalf("duplicate seed name %q", fields[1])
+		}
+		out[fields[1]] = seed
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("seeds.txt contains no seeds")
+	}
+	return out
+}
+
+// TestRegressionSeeds replays every pinned seed through the full
+// configuration matrix and the budget-parity check. Each of these seeds
+// exposed a real engine bug once; this test keeps them fixed.
+func TestRegressionSeeds(t *testing.T) {
+	for name, seed := range loadSeeds(t) {
+		t.Run(name, func(t *testing.T) {
+			c := Generate(seed)
+			if d := Check(c, nil); d != nil {
+				t.Errorf("seed %d regressed: %v", seed, d)
+			}
+			if d := CheckBudgeted(c); d != nil {
+				t.Errorf("seed %d regressed (budget parity): %v", seed, d)
+			}
+		})
+	}
+}
+
+// TestRandomSweep runs a fresh block of seeds through the full matrix on
+// every go test run. Small enough to keep tier-1 fast; cmd/xqdiff and the
+// CI smoke step run bigger sweeps.
+func TestRandomSweep(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 30
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		c := Generate(seed)
+		if d := Check(c, nil); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	}
+}
+
+// TestBudgetSweep spot-checks limit-trip parity across the cache/trace
+// dimensions for a block of seeds.
+func TestBudgetSweep(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 15
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		c := Generate(seed)
+		if d := CheckBudgeted(c); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	}
+}
+
+// TestGeneratorDeterminism: the same seed must always produce the same
+// case, or seeds.txt pins nothing.
+func TestGeneratorDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a != b {
+			t.Fatalf("seed %d not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+// TestGeneratorParses: generated queries must be syntactically valid — a
+// generator drifting into parse errors silently loses all its coverage.
+func TestGeneratorParses(t *testing.T) {
+	base := Matrix()[0]
+	for seed := int64(1); seed <= 300; seed++ {
+		c := Generate(seed)
+		out := Eval(c, base)
+		if out.Code == "XPST0003" {
+			t.Errorf("seed %d generated an unparsable query: %s\nsrc: %s", seed, out.Err, c.Src)
+		}
+	}
+}
+
+// TestDivergenceOnSyntheticBug proves the oracle actually detects
+// disagreement: two configs evaluated against hand-made outcomes that
+// differ must produce a divergence with both sides reported.
+func TestDivergenceOnSyntheticBug(t *testing.T) {
+	c := Case{Seed: -1, Src: `1 + 1`}
+	a := Eval(c, Config{Name: "O0"})
+	if a.Out != "2" || a.Code != "" {
+		t.Fatalf("sanity: 1+1 = %q code %q", a.Out, a.Code)
+	}
+	// A case that errors: codes must be compared, not messages.
+	c = Case{Seed: -2, Src: `1 idiv 0`}
+	for _, cfg := range Matrix() {
+		got := Eval(c, cfg)
+		if got.Code != "FOAR0001" {
+			t.Fatalf("%s: 1 idiv 0 code = %q, want FOAR0001", cfg.Name, got.Code)
+		}
+	}
+}
+
+// TestMinimizeShrinks: on a currently-diverging pair of hand-made configs
+// there is nothing to minimize (the engine agrees everywhere), so Minimize
+// must return the generated source unchanged with zero steps.
+func TestMinimizeShrinks(t *testing.T) {
+	src, steps := Minimize(7, nil)
+	if steps != 0 {
+		t.Fatalf("seed 7 no longer diverges; Minimize must be a no-op, did %d steps", steps)
+	}
+	want := Generate(7).Src
+	if src != want {
+		t.Fatalf("Minimize no-op must return the generated source\n got %q\nwant %q", src, want)
+	}
+}
+
+// TestFindConfig covers the -config name round trip.
+func TestFindConfig(t *testing.T) {
+	for _, cfg := range Matrix() {
+		got, ok := FindConfig(cfg.Name)
+		if !ok || got != cfg {
+			t.Fatalf("FindConfig(%q) = %+v, %v", cfg.Name, got, ok)
+		}
+	}
+	if _, ok := FindConfig("O9"); ok {
+		t.Fatal("FindConfig must reject unknown names")
+	}
+	if len(Matrix()) != 13 {
+		t.Fatalf("matrix size = %d, want 13 (3 levels × cache × trace + galax)", len(Matrix()))
+	}
+}

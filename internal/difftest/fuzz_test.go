@@ -1,0 +1,18 @@
+package difftest
+
+import "testing"
+
+// FuzzDiff feeds fuzzer-chosen seeds through the full differential matrix.
+// The corpus starts from the pinned regression seeds so the fuzzer begins
+// at known-once-buggy ground and mutates outward.
+func FuzzDiff(f *testing.F) {
+	for _, seed := range []int64{1, 7, 32, 58, 81, 117, 147, 160, 223, 435, 485} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(seed)
+		if d := Check(c, nil); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package difftest
+
+// Minimization: shrink a diverging case to a minimal reproducer by greedy
+// structural rewriting of the generated expression tree. Each step tries to
+// replace a subtree with one of its own child expressions, or with a trivial
+// expression ("()", "0"), keeping the rewrite only when the divergence
+// survives. Runs to a fixpoint, so the result is 1-minimal with respect to
+// these rewrites.
+
+// stillDiverges re-checks a candidate source against the configurations
+// that produced the original divergence.
+func stillDiverges(c Case, src string, configs []Config) bool {
+	cand := c
+	cand.Src = src
+	return Check(cand, configs) != nil
+}
+
+// subtrees lists the direct child expressions of a node.
+func subtrees(n *gnode) []*gnode {
+	var out []*gnode
+	for _, p := range n.parts {
+		if child, ok := p.(*gnode); ok {
+			out = append(out, child)
+		}
+	}
+	return out
+}
+
+// allNodes walks the tree in preorder (root first, so bigger cuts are tried
+// before smaller ones).
+func allNodes(root *gnode) []*gnode {
+	out := []*gnode{root}
+	for i := 0; i < len(out); i++ {
+		out = append(out, subtrees(out[i])...)
+	}
+	return out
+}
+
+// Minimize shrinks the seed's generated query to a smaller source that still
+// diverges under configs (nil/short → full matrix). It returns the minimized
+// source and the number of successful shrink steps. When the seed's case no
+// longer diverges at all, it returns the original source unchanged.
+func Minimize(seed int64, configs []Config) (string, int) {
+	c, root := GenerateTree(seed)
+	if len(configs) < 2 {
+		configs = Matrix()
+	}
+	if Check(c, configs) == nil {
+		return c.Src, 0
+	}
+	steps := 0
+	for {
+		if !shrinkOnce(c, root, configs) {
+			break
+		}
+		steps++
+	}
+	return root.Source(), steps
+}
+
+// shrinkOnce performs the first successful shrink anywhere in the tree and
+// reports whether one was found. Candidate rewrites per node, in order:
+// replace the node's parts with a single child subtree (hoisting), then with
+// "()" and "0". The root itself is only hoisted, never trivialised — a
+// divergence on "()" alone is meaningless.
+//
+// A rewrite is committed only when it strictly shrinks the rendered source
+// AND the divergence survives; the strict decrease is what guarantees the
+// fixpoint loop terminates (otherwise "()" ↔ "0" can oscillate forever on a
+// node the divergence does not depend on).
+func shrinkOnce(c Case, root *gnode, configs []Config) bool {
+	before := len(root.Source())
+	for _, n := range allNodes(root) {
+		var candidates [][]any
+		for _, child := range subtrees(n) {
+			candidates = append(candidates, []any{child})
+		}
+		if n != root {
+			candidates = append(candidates, []any{"()"}, []any{"0"})
+		}
+		saved := n.parts
+		for _, cand := range candidates {
+			n.parts = cand
+			src := root.Source()
+			if len(src) < before && stillDiverges(c, src, configs) {
+				return true
+			}
+			n.parts = saved
+		}
+	}
+	return false
+}

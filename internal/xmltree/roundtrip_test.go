@@ -1,0 +1,142 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSerializeRoundTripCases pins the escaping gaps the differential
+// harness surfaced: CR and TAB in attribute values, CR and "]]>" in text.
+// Serialize must produce markup that reparses to a deep-equal tree even
+// under XML's input normalization rules (literal CR → LF in content,
+// literal TAB/LF/CR → space in attribute values), which means every such
+// character has to leave as a character reference.
+func TestSerializeRoundTripCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Node
+	}{
+		{"cr in attr", func() *Node {
+			el := NewElement("a")
+			el.SetAttr("x", "line1\rline2")
+			return el
+		}},
+		{"crlf in attr", func() *Node {
+			el := NewElement("a")
+			el.SetAttr("x", "one\r\ntwo")
+			return el
+		}},
+		{"tab in attr", func() *Node {
+			el := NewElement("a")
+			el.SetAttr("x", "col1\tcol2")
+			return el
+		}},
+		{"quote and lt in attr", func() *Node {
+			el := NewElement("a")
+			el.SetAttr("x", `say "<hi>" & bye`)
+			return el
+		}},
+		{"cdata terminator in text", func() *Node {
+			el := NewElement("a")
+			el.AppendChild(NewText("before ]]> after"))
+			return el
+		}},
+		{"cr in text", func() *Node {
+			el := NewElement("a")
+			el.AppendChild(NewText("line1\rline2\r\n"))
+			return el
+		}},
+		{"ampersand entities in text", func() *Node {
+			el := NewElement("a")
+			el.AppendChild(NewText("&amp; is not &#38;"))
+			return el
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			orig := c.build()
+			markup := orig.String()
+			reparsed, err := ParseFragment(markup)
+			if err != nil {
+				t.Fatalf("reparse %q: %v", markup, err)
+			}
+			if len(reparsed) != 1 || !Equal(orig, reparsed[0]) {
+				t.Fatalf("round trip changed the tree:\n  markup   %q\n  original %q\n  reparsed %q",
+					markup, orig.String(), rtNodesString(reparsed))
+			}
+		})
+	}
+}
+
+// TestSerializeRoundTripProperty generates random trees over a hostile
+// character pool and requires parse(serialize(tree)) to be deep-equal to
+// the tree. Seeded, so a failure reproduces.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		orig := rtElement(rng, 0)
+		markup := orig.String()
+		reparsed, err := ParseFragment(markup)
+		if err != nil {
+			t.Fatalf("seed %d: reparse %q: %v", seed, markup, err)
+		}
+		if len(reparsed) != 1 || !Equal(orig, reparsed[0]) {
+			t.Fatalf("seed %d: round trip changed the tree:\n  markup   %q\n  reparsed %q",
+				seed, markup, rtNodesString(reparsed))
+		}
+	}
+}
+
+// rtText draws from a pool biased toward serialization hazards.
+func rtText(rng *rand.Rand) string {
+	pool := []string{
+		"plain", "a b", "<", ">", "&", `"`, "'", "\r", "\n", "\t", "\r\n",
+		"]]>", "&amp;", "&#13;", "déjà", "x=y", "{", "}",
+	}
+	n := 1 + rng.Intn(4)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(pool[rng.Intn(len(pool))])
+	}
+	return b.String()
+}
+
+func rtElement(rng *rand.Rand, depth int) *Node {
+	names := []string{"a", "b", "item", "x-y", "ns:el"}
+	el := NewElement(names[rng.Intn(len(names))])
+	for i := rng.Intn(3); i > 0; i-- {
+		// SetAttr deduplicates repeated names, matching parser behavior.
+		el.SetAttr(names[rng.Intn(len(names))], rtText(rng))
+	}
+	if depth >= 3 {
+		return el
+	}
+	prevText := false
+	for i := rng.Intn(4); i > 0; i-- {
+		switch rng.Intn(4) {
+		case 0, 1:
+			el.AppendChild(rtElement(rng, depth+1))
+			prevText = false
+		case 2:
+			// Adjacent text nodes merge on reparse; only add one when the
+			// previous child is not text.
+			if txt := rtText(rng); !prevText && txt != "" {
+				el.AppendChild(NewText(txt))
+				prevText = true
+			}
+		case 3:
+			el.AppendChild(NewComment("safe comment " + string(rune('a'+rng.Intn(26)))))
+			prevText = false
+		}
+	}
+	return el
+}
+
+func rtNodesString(nodes []*Node) string {
+	var b strings.Builder
+	for _, n := range nodes {
+		b.WriteString(n.String())
+	}
+	return b.String()
+}

@@ -34,9 +34,12 @@ func Serialize(n *Node, opts SerializeOptions) string {
 	return b.String()
 }
 
-// EscapeText escapes text-node content for inclusion in XML.
+// EscapeText escapes text-node content for inclusion in XML. Carriage
+// returns become character references: a conformant XML parser normalizes
+// every literal CR (and CRLF) to LF on input, so a raw CR would not survive
+// a parse∘serialize round trip.
 func EscapeText(s string) string {
-	if !strings.ContainsAny(s, "<>&") {
+	if !strings.ContainsAny(s, "<>&\r") {
 		return s
 	}
 	var b strings.Builder
@@ -48,6 +51,8 @@ func EscapeText(s string) string {
 			b.WriteString("&gt;")
 		case '&':
 			b.WriteString("&amp;")
+		case '\r':
+			b.WriteString("&#13;")
 		default:
 			b.WriteByte(s[i])
 		}
@@ -56,8 +61,11 @@ func EscapeText(s string) string {
 }
 
 // EscapeAttr escapes attribute-value content (double-quote delimited).
+// Whitespace other than a plain space is written as a character reference:
+// XML attribute-value normalization replaces literal TAB/LF/CR with spaces,
+// so the raw characters would not round-trip through a conformant parser.
 func EscapeAttr(s string) string {
-	if !strings.ContainsAny(s, `<>&"`+"\n\t") {
+	if !strings.ContainsAny(s, `<>&"`+"\n\t\r") {
 		return s
 	}
 	var b strings.Builder
@@ -75,6 +83,8 @@ func EscapeAttr(s string) string {
 			b.WriteString("&#10;")
 		case '\t':
 			b.WriteString("&#9;")
+		case '\r':
+			b.WriteString("&#13;")
 		default:
 			b.WriteByte(s[i])
 		}

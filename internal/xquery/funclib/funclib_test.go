@@ -382,3 +382,28 @@ func TestConstructorFuncCached(t *testing.T) {
 		t.Fatalf("cached constructor call: %v %v", out, err)
 	}
 }
+
+// TestNaNEqualitySplit: the two equality notions in the function library
+// must stay consistent with internal/xdm — index-of uses `eq` (NaN matches
+// nothing, itself included), while distinct-values uses the spec's deep
+// equality (NaN equal to itself, so one NaN survives).
+func TestNaNEqualitySplit(t *testing.T) {
+	nan := xdm.Double(math.NaN())
+	out := call(t, "index-of", one(nan, xdm.Integer(1), nan), one(nan))
+	if len(out) != 0 {
+		t.Fatalf("index-of NaN must be empty (eq semantics), got %v", out.StringJoin())
+	}
+	out = call(t, "index-of", one(nan, xdm.Integer(1)), one(xdm.Integer(1)))
+	if out.StringJoin() != "2" {
+		t.Fatalf("index-of must still find comparable items, got %v", out.StringJoin())
+	}
+	out = call(t, "distinct-values", one(nan, nan))
+	if len(out) != 1 || !math.IsNaN(float64(out[0].(xdm.Double))) {
+		t.Fatalf("distinct-values must keep exactly one NaN, got %v", out.StringJoin())
+	}
+	// deep-equal follows DeepEqual: NaN equals NaN.
+	out = call(t, "deep-equal", one(nan), one(nan))
+	if out.StringJoin() != "true" {
+		t.Fatal("deep-equal(NaN, NaN) must be true")
+	}
+}

@@ -49,7 +49,12 @@ func registerSequenceFuncs() {
 		}
 		var out xdm.Sequence
 		for i, it := range xdm.Atomize(args[0]) {
-			if sameValue(it, needle) {
+			// fn:index-of compares with `eq` semantics: NaN matches nothing
+			// (including NaN), and incomparable pairs are skipped — unlike
+			// distinct-values, whose spec'd equality treats NaN as equal to
+			// itself (see sameValue).
+			ok, err := xdm.CompareValue(it, needle, xdm.OpEq)
+			if err == nil && ok {
 				out = append(out, xdm.Integer(i+1))
 			}
 		}
@@ -197,8 +202,8 @@ func registerSequenceFuncs() {
 	})
 }
 
-// sameValue is the equality used by distinct-values and index-of: value
-// equality with NaN equal to itself, incomparable types unequal.
+// sameValue is the equality used by distinct-values: value equality with
+// NaN equal to itself, incomparable types unequal.
 func sameValue(a, b xdm.Item) bool {
 	if xdm.IsNumeric(a) && xdm.IsNumeric(b) {
 		fa, fb := xdm.NumberOf(a), xdm.NumberOf(b)

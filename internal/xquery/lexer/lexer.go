@@ -90,10 +90,14 @@ type Token struct {
 	Offset int
 }
 
-// Error is a lexical error with position.
+// Error is a lexical or syntactic error with position. Code, when set,
+// carries a specific XQuery static error code (for example XQST0040 for a
+// duplicate attribute in a direct constructor); when empty the error
+// reports under the generic syntax code XPST0003.
 type Error struct {
-	Pos ast.Pos
-	Msg string
+	Pos  ast.Pos
+	Msg  string
+	Code string
 }
 
 // Error implements the error interface.
@@ -476,4 +480,11 @@ func (l *Lexer) RawSlice(n int) string {
 // gave none).
 func (l *Lexer) Errf(format string, args ...interface{}) error {
 	return l.errf(format, args...)
+}
+
+// CodedErrf is Errf carrying a specific static error code, for the handful
+// of syntax-adjacent checks the spec assigns their own code (duplicate
+// literal attributes, for example).
+func (l *Lexer) CodedErrf(code, format string, args ...interface{}) error {
+	return &Error{Pos: l.Pos(), Msg: fmt.Sprintf(format, args...), Code: code}
 }

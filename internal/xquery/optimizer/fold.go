@@ -31,6 +31,12 @@ func (o *optimizer) foldBinary(n *ast.Binary) ast.Expr {
 		}
 		return n
 	case ast.OpValueComp, ast.OpGeneralComp:
+		// The folded form is spelled true()/false(); if the module declares
+		// functions of those names the spelling would resolve to them, so
+		// don't fold.
+		if o.userFuncs["true"] || o.userFuncs["false"] {
+			return n
+		}
 		la, lok := literalAtom(n.L)
 		ra, rok := literalAtom(n.R)
 		if !lok || !rok {
@@ -46,9 +52,15 @@ func (o *optimizer) foldBinary(n *ast.Binary) ast.Expr {
 	return n
 }
 
-// foldCall folds concat over string literals.
+// foldCall folds concat over string literals. The fold must not change
+// dispatch or arity checking: a user-declared concat wins over the builtin,
+// and fn:concat requires at least two arguments (fewer is XPST0017 at
+// runtime), so those calls are left for the runtime to reject.
 func (o *optimizer) foldCall(n *ast.FunctionCall) ast.Expr {
 	if n.Name != "concat" && n.Name != "fn:concat" {
+		return n
+	}
+	if o.userFuncs[n.Name] || len(n.Args) < 2 {
 		return n
 	}
 	var b strings.Builder
@@ -79,7 +91,9 @@ func literalAtom(e ast.Expr) (xdm.Item, bool) {
 }
 
 // literalEBV computes the effective boolean value of a literal condition.
-func literalEBV(e ast.Expr) (value, known bool) {
+// true()/false() calls only count as constants when the module does not
+// shadow them with user declarations.
+func (o *optimizer) literalEBV(e ast.Expr) (value, known bool) {
 	switch n := e.(type) {
 	case *ast.IntLit:
 		return n.Value != 0, true
@@ -88,7 +102,7 @@ func literalEBV(e ast.Expr) (value, known bool) {
 	case *ast.EmptySeq:
 		return false, true
 	case *ast.FunctionCall:
-		if len(n.Args) == 0 {
+		if len(n.Args) == 0 && !o.userFuncs[n.Name] {
 			switch n.Name {
 			case "true", "fn:true":
 				return true, true

@@ -51,15 +51,26 @@ type Stats struct {
 // Optimize rewrites the module in place (expressions are replaced, shared
 // subtrees are never mutated) and returns statistics.
 func Optimize(mod *ast.Module, opts Options) Stats {
-	o := &optimizer{opts: opts, userFuncs: map[string]bool{}}
+	o := &optimizer{opts: opts, userFuncs: map[string]bool{}, scope: map[string]int{}}
 	for _, f := range mod.Functions {
 		o.userFuncs[f.Name] = true
 	}
 	if opts.Level == O0 {
 		return o.stats
 	}
+	// Global variables are in scope everywhere (the prolog evaluates them
+	// before the body; a reference to a declared global cannot itself raise).
+	for _, v := range mod.Vars {
+		o.bind(v.Name)
+	}
 	for _, f := range mod.Functions {
+		for _, p := range f.Params {
+			o.bind(p.Name)
+		}
 		f.Body = o.rewrite(f.Body)
+		for _, p := range f.Params {
+			o.unbind(p.Name)
+		}
 	}
 	for _, v := range mod.Vars {
 		if v.Val != nil {
@@ -75,9 +86,29 @@ type optimizer struct {
 	opts      Options
 	stats     Stats
 	userFuncs map[string]bool
+	// scope counts, per variable name, the enclosing bindings currently in
+	// force during the rewrite walk. Dead-let elimination consults it: a
+	// reference to a bound variable is a pure slot read, while one to an
+	// unbound name would be a static error (XPST0008) that elimination
+	// must not hide.
+	scope map[string]int
 	// elided accumulates the fn:trace call sites dead-let elimination
 	// removed; Optimize stashes them on the module for the runtime.
 	elided []ast.ElidedTrace
+}
+
+// bind records that $name is in scope for subsequent rewrites; unbind
+// reverses it. Empty names (absent positional/catch vars) are ignored.
+func (o *optimizer) bind(name string) {
+	if name != "" {
+		o.scope[name]++
+	}
+}
+
+func (o *optimizer) unbind(name string) {
+	if name != "" {
+		o.scope[name]--
+	}
 }
 
 func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
@@ -104,7 +135,7 @@ func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
 	case *ast.IfExpr:
 		out := &ast.IfExpr{Base: n.Base, Cond: o.rewrite(n.Cond),
 			Then: o.rewrite(n.Then), Else: o.rewrite(n.Else)}
-		if b, known := literalEBV(out.Cond); known {
+		if b, known := o.literalEBV(out.Cond); known {
 			o.stats.FoldedConstants++
 			if b {
 				return out.Then
@@ -118,15 +149,25 @@ func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
 		vars := make([]ast.ForClause, len(n.Vars))
 		for i, v := range n.Vars {
 			vars[i] = ast.ForClause{Var: v.Var, PosVar: v.PosVar, In: o.rewrite(v.In), P: v.P}
+			o.bind(v.Var)
 		}
-		return &ast.Quantified{Base: n.Base, Every: n.Every, Vars: vars, Satisfy: o.rewrite(n.Satisfy)}
+		sat := o.rewrite(n.Satisfy)
+		for _, v := range n.Vars {
+			o.unbind(v.Var)
+		}
+		return &ast.Quantified{Base: n.Base, Every: n.Every, Vars: vars, Satisfy: sat}
 	case *ast.Typeswitch:
 		cases := make([]ast.TypeswitchCase, len(n.Cases))
 		for i, cs := range n.Cases {
+			o.bind(cs.Var)
 			cases[i] = ast.TypeswitchCase{Var: cs.Var, Type: cs.Type, Ret: o.rewrite(cs.Ret)}
+			o.unbind(cs.Var)
 		}
+		o.bind(n.DefaultVar)
+		def := o.rewrite(n.Default)
+		o.unbind(n.DefaultVar)
 		return &ast.Typeswitch{Base: n.Base, Operand: o.rewrite(n.Operand),
-			Cases: cases, DefaultVar: n.DefaultVar, Default: o.rewrite(n.Default)}
+			Cases: cases, DefaultVar: n.DefaultVar, Default: def}
 	case *ast.PathExpr:
 		steps := make([]ast.Step, len(n.Steps))
 		for i, s := range n.Steps {
@@ -152,8 +193,13 @@ func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
 		out := &ast.FunctionCall{Base: n.Base, Name: n.Name, Args: args}
 		return o.foldCall(out)
 	case *ast.TryCatch:
+		o.bind(n.CatchVar)
+		o.bind(n.CatchCodeVar)
+		catch := o.rewrite(n.Catch)
+		o.unbind(n.CatchVar)
+		o.unbind(n.CatchCodeVar)
 		return &ast.TryCatch{Base: n.Base, Try: o.rewrite(n.Try),
-			CatchVar: n.CatchVar, CatchCodeVar: n.CatchCodeVar, Catch: o.rewrite(n.Catch)}
+			CatchVar: n.CatchVar, CatchCodeVar: n.CatchCodeVar, Catch: catch}
 	case *ast.InstanceOf:
 		return &ast.InstanceOf{Base: n.Base, Operand: o.rewrite(n.Operand), Type: n.Type}
 	case *ast.TreatAs:
@@ -224,15 +270,21 @@ func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
 	return e
 }
 
-// rewriteFLWOR rewrites clauses and, at O2, removes dead pure lets.
+// rewriteFLWOR rewrites clauses and, at O2, removes dead eliminable lets.
 func (o *optimizer) rewriteFLWOR(n *ast.FLWOR) ast.Expr {
 	clauses := make([]ast.FLWORClause, 0, len(n.Clauses))
+	var bound []string // clause vars pushed onto the scope, in order
 	for _, cl := range n.Clauses {
 		switch c := cl.(type) {
 		case ast.ForClause:
 			clauses = append(clauses, ast.ForClause{Var: c.Var, PosVar: c.PosVar, In: o.rewrite(c.In), P: c.P})
+			o.bind(c.Var)
+			o.bind(c.PosVar)
+			bound = append(bound, c.Var, c.PosVar)
 		case ast.LetClause:
 			clauses = append(clauses, ast.LetClause{Var: c.Var, Val: o.rewrite(c.Val), P: c.P})
+			o.bind(c.Var)
+			bound = append(bound, c.Var)
 		}
 	}
 	out := &ast.FLWOR{Base: n.Base, Clauses: clauses, Stable: n.Stable}
@@ -244,23 +296,39 @@ func (o *optimizer) rewriteFLWOR(n *ast.FLWOR) ast.Expr {
 			Key: o.rewrite(spec.Key), Descending: spec.Descending, EmptyLeast: spec.EmptyLeast})
 	}
 	out.Return = o.rewrite(n.Return)
+	for _, name := range bound {
+		o.unbind(name)
+	}
 
 	if o.opts.Level < O2 {
 		return out
 	}
 	// Dead-let elimination: drop `let $v := E` when $v is unused afterward
-	// and E is pure. This is exactly the pass that ate the paper's
-	// `let $dummy := trace("x=", $x)`.
+	// and E is eliminable (no effects, cannot raise). This is exactly the
+	// pass that ate the paper's `let $dummy := trace("x=", $x)`. The scope
+	// is rebuilt progressively so each let's value is judged under exactly
+	// the bindings it would evaluate under.
 	kept := out.Clauses[:0:len(out.Clauses)]
 	lastElided := 0 // elided-trace records from the most recent dropped let
 	for i, cl := range out.Clauses {
 		lc, isLet := cl.(ast.LetClause)
-		if !isLet || !o.pure(lc.Val) || o.usedAfter(out, i, lc.Var) {
+		if !isLet || !o.eliminable(lc.Val) || o.usedAfter(out, i, lc.Var) {
 			kept = append(kept, cl)
+			switch c := cl.(type) {
+			case ast.ForClause:
+				o.bind(c.Var)
+				o.bind(c.PosVar)
+			case ast.LetClause:
+				o.bind(c.Var)
+			}
 			continue
 		}
 		o.stats.EliminatedLets++
 		lastElided = o.recordElidedTraces(lc.Val)
+		o.bind(lc.Var)
+	}
+	for _, name := range bound {
+		o.unbind(name)
 	}
 	if len(kept) == 0 && out.Where == nil && len(out.OrderBy) == 0 {
 		// Every clause was a dead let: the FLWOR reduces to its return.
@@ -340,28 +408,62 @@ func (o *optimizer) usedAfter(n *ast.FLWOR, i int, name string) bool {
 	return usesVar(n.Return, name)
 }
 
-// pure reports whether evaluating e has no observable effect beyond its
-// value. fn:error and fn:doc are effectful; fn:trace is effectful only
-// after the Galax fix; user-function calls are conservatively impure.
-func (o *optimizer) pure(e ast.Expr) bool {
-	result := true
-	walk(e, func(x ast.Expr) bool {
-		call, ok := x.(*ast.FunctionCall)
-		if !ok {
+// eliminable reports whether a dead `let $v := e` binding may be dropped
+// without changing observable behavior. That requires two properties at
+// once: evaluating e has no effect beyond its value, AND evaluating e can
+// never raise an error — eliminating an expression that would have raised
+// turns a failing query into a succeeding one, the cross-configuration
+// divergence the differential harness exists to catch (1 idiv 0, failing
+// casts, unknown functions, …).
+//
+// The check is a whitelist of total expressions: literals, references to
+// variables the walk has seen bound (an unbound name is a static XPST0008
+// the optimizer must not hide), sequences of eliminable parts, true()/
+// false(), and — in the Galax-era configuration the paper fought — fn:trace
+// over eliminable arguments. Everything else is conservatively kept.
+func (o *optimizer) eliminable(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.IntLit, *ast.StringLit, *ast.DecimalLit, *ast.DoubleLit, *ast.EmptySeq:
+		return true
+	case *ast.VarRef:
+		return o.scope[n.Name] > 0
+	case *ast.SequenceExpr:
+		for _, it := range n.Items {
+			if !o.eliminable(it) {
+				return false
+			}
+		}
+		return true
+	case *ast.Unary:
+		// Unary minus over an eliminable operand still needs the operand to
+		// be numeric to be total; only a literal guarantees that statically.
+		switch n.Operand.(type) {
+		case *ast.IntLit, *ast.DecimalLit, *ast.DoubleLit:
 			return true
 		}
-		name := call.Name
-		switch {
-		case name == "error" || name == "fn:error" || name == "doc" || name == "fn:doc":
-			result = false
-		case name == "trace" || name == "fn:trace":
-			if o.opts.TraceIsEffectful {
-				result = false
-			}
-		case o.userFuncs[name]:
-			result = false
+		return false
+	case *ast.FunctionCall:
+		if o.userFuncs[n.Name] {
+			return false
 		}
-		return result
-	})
-	return result
+		switch n.Name {
+		case "true", "fn:true", "false", "fn:false":
+			return len(n.Args) == 0
+		case "trace", "fn:trace":
+			// fn:trace is total (it formats and forwards its arguments), so
+			// a dead trace binding is eliminable exactly when trace is not
+			// considered effectful — the paper's Galax-era behavior.
+			if o.opts.TraceIsEffectful || len(n.Args) == 0 {
+				return false
+			}
+			for _, a := range n.Args {
+				if !o.eliminable(a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return false
 }

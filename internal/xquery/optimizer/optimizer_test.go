@@ -349,3 +349,109 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("O0 must not fold")
 	}
 }
+
+// TestDeadLetKeepsErrorRaising: dead-code elimination must never hide a
+// dynamic error. These all raise at O0; before the eliminability rework the
+// O2 pipeline silently dropped the bindings and returned the FLWOR's return
+// value instead — a cross-configuration divergence the differential harness
+// (internal/difftest) now guards.
+func TestDeadLetKeepsErrorRaising(t *testing.T) {
+	cases := []string{
+		`let $dead := 1 idiv 0 return 2`,
+		`let $dead := 1 div 0 return 2`,
+		`let $dead := 5 mod 0 return 2`,
+		`let $dead := "a" cast as xs:integer return 2`,
+		`let $dead := 1 + "x" return 2`,
+		`let $dead := (1,2) treat as xs:integer return 2`,
+		`let $dead := concat((1,2), "x") return 2`,
+		`let $dead := $unbound-name return 2`,
+	}
+	for _, src := range cases {
+		mod, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		stats := Optimize(mod, Options{Level: O2})
+		if stats.EliminatedLets != 0 {
+			t.Errorf("%q: error-raising dead let must be kept", src)
+		}
+	}
+}
+
+// TestDeadLetEliminatesTotalExprs: the whitelist still fires for bindings
+// that provably cannot raise — literals, sequences of literals, in-scope
+// variable references, unary minus over a numeric literal.
+func TestDeadLetEliminatesTotalExprs(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`let $dead := 1 return 2`, 1},
+		{`let $dead := -1.5 return 2`, 1},
+		{`let $dead := ("a", 1, 2.5e0, ()) return 2`, 1},
+		// Single pass: $dead dies; $x survives because the original clause
+		// list still references it from $dead's value.
+		{`let $x := 1 let $dead := $x return 2`, 1},
+		{`let $dead := true() return 2`, 1},
+	}
+	for _, c := range cases {
+		mod, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		stats := Optimize(mod, Options{Level: O2})
+		if stats.EliminatedLets != c.want {
+			t.Errorf("%q: eliminated %d lets, want %d", c.src, stats.EliminatedLets, c.want)
+		}
+	}
+}
+
+// TestDeadLetUnboundVarKept: a dead let whose value references an unbound
+// variable must survive so evaluation still reports XPST0008 at every
+// optimization level (free variables are a runtime question here — they may
+// be supplied externally — so elimination would have hidden the error
+// entirely).
+func TestDeadLetUnboundVarKept(t *testing.T) {
+	mod, err := parser.Parse(`let $dead := $nowhere return 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(mod, Options{Level: O2})
+	ip, err := interp.New(mod, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.EvalString(nil, nil); err == nil {
+		t.Fatal("unbound variable in a dead let must still raise XPST0008 at O2")
+	}
+}
+
+// TestConcatFoldRespectsArity: fn:concat requires two arguments; folding a
+// one-argument call would turn the runtime's XPST0017 into a success.
+func TestConcatFoldRespectsArity(t *testing.T) {
+	for _, src := range []string{`concat("a")`, `concat()`} {
+		mod, err := parser.Parse(src)
+		if err != nil {
+			continue // parser may reject concat(); either behavior is consistent
+		}
+		stats := Optimize(mod, Options{Level: O1})
+		if stats.FoldedConstants != 0 {
+			t.Errorf("%q: under-arity concat must not fold", src)
+		}
+	}
+}
+
+// TestTraceDeadLetStillEliminatedInGalaxMode: the eliminability rework must
+// not break the paper's anecdote — in the Galax-era configuration a dead
+// `let $dummy := trace("x=", $x)` still disappears, trace call included.
+func TestTraceDeadLetStillEliminatedInGalaxMode(t *testing.T) {
+	src := `let $x := 2 + 3 let $dummy := trace("x=", $x) return $x`
+	mod, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Optimize(mod, Options{Level: O2, TraceIsEffectful: false})
+	if stats.EliminatedLets != 1 || stats.ElidedTraces != 1 {
+		t.Fatalf("stats = %+v, want one eliminated let with one elided trace", stats)
+	}
+}

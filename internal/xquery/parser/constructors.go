@@ -298,9 +298,13 @@ func (p *Parser) parseDirElemRaw() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Literal duplicates are a static error (XQST0040), unlike computed
+		// duplicates, which the runtime resolves per DupAttrPolicy (XQDY0025
+		// under DupAttrError). Keeping the codes distinct mirrors the spec's
+		// split and keeps the error surface identical across configurations.
 		for _, prev := range el.Attrs {
 			if prev.Name == attr.Name {
-				return nil, p.lx.Errf("duplicate attribute %q in constructor <%s>", attr.Name, name)
+				return nil, p.lx.CodedErrf("XQST0040", "duplicate attribute %q in constructor <%s>", attr.Name, name)
 			}
 		}
 		el.Attrs = append(el.Attrs, attr)

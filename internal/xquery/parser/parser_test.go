@@ -701,3 +701,30 @@ func TestParseAcceptanceBreadth(t *testing.T) {
 		}
 	}
 }
+
+// TestDuplicateAttrCarriesXQST0040: literal duplicate attributes are the
+// spec's static error XQST0040, distinct from both the generic syntax code
+// XPST0003 and the runtime duplicate-policy code XQDY0025 that computed
+// constructors raise under DupAttrError. The code rides on the lexer error
+// so cliutil and xq.ErrorCode agree.
+func TestDuplicateAttrCarriesXQST0040(t *testing.T) {
+	_, err := ParseExpr(`<a x="1" x="2"/>`)
+	if err == nil {
+		t.Fatal("duplicate literal attribute must not parse")
+	}
+	le, ok := err.(*lexer.Error)
+	if !ok {
+		t.Fatalf("error type = %T, want *lexer.Error", err)
+	}
+	if le.Code != "XQST0040" {
+		t.Fatalf("code = %q, want XQST0040", le.Code)
+	}
+	// Plain syntax errors stay uncoded (reported as XPST0003 downstream).
+	_, err = ParseExpr(`1 +`)
+	if err == nil {
+		t.Fatal("want syntax error")
+	}
+	if le, ok := err.(*lexer.Error); ok && le.Code != "" {
+		t.Fatalf("generic syntax error must be uncoded, got %q", le.Code)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/interp"
+	"lopsided/internal/xquery/lexer"
 	"lopsided/internal/xquery/optimizer"
 	"lopsided/internal/xquery/parser"
 )
@@ -462,13 +463,21 @@ type EvalError = interp.Error
 
 // ErrorCode extracts the XQuery error code from any error this package
 // returns ("XPST0008", "LOPS0001", …), or "" for uncoded errors such as
-// I/O failures from a document resolver.
+// I/O failures from a document resolver. Lex/parse failures report their
+// specific static code when they carry one (for example XQST0040 for a
+// duplicate literal attribute) and the generic syntax code XPST0003
+// otherwise.
 func ErrorCode(err error) string {
 	switch e := err.(type) {
 	case *interp.Error:
 		return e.Code
 	case *xdm.Error:
 		return e.Code
+	case *lexer.Error:
+		if e.Code != "" {
+			return e.Code
+		}
+		return "XPST0003"
 	}
 	return ""
 }
