@@ -5,6 +5,13 @@
 //	awbgen -model model.xml -template report.xml -engine=native -o out.html
 //	awbgen -demo -degrade -fault-rate 0.3
 //	awbgen -demo -engine=xquery -slow-query 10ms
+//	awbgen -demo -count 16 -parallel 4 -o report.html
+//
+// -count generates the document N times through the batch pipeline
+// (docgen.GenerateBatch) and -parallel bounds the worker goroutines; with
+// -o the runs land in numbered files (report-0001.html, ...). The repeated
+// runs share one model, one template, and the cached compiled plans, so
+// this doubles as a quick throughput probe of the copy-on-write tree layer.
 //
 // -degrade switches the native generator into Accumulate mode: recoverable
 // trouble (missing properties, bad selectors, injected faults) is marked
@@ -18,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"lopsided/internal/awb"
@@ -42,12 +51,13 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "inject property-read faults with this probability (native engine)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	slowQuery := flag.Duration("slow-query", 0, "log any xquery phase slower than this to stderr with its stats (0 = off)")
+	count := flag.Int("count", 1, "generate the document this many times through the batch pipeline")
+	parallel := flag.Int("parallel", 1, "worker goroutines for -count batches")
 	flag.Parse()
 
 	var (
 		model *awb.Model
 		tpl   *xmltree.Node
-		err   error
 	)
 	if *demo {
 		model = workload.BuildITModel(workload.Config{Seed: 42, Users: 10, Systems: 4})
@@ -102,22 +112,71 @@ func main() {
 	if *degrade {
 		mode = docgen.Accumulate
 	}
-	res, err := gen.GenerateMode(model, tpl, mode)
-	if err != nil {
-		fatal(err)
+	if *count < 1 {
+		fatal(fmt.Errorf("-count must be at least 1, got %d", *count))
 	}
+
+	if *count == 1 {
+		res, err := gen.GenerateMode(model, tpl, mode)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(res, *out, *indent); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Batch path: every job shares the one model and template (the
+	// copy-on-write tree layer makes the shared template safe to render
+	// from concurrently).
+	jobs := make([]docgen.BatchJob, *count)
+	for i := range jobs {
+		jobs[i] = docgen.BatchJob{Model: model, Template: tpl, Mode: mode}
+	}
+	results := docgen.GenerateBatch(gen, jobs, *parallel)
+	failed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "awbgen: run %d: %v\n", i, r.Err)
+			continue
+		}
+		if err := emit(r.Result, numberedPath(*out, i), *indent); err != nil {
+			fatal(err)
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d runs failed", failed, *count))
+	}
+}
+
+// emit writes one generation result to path (stdout when empty) and reports
+// its accumulated problems on stderr.
+func emit(res *docgen.Result, path string, indent bool) error {
 	text := res.DocString()
-	if *indent {
+	if indent {
 		text = xmltree.Serialize(res.Document, xmltree.SerializeOptions{Indent: "  ", OmitDecl: true})
 	}
-	if *out == "" {
+	if path == "" {
 		fmt.Println(text)
-	} else if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
-		fatal(err)
+	} else if err := os.WriteFile(path, []byte(text+"\n"), 0o644); err != nil {
+		return err
 	}
 	for _, p := range res.Problems {
 		fmt.Fprintln(os.Stderr, "problem:", p)
 	}
+	return nil
+}
+
+// numberedPath turns "report.html" into "report-0003.html" for batch run i;
+// an empty path (stdout) stays empty.
+func numberedPath(path string, i int) string {
+	if path == "" {
+		return ""
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-%04d%s", strings.TrimSuffix(path, ext), i, ext)
 }
 
 func fatal(err error) {

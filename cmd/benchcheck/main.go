@@ -1,0 +1,165 @@
+// Command benchcheck compares a `go test -bench` run against the committed
+// baseline numbers in a BENCH_*.json file and fails when a benchmark's
+// allocation count drifts past the tolerance.
+//
+//	go test -run '^$' -bench 'Docgen' -benchmem -benchtime 3x . > bench.out
+//	benchcheck -baseline BENCH_docgen.json -input bench.out -tol 0.30
+//
+// Only allocs/op gates: it is deterministic for a fixed workload and
+// hardware-independent, so a regression there is a real code change, not a
+// noisy runner. ns/op and B/op drifts are reported as advisory warnings.
+// Baseline entries without an "after" block (or without allocs_per_op in
+// it) are skipped; measured benchmarks missing from the baseline are
+// ignored, so adding a benchmark does not require a baseline update in the
+// same commit.
+//
+// Exit codes: 0 within tolerance, 1 regression, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		After map[string]any `json:"after"`
+	} `json:"benchmarks"`
+}
+
+type measured struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkGenerateBatch/workers=4-8  13  180303356 ns/op  44.37 docs/sec  64558131 B/op  1033952 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_*.json with after.allocs_per_op per benchmark")
+	inputPath := flag.String("input", "", "go test -bench output to check (default stdin)")
+	tol := flag.Float64("tol", 0.30, "allowed relative allocs/op drift in either direction")
+	flag.Parse()
+
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline is required")
+		os.Exit(2)
+	}
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if *inputPath != "" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	checked, failures := 0, 0
+	for name, entry := range base.Benchmarks {
+		wantAllocs, ok := floatField(entry.After, "allocs_per_op")
+		if !ok {
+			continue
+		}
+		m, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: in baseline but not in the bench output\n", name)
+			failures++
+			continue
+		}
+		checked++
+		if !m.hasAllocs {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: no allocs/op in output (run with -benchmem)\n", name)
+			failures++
+			continue
+		}
+		drift := (m.allocsPerOp - wantAllocs) / wantAllocs
+		if drift > *tol || drift < -*tol {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: allocs/op %.0f vs baseline %.0f (%+.1f%%, tolerance ±%.0f%%)\n",
+				name, m.allocsPerOp, wantAllocs, drift*100, *tol*100)
+			failures++
+			continue
+		}
+		fmt.Printf("benchcheck: ok %s: allocs/op %.0f vs baseline %.0f (%+.1f%%)\n",
+			name, m.allocsPerOp, wantAllocs, drift*100)
+		if wantNs, ok := floatField(entry.After, "ns_per_op"); ok && wantNs > 0 {
+			nsDrift := (m.nsPerOp - wantNs) / wantNs
+			if nsDrift > *tol || nsDrift < -*tol {
+				fmt.Printf("benchcheck: note %s: ns/op %.0f vs baseline %.0f (%+.1f%%) — advisory only, timing is hardware-dependent\n",
+					name, m.nsPerOp, wantNs, nsDrift*100)
+			}
+		}
+	}
+	if checked == 0 && failures == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: baseline has no gateable benchmarks (nothing with after.allocs_per_op)")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d benchmark(s) failed\n", failures, checked+failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmark(s) within ±%.0f%% of baseline\n", checked, *tol*100)
+}
+
+func readBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baselineFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func floatField(m map[string]any, key string) (float64, bool) {
+	v, ok := m[key].(float64)
+	return v, ok
+}
+
+func parseBench(r io.Reader) (map[string]measured, error) {
+	out := make(map[string]measured)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		entry := measured{nsPerOp: ns}
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				entry.allocsPerOp = a
+				entry.hasAllocs = true
+			}
+		}
+		out[m[1]] = entry
+	}
+	return out, sc.Err()
+}

@@ -6,6 +6,7 @@
 // or the error code.
 //
 //	xqdiff -n 1000                 # sweep seeds 1..1000 over the full matrix
+//	xqdiff -n 5000 -jobs 4         # same sweep across 4 worker goroutines
 //	xqdiff -seed 485               # replay one numeric seed
 //	xqdiff -seed ci -n 500         # named seed: start point hashed from the name
 //	xqdiff -config O0,O2+cache     # restrict the comparison to two configs
@@ -25,6 +26,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lopsided/internal/difftest"
 )
@@ -35,6 +38,7 @@ func main() {
 	configFlag := flag.String("config", "", "comma-separated configuration names to compare (default: full matrix); first is the baseline")
 	minimize := flag.Bool("minimize", false, "shrink each divergence to a minimal reproducer")
 	budget := flag.Bool("budget", true, "also check step-budget trip parity within each optimizer level")
+	jobs := flag.Int("jobs", 1, "parallel workers for the sweep (divergence reports stay in seed order)")
 	quiet := flag.Bool("q", false, "only print divergences and the summary")
 	listConfigs := flag.Bool("list-configs", false, "print the configuration matrix and exit")
 	flag.Parse()
@@ -65,14 +69,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	divergences := 0
-	for i := 0; i < *n; i++ {
-		seed := start + int64(i)
-		c := difftest.Generate(seed)
+	// The sweep itself parallelizes cleanly: each seed generates its own
+	// case and the engine is safe for concurrent compilation/evaluation
+	// (the workers share the process-wide plan cache). Divergences are
+	// collected per-index and reported afterwards in seed order, so the
+	// output is identical at any -jobs value.
+	check := func(i int) *difftest.Divergence {
+		c := difftest.Generate(start + int64(i))
 		d := difftest.Check(c, configs)
 		if d == nil && *budget {
 			d = difftest.CheckBudgeted(c)
 		}
+		return d
+	}
+	divs := make([]*difftest.Divergence, *n)
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > *n {
+		workers = *n
+	}
+	if workers == 1 {
+		for i := range divs {
+			divs[i] = check(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(divs) {
+						return
+					}
+					divs[i] = check(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	divergences := 0
+	for _, d := range divs {
 		if d == nil {
 			continue
 		}

@@ -102,7 +102,7 @@ func ParseXMLElement(root *xmltree.Node) (*Query, error) {
 	}
 	q := &Query{}
 	sawStart := false
-	for _, c := range root.Children {
+	for _, c := range root.Children() {
 		if c.Kind != xmltree.ElementNode {
 			continue
 		}

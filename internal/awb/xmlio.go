@@ -195,7 +195,7 @@ func ImportXMLDoc(doc *xmltree.Node) (*Model, error) {
 			maxID = n
 		}
 	}
-	for _, child := range root.Children {
+	for _, child := range root.Children() {
 		if child.Kind != xmltree.ElementNode {
 			continue
 		}
@@ -214,7 +214,7 @@ func ImportXMLDoc(doc *xmltree.Node) (*Model, error) {
 			}
 			n := model.AddNodeWithID(id, child.AttrOr("type", "Entity"))
 			note(id)
-			for _, pc := range child.Children {
+			for _, pc := range child.Children() {
 				if pc.Kind != xmltree.ElementNode || pc.Name != "property" {
 					continue
 				}
@@ -250,14 +250,14 @@ func ImportXMLDoc(doc *xmltree.Node) (*Model, error) {
 }
 
 func importMetamodel(meta *Metamodel, em *xmltree.Node) error {
-	for _, child := range em.Children {
+	for _, child := range em.Children() {
 		if child.Kind != xmltree.ElementNode {
 			continue
 		}
 		switch child.Name {
 		case "node-type":
 			var props []PropertyDecl
-			for _, pc := range child.Children {
+			for _, pc := range child.Children() {
 				if pc.Kind != xmltree.ElementNode || pc.Name != "property-decl" {
 					continue
 				}
@@ -276,7 +276,7 @@ func importMetamodel(meta *Metamodel, em *xmltree.Node) error {
 			}
 		case "relation-type":
 			var eps []Endpoint
-			for _, ec := range child.Children {
+			for _, ec := range child.Children() {
 				if ec.Kind != xmltree.ElementNode || ec.Name != "endpoint" {
 					continue
 				}
@@ -299,7 +299,7 @@ func importMetamodel(meta *Metamodel, em *xmltree.Node) error {
 // passes through.
 func propValueFromXML(p *xmltree.Node) string {
 	hasElem := false
-	for _, c := range p.Children {
+	for _, c := range p.Children() {
 		if c.Kind == xmltree.ElementNode {
 			hasElem = true
 			break
@@ -309,7 +309,7 @@ func propValueFromXML(p *xmltree.Node) string {
 		return p.StringValue()
 	}
 	var b strings.Builder
-	for _, c := range p.Children {
+	for _, c := range p.Children() {
 		b.WriteString(c.String())
 	}
 	return b.String()

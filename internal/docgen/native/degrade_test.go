@@ -22,7 +22,7 @@ func countProblemSpans(n *xmltree.Node) int {
 			count++
 		}
 	}
-	for _, c := range n.Children {
+	for _, c := range n.Children() {
 		count += countProblemSpans(c)
 	}
 	return count

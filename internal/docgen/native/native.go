@@ -180,7 +180,7 @@ func requiredAttr(t *xmltree.Node, name string, focus *awb.Node) (string, error)
 }
 
 func requiredChild(t *xmltree.Node, name string, focus *awb.Node) (*xmltree.Node, error) {
-	for _, c := range t.Children {
+	for _, c := range t.Children() {
 		if c.Kind == xmltree.ElementNode && c.Name == name {
 			return c, nil
 		}
@@ -189,7 +189,7 @@ func requiredChild(t *xmltree.Node, name string, focus *awb.Node) (*xmltree.Node
 }
 
 func optionalChild(t *xmltree.Node, name string) *xmltree.Node {
-	for _, c := range t.Children {
+	for _, c := range t.Children() {
 		if c.Kind == xmltree.ElementNode && c.Name == name {
 			return c
 		}
@@ -202,7 +202,7 @@ func optionalChild(t *xmltree.Node, name string) *xmltree.Node {
 // errors simply propagate.
 func (r *run) genChildren(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
 	var out []*xmltree.Node
-	for _, c := range t.Children {
+	for _, c := range t.Children() {
 		part, err := r.genPart(c, focus)
 		if err != nil {
 			return nil, err
@@ -263,7 +263,7 @@ func (r *run) gen(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
 // genCopy copies a non-directive element, generating its children.
 func (r *run) genCopy(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
 	el := xmltree.NewElement(t.Name)
-	for _, a := range t.Attrs {
+	for _, a := range t.Attrs() {
 		el.SetAttr(a.Name, a.Data)
 	}
 	kids, err := r.genChildren(t, focus)
@@ -284,7 +284,7 @@ func (r *run) genFor(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) 
 	var out []*xmltree.Node
 	for _, n := range set {
 		r.visited[n.ID] = true
-		for _, c := range t.Children {
+		for _, c := range t.Children() {
 			if c.Kind == xmltree.ElementNode && c.Name == docgen.DirQuery {
 				continue // the query element is the iteration source
 			}
@@ -376,7 +376,7 @@ func (r *run) genIf(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
 // conditionsHold evaluates all condition children of an element (implicit
 // conjunction).
 func (r *run) conditionsHold(t *xmltree.Node, focus *awb.Node) (bool, error) {
-	for _, c := range t.Children {
+	for _, c := range t.Children() {
 		if c.Kind != xmltree.ElementNode {
 			continue
 		}
@@ -544,7 +544,7 @@ func (r *run) genPropertyHTML(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node
 func (r *run) genSection(t *xmltree.Node, focus *awb.Node) ([]*xmltree.Node, error) {
 	div := xmltree.NewElement("div")
 	div.SetAttr("class", docgen.SectionClass)
-	for _, c := range t.Children {
+	for _, c := range t.Children() {
 		if c.Kind == xmltree.ElementNode && c.Name == docgen.DirHeading {
 			h2 := xmltree.NewElement("h2")
 			h2.SetAttr("class", docgen.HeadingClass)

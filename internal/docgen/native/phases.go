@@ -177,7 +177,7 @@ func (r *run) spliceMarkers(n *xmltree.Node) {
 	}
 	var rebuilt []*xmltree.Node
 	changed := false
-	for _, c := range n.Children {
+	for _, c := range n.Children() {
 		if c.Kind == xmltree.TextNode {
 			if marker, _ := r.earliestMarker(c.Data); marker != "" {
 				rebuilt = append(rebuilt, r.spliceText(c.Data)...)
@@ -189,10 +189,7 @@ func (r *run) spliceMarkers(n *xmltree.Node) {
 		rebuilt = append(rebuilt, c)
 	}
 	if changed {
-		n.Children = rebuilt
-		for _, c := range n.Children {
-			c.Parent = n
-		}
+		n.SetChildren(rebuilt)
 	}
 }
 

@@ -195,7 +195,7 @@ func (g *Generator) runPhase(i int, ctxRoot *xmltree.Node, vars map[string]xq.Se
 
 func errorFromElement(n *xmltree.Node) error {
 	e := &GenError{}
-	for _, c := range n.Children {
+	for _, c := range n.Children() {
 		if c.Kind != xmltree.ElementNode {
 			continue
 		}
@@ -214,17 +214,17 @@ func errorFromElement(n *xmltree.Node) error {
 // splitResult unbundles the phase-5 <SPLIT-OUTPUT> into the two streams.
 func splitResult(split *xmltree.Node) (*docgen.Result, error) {
 	res := &docgen.Result{Document: xmltree.NewDocument()}
-	for _, c := range split.Children {
+	for _, c := range split.Children() {
 		if c.Kind != xmltree.ElementNode {
 			continue
 		}
 		switch c.Name {
 		case "document":
-			for _, k := range c.Children {
+			for _, k := range c.Children() {
 				res.Document.AppendChild(k.Clone())
 			}
 		case "problems":
-			for _, p := range c.Children {
+			for _, p := range c.Children() {
 				if p.Kind == xmltree.ElementNode && p.Name == "problem" {
 					res.Problems = append(res.Problems, p.StringValue())
 				}

@@ -78,7 +78,7 @@ func chainDoc(k int) *xmltree.Node {
 
 // goRequiredChild mirrors the paper's Java utility with Go's error idiom.
 func goRequiredChild(t *xmltree.Node, name string) (*xmltree.Node, error) {
-	for _, c := range t.Children {
+	for _, c := range t.Children() {
 		if c.Kind == xmltree.ElementNode && c.Name == name {
 			return c, nil
 		}

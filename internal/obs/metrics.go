@@ -113,6 +113,32 @@ type Registry struct {
 	TraceEvents atomic.Int64 // live fn:trace hits delivered to hosts
 }
 
+// SharingStats reports the copy-on-write tree layer's process-wide traffic:
+// lazy clones handed out, one-level materializations that broke sharing,
+// nodes whose physical copy was deferred at clone time, and scratch-buffer
+// pool hits/misses. The counters live in the tree package (which this
+// package must not import); the engine registers a probe so snapshots can
+// include them.
+type SharingStats struct {
+	CowClones        int64
+	CowBreaks        int64
+	CowDeferredNodes int64
+	PoolHits         int64
+	PoolMisses       int64
+}
+
+// sharingProbe is read at snapshot time; nil until an engine package
+// registers one via SetSharingProbe.
+var sharingProbe atomic.Pointer[func() SharingStats]
+
+// SetSharingProbe registers the function Snapshot uses to fill the
+// copy-on-write and pool counters. The tree package owns those counters and
+// cannot import obs, so the public engine package wires the two together.
+// Later registrations replace earlier ones.
+func SetSharingProbe(fn func() SharingStats) {
+	sharingProbe.Store(&fn)
+}
+
 // Snapshot is a point-in-time copy of a Registry, the MetricsSnapshot()
 // result type.
 type Snapshot struct {
@@ -120,12 +146,20 @@ type Snapshot struct {
 	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions int64
 	Evals, EvalErrors, LimitHits                       int64
 	TraceEvents                                        int64
-	CompileLatency, EvalLatency                        HistogramSnapshot
+	// Sharing holds the copy-on-write/pool counters from the registered
+	// probe (zero when no probe is registered).
+	Sharing                     SharingStats
+	CompileLatency, EvalLatency HistogramSnapshot
 }
 
 // Snapshot copies the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
+	var sharing SharingStats
+	if fn := sharingProbe.Load(); fn != nil {
+		sharing = (*fn)()
+	}
 	return Snapshot{
+		Sharing:            sharing,
 		Compiles:           r.Compiles.Load(),
 		CompileErrors:      r.CompileErrors.Load(),
 		PlanCacheHits:      r.PlanCacheHits.Load(),

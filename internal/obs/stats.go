@@ -30,6 +30,17 @@ type EvalStats struct {
 	// PlanCacheHit reports whether the query's compiled plan came out of
 	// the process-wide plan cache (false for plain Compile).
 	PlanCacheHit bool
+	// CowClones and CowBreaks report the copy-on-write tree traffic during
+	// the evaluation: lazy clones handed out, and one-level materializations
+	// that broke sharing. Breaks well below Clones means the sharing held.
+	// Measured as deltas of process-wide counters, so concurrent
+	// evaluations bleed into each other's numbers; treat as indicative
+	// under parallel load.
+	CowClones, CowBreaks int64
+	// PoolHits and PoolMisses report scratch-buffer pool traffic (document
+	// order sort keys, node buffers) during the evaluation, with the same
+	// process-wide-delta caveat.
+	PoolHits, PoolMisses int64
 }
 
 // String renders the stats as the one-line form the CLIs print:
@@ -62,5 +73,11 @@ func (s EvalStats) String() string {
 		cache = "hit"
 	}
 	fmt.Fprintf(&b, " plan-cache=%s", cache)
+	if s.CowClones > 0 || s.CowBreaks > 0 {
+		fmt.Fprintf(&b, " cow=%d/%d(clones/breaks)", s.CowClones, s.CowBreaks)
+	}
+	if s.PoolHits > 0 || s.PoolMisses > 0 {
+		fmt.Fprintf(&b, " pool=%d/%d(hits/misses)", s.PoolHits, s.PoolMisses)
+	}
 	return b.String()
 }

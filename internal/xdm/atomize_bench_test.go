@@ -1,0 +1,70 @@
+package xdm
+
+import (
+	"testing"
+
+	"lopsided/internal/xmltree"
+)
+
+// Benchmarks for the Atomize fast paths: the node-free no-copy path must not
+// regress, and mixed sequences over frozen (copy-on-write shared) nodes
+// should reuse the memoized boxed value instead of rebuilding strings.
+
+func benchAtomicSeq() Sequence {
+	return Of(Integer(1), String("two"), Double(3.5), Boolean(true), Untyped("five"))
+}
+
+func benchFrozenNodes(b *testing.B) []*xmltree.Node {
+	b.Helper()
+	doc := xmltree.MustParse(`<r><a>alpha</a><b>beta beta</b><c x="1">gamma<d>delta</d></c></r>`)
+	kids := doc.DocumentElement().Children()
+	for _, k := range kids {
+		// Freeze each subtree the way the engine does: by cloning it.
+		_ = k.Clone()
+	}
+	return kids
+}
+
+// BenchmarkAtomizeAtomicOnly exercises the original no-copy fast path: a
+// sequence with no nodes must atomize to itself with zero allocations.
+func BenchmarkAtomizeAtomicOnly(b *testing.B) {
+	s := benchAtomicSeq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Atomize(s); len(got) != len(s) {
+			b.Fatal("bad atomize")
+		}
+	}
+}
+
+// BenchmarkAtomizeMixedCached atomizes a mixed atomic+node sequence whose
+// nodes are frozen and already typed-value cached: conversion should reuse
+// the boxed values (one output-slice allocation per call, nothing per node).
+func BenchmarkAtomizeMixedCached(b *testing.B) {
+	nodes := benchFrozenNodes(b)
+	s := Of(Integer(7), NewNode(nodes[0]), String("mid"), NewNode(nodes[1]), NewNode(nodes[2]))
+	Atomize(s) // warm the per-node atom caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Atomize(s); len(got) != len(s) {
+			b.Fatal("bad atomize")
+		}
+	}
+}
+
+// BenchmarkAtomizeSingletonNode is the comparison hot path (`@a eq "v"`):
+// a one-node sequence, frozen and cached.
+func BenchmarkAtomizeSingletonNode(b *testing.B) {
+	nodes := benchFrozenNodes(b)
+	s := Singleton(NewNode(nodes[2]))
+	Atomize(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Atomize(s); len(got) != 1 {
+			b.Fatal("bad atomize")
+		}
+	}
+}

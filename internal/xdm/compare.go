@@ -231,10 +231,10 @@ func deepEqualNode(a, b *xmltree.Node) bool {
 	case xmltree.PINode:
 		return a.Name == b.Name && a.Data == b.Data
 	case xmltree.ElementNode:
-		if a.Name != b.Name || len(a.Attrs) != len(b.Attrs) {
+		if a.Name != b.Name || len(a.Attrs()) != len(b.Attrs()) {
 			return false
 		}
-		for _, aa := range a.Attrs {
+		for _, aa := range a.Attrs() {
 			v, ok := b.Attr(aa.Name)
 			if !ok || v != aa.Data {
 				return false
@@ -259,7 +259,7 @@ func deepEqualNode(a, b *xmltree.Node) bool {
 
 func contentForDeepEqual(n *xmltree.Node) []*xmltree.Node {
 	var out []*xmltree.Node
-	for _, c := range n.Children {
+	for _, c := range n.Children() {
 		switch c.Kind {
 		case xmltree.CommentNode, xmltree.PINode:
 			continue

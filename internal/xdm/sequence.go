@@ -2,6 +2,7 @@ package xdm
 
 import (
 	"strings"
+	"sync"
 
 	"lopsided/internal/xmltree"
 )
@@ -106,7 +107,11 @@ func FromNodes(nodes []*xmltree.Node) Sequence {
 // project never had a usable schema, as the paper recounts).
 //
 // A sequence with no nodes atomizes to itself and is returned without
-// copying; callers must treat the result as read-only.
+// copying; callers must treat the result as read-only. Mixed sequences are
+// copied once (the node items change type), but node conversion itself is
+// copy-free when the node is frozen and was atomized before: the boxed
+// xs:untypedAtomic value is memoized on the node, so repeated atomization of
+// shared (copy-on-write) subtrees allocates nothing per node.
 func Atomize(s Sequence) Sequence {
 	first := -1
 	for i, it := range s {
@@ -118,16 +123,33 @@ func Atomize(s Sequence) Sequence {
 	if first < 0 {
 		return s
 	}
+	if len(s) == 1 {
+		return Sequence{AtomizeNode(s[0].(NodeItem).Node)}
+	}
 	out := make(Sequence, len(s))
 	copy(out, s[:first])
 	for i := first; i < len(s); i++ {
 		if n, ok := IsNode(s[i]); ok {
-			out[i] = Untyped(n.StringValue())
+			out[i] = AtomizeNode(n)
 		} else {
 			out[i] = s[i]
 		}
 	}
 	return out
+}
+
+// AtomizeNode atomizes one node to xs:untypedAtomic, reusing (and, for
+// frozen nodes, populating) the node's atom-cache slot so that atomizing the
+// same shared node twice returns the identical boxed value.
+func AtomizeNode(n *xmltree.Node) Item {
+	if v := n.AtomCache(); v != nil {
+		return v.(Item)
+	}
+	u := Untyped(n.StringValue())
+	if n.Frozen() {
+		n.SetAtomCache(Item(u))
+	}
+	return u
 }
 
 // EffectiveBool computes the effective boolean value of a sequence:
@@ -162,12 +184,46 @@ func EffectiveBool(s Sequence) (bool, error) {
 	return false, Errf("FORG0006", "no effective boolean value for %s", s[0].TypeName())
 }
 
+// nodeBufPool recycles the []*xmltree.Node scratch SortDoc unwraps into;
+// every XPath step result passes through here, so the buffer churn is hot.
+var nodeBufPool = sync.Pool{New: func() any {
+	xmltree.NotePoolMiss()
+	return new([]*xmltree.Node)
+}}
+
 // SortDoc sorts a node sequence into document order with duplicate removal.
 // Non-node items cause an XPTY0018 error (mixed path results are illegal).
+//
+// SortDoc takes ownership of s: the returned sequence reuses s's backing
+// array, so callers must not use s afterwards.
 func SortDoc(s Sequence) (Sequence, error) {
-	nodes, err := s.Nodes()
-	if err != nil {
-		return nil, Errf("XPTY0018", "path result mixes nodes and atomic values")
+	if len(s) == 0 {
+		return s, nil
 	}
-	return FromNodes(xmltree.SortDocOrder(nodes)), nil
+	if len(s) == 1 {
+		if _, ok := IsNode(s[0]); !ok {
+			return nil, Errf("XPTY0018", "path result mixes nodes and atomic values")
+		}
+		return s, nil
+	}
+	xmltree.NotePoolGet()
+	bp := nodeBufPool.Get().(*[]*xmltree.Node)
+	nodes := (*bp)[:0]
+	for _, it := range s {
+		n, ok := IsNode(it)
+		if !ok {
+			*bp = nodes
+			nodeBufPool.Put(bp)
+			return nil, Errf("XPTY0018", "path result mixes nodes and atomic values")
+		}
+		nodes = append(nodes, n)
+	}
+	sorted := xmltree.SortDocOrder(nodes)
+	out := s[:0]
+	for _, n := range sorted {
+		out = append(out, NewNode(n))
+	}
+	*bp = nodes[:0]
+	nodeBufPool.Put(bp)
+	return out, nil
 }

@@ -170,7 +170,7 @@ func TestEffectiveBool(t *testing.T) {
 func TestNodesAndSortDoc(t *testing.T) {
 	doc := xmltree.MustParse(`<a><b/><c/></a>`)
 	a := doc.DocumentElement()
-	b, c := a.Children[0], a.Children[1]
+	b, c := a.Children()[0], a.Children()[1]
 	s := Of(NewNode(c), NewNode(a), NewNode(b), NewNode(c))
 	sorted, err := SortDoc(s)
 	if err != nil {

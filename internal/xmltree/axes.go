@@ -4,13 +4,17 @@ package xmltree
 // Axis results are returned in axis order (forward axes in document order,
 // reverse axes in reverse document order); the XQuery engine re-sorts full
 // step results into document order per the spec.
+//
+// Axes hand out nodes with identity, so navigating into a lazily cloned
+// subtree materializes it level by level (via the Children/Attrs accessors).
+// Only the levels actually navigated are ever copied.
 
 // ChildAxis returns the children of n (empty for non-container nodes).
 func ChildAxis(n *Node) []*Node {
 	if n.Kind != ElementNode && n.Kind != DocumentNode {
 		return nil
 	}
-	return append([]*Node(nil), n.Children...)
+	return append([]*Node(nil), n.Children()...)
 }
 
 // AttributeAxis returns n's attribute nodes.
@@ -18,7 +22,7 @@ func AttributeAxis(n *Node) []*Node {
 	if n.Kind != ElementNode {
 		return nil
 	}
-	return append([]*Node(nil), n.Attrs...)
+	return append([]*Node(nil), n.Attrs()...)
 }
 
 // ParentAxis returns n's parent, if any.
@@ -38,7 +42,7 @@ func DescendantAxis(n *Node) []*Node {
 	var out []*Node
 	var rec func(*Node)
 	rec = func(m *Node) {
-		for _, c := range m.Children {
+		for _, c := range m.Children() {
 			out = append(out, c)
 			rec(c)
 		}
@@ -72,7 +76,7 @@ func siblingsOf(n *Node) ([]*Node, int) {
 	if n.Parent == nil || n.Kind == AttributeNode {
 		return nil, -1
 	}
-	sibs := n.Parent.Children
+	sibs := n.Parent.Children()
 	for i, s := range sibs {
 		if s == n {
 			return sibs, i

@@ -11,6 +11,33 @@
 // substrate from scratch, and the XQuery engine needs direct control over
 // node identity, attribute nodes, and document order.
 //
+// # Copy-on-write cloning
+//
+// Clone is lazy: it returns a new root whose subtree structurally shares the
+// source until somebody looks at it. A cloned container holds a pointer to
+// its source instead of copied child lists; the first navigation or mutation
+// of the clone materializes exactly one level (fresh Node identities whose
+// children are again lazy), so an untouched subtree is never copied at all.
+// This is the FLUX-style structure sharing that turns the paper's C2
+// "multiple copies of the entire output" from a physical cost into a logical
+// description.
+//
+// The contract is asymmetric, and callers must honor it:
+//
+//   - The CLONE is freely mutable. Mutating it breaks sharing along the
+//     mutated path only ("path copying").
+//   - The SOURCE subtree is frozen by Clone: mutating any node of it while a
+//     clone still shares it is a programmer error (the clone would observe
+//     the mutation). The XQuery engine and both document generators only
+//     clone values they never mutate afterwards, matching XQuery's own
+//     immutable-value semantics.
+//
+// Node identity is per logical tree: every materialized node is a distinct
+// Go pointer, stable once created, so `is` comparisons, sibling axes, and
+// document order behave exactly as with eager copies. Concurrent read-only
+// use of a tree containing lazy clones is safe: materialization is
+// synchronized internally (striped locks + atomic publication).
+//
 // # Panic contract
 //
 // Functions in this package panic only on programmer misuse of the tree API
@@ -29,6 +56,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
 )
 
 // NodeKind identifies which of the six XML node kinds a Node is.
@@ -67,22 +97,149 @@ func (k NodeKind) String() string {
 // Node is a single node of an XML tree. One concrete struct represents all
 // six kinds; fields that do not apply to a kind are empty.
 //
-//   - DocumentNode: Children holds the top-level nodes.
-//   - ElementNode: Name is the element name, Attrs its attribute nodes,
-//     Children its content.
+//   - DocumentNode: Children() holds the top-level nodes.
+//   - ElementNode: Name is the element name, Attrs() its attribute nodes,
+//     Children() its content.
 //   - AttributeNode: Name is the attribute name, Data its string value.
 //   - TextNode, CommentNode: Data is the text.
 //   - PINode: Name is the target, Data the instruction body.
 //
 // Nodes have identity: two distinct Node pointers are distinct nodes even if
 // structurally equal, exactly as in the XQuery data model.
+//
+// Child and attribute lists are behind the Children and Attrs accessors
+// (they materialize lazy clones on demand); the scalar fields stay public
+// and are always populated eagerly.
 type Node struct {
-	Kind     NodeKind
-	Name     string // element/attribute name or PI target (as written, possibly prefix:local)
-	Data     string // text, comment or PI content, or attribute value
-	Parent   *Node
-	Attrs    []*Node // element attributes, each with Kind == AttributeNode
-	Children []*Node // document/element content
+	Kind   NodeKind
+	Name   string // element/attribute name or PI target (as written, possibly prefix:local)
+	Data   string // text, comment or PI content, or attribute value
+	Parent *Node
+
+	attrs    []*Node // element attributes, each with Kind == AttributeNode
+	children []*Node // document/element content
+
+	// src, when non-nil, marks this node as an unmaterialized lazy clone:
+	// its logical attrs/children are those of src, which is always a
+	// materialized node and is frozen for as long as the clone may read it.
+	src atomic.Pointer[Node]
+	// shared marks a node that is (or has been) the source of a lazy clone;
+	// its subtree must no longer be mutated. Used for typed-value caching
+	// eligibility and misuse diagnostics, not for correctness.
+	shared atomic.Bool
+	// tv caches the node's string value; only ever populated on shared
+	// (frozen) nodes, whose string value can no longer legally change.
+	tv atomic.Pointer[string]
+	// abox is an opaque per-node cache slot for the layer above (the XDM
+	// atomizer stores the boxed atomized value here). xmltree only provides
+	// the storage; it is honored only on frozen nodes, like tv.
+	abox atomic.Pointer[any]
+}
+
+// COW sharing counters (process-wide, exported through Stats/obs).
+var (
+	cowClones atomic.Int64 // lazy clones created by Clone
+	cowBreaks atomic.Int64 // materializations (sharing broken one level)
+	cowNodes  atomic.Int64 // nodes whose copying was deferred at Clone time
+)
+
+// COWStats reports the process-wide copy-on-write counters: Clones is the
+// number of lazy clones Clone has handed out, Breaks the number of
+// one-level materializations (sharing broken by navigation or mutation),
+// and DeferredNodes the total subtree node count whose eager copying Clone
+// skipped. Breaks/DeferredNodes is the share of deferred copies that were
+// eventually paid for.
+type COWStats struct {
+	Clones, Breaks, DeferredNodes int64
+}
+
+// Stats returns a snapshot of the copy-on-write counters.
+func Stats() COWStats {
+	return COWStats{
+		Clones:        cowClones.Load(),
+		Breaks:        cowBreaks.Load(),
+		DeferredNodes: cowNodes.Load(),
+	}
+}
+
+// cowLocks stripes materialization so concurrent readers of a shared lazy
+// tree materialize each node exactly once. 64 stripes keeps the footprint
+// trivial while making same-stripe collisions rare.
+var cowLocks [64]sync.Mutex
+
+func cowLock(n *Node) *sync.Mutex {
+	// Pointer bits as hash; >>4 drops alignment zeros.
+	return &cowLocks[(uintptr(unsafe.Pointer(n))>>4)%uintptr(len(cowLocks))]
+}
+
+// materialize ensures n's attrs/children slices are its own: if n is a lazy
+// clone, one level of the source is copied into fresh lazy stubs. Safe for
+// concurrent callers; a no-op for solid nodes (one atomic load).
+func (n *Node) materialize() {
+	if n.src.Load() == nil {
+		return
+	}
+	n.materializeSlow()
+}
+
+func (n *Node) materializeSlow() {
+	mu := cowLock(n)
+	mu.Lock()
+	defer mu.Unlock()
+	src := n.src.Load()
+	if src == nil {
+		return // lost the race; another goroutine materialized n
+	}
+	// src is solid and frozen: its slices are stable.
+	if len(src.attrs) > 0 {
+		attrs := make([]*Node, len(src.attrs))
+		for i, a := range src.attrs {
+			attrs[i] = &Node{Kind: a.Kind, Name: a.Name, Data: a.Data, Parent: n}
+		}
+		n.attrs = attrs
+	}
+	if len(src.children) > 0 {
+		kids := make([]*Node, len(src.children))
+		for i, k := range src.children {
+			kids[i] = newStub(k, n)
+		}
+		n.children = kids
+	}
+	cowBreaks.Add(1)
+	// Release-store publishes the slices to concurrent fast-path readers.
+	n.src.Store(nil)
+}
+
+// newStub builds the one-level lazy copy of source node k under parent p.
+// Non-container kinds are complete immediately (their content is scalar);
+// containers with content defer to k (or to k's own source when k is itself
+// still lazy, keeping every src pointer one hop from a solid node).
+func newStub(k *Node, p *Node) *Node {
+	c := &Node{Kind: k.Kind, Name: k.Name, Data: k.Data, Parent: p}
+	if k.Kind != ElementNode && k.Kind != DocumentNode {
+		return c
+	}
+	solid := k
+	if s := k.src.Load(); s != nil {
+		solid = s
+	}
+	if len(solid.attrs) == 0 && len(solid.children) == 0 {
+		return c // childless container: nothing left to copy
+	}
+	solid.shared.Store(true)
+	c.src.Store(solid)
+	return c
+}
+
+// solidView returns the node whose attrs/children slices hold n's logical
+// content without materializing n: n itself when solid, otherwise its
+// source. Callers must treat the result as read-only and must not leak its
+// child pointers as if they belonged to n's tree (identity differs).
+func (n *Node) solidView() *Node {
+	if s := n.src.Load(); s != nil {
+		return s
+	}
+	return n
 }
 
 // NewDocument returns an empty document node.
@@ -107,6 +264,31 @@ func NewAttr(name, value string) *Node {
 // NewPI returns a parentless processing-instruction node.
 func NewPI(target, data string) *Node { return &Node{Kind: PINode, Name: target, Data: data} }
 
+// Children returns the node's content list (empty for non-containers),
+// materializing a lazy clone first. The returned slice is the node's own
+// backing store: treat it as read-only and use the mutation methods
+// (AppendChild, SetChildren, ...) to change structure; mutating the nodes
+// inside it is fine.
+func (n *Node) Children() []*Node {
+	n.materialize()
+	return n.children
+}
+
+// Attrs returns the element's attribute nodes, materializing a lazy clone
+// first. Same aliasing rules as Children.
+func (n *Node) Attrs() []*Node {
+	n.materialize()
+	return n.attrs
+}
+
+// HasChildren reports whether the node has any content, without
+// materializing a lazy clone.
+func (n *Node) HasChildren() bool { return len(n.solidView().children) > 0 }
+
+// NumChildren returns the number of direct children without materializing a
+// lazy clone.
+func (n *Node) NumChildren() int { return len(n.solidView().children) }
+
 // AppendChild appends c to n's content and sets its parent. It panics if n
 // cannot have children or if c is an attribute node (attributes are attached
 // with SetAttr, never as children).
@@ -117,42 +299,62 @@ func (n *Node) AppendChild(c *Node) {
 	if c.Kind == AttributeNode {
 		panic("xmltree: attribute node appended as child; use SetAttr")
 	}
+	n.materialize()
 	c.Parent = n
-	n.Children = append(n.Children, c)
+	n.children = append(n.children, c)
+}
+
+// SetChildren replaces n's entire content list with kids, re-parenting each
+// one. The slice is adopted, not copied.
+func (n *Node) SetChildren(kids []*Node) {
+	if n.Kind != ElementNode && n.Kind != DocumentNode {
+		panic(fmt.Sprintf("xmltree: %v cannot have children", n.Kind))
+	}
+	n.materialize()
+	for _, c := range kids {
+		if c.Kind == AttributeNode {
+			panic("xmltree: attribute node appended as child; use SetAttr")
+		}
+		c.Parent = n
+	}
+	n.children = kids
 }
 
 // InsertChildAt inserts c at index i of n's children (0 ≤ i ≤ len).
 func (n *Node) InsertChildAt(i int, c *Node) {
-	if i < 0 || i > len(n.Children) {
-		panic(fmt.Sprintf("xmltree: InsertChildAt index %d out of range [0,%d]", i, len(n.Children)))
+	n.materialize()
+	if i < 0 || i > len(n.children) {
+		panic(fmt.Sprintf("xmltree: InsertChildAt index %d out of range [0,%d]", i, len(n.children)))
 	}
 	c.Parent = n
-	n.Children = append(n.Children, nil)
-	copy(n.Children[i+1:], n.Children[i:])
-	n.Children[i] = c
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
 }
 
 // RemoveChildAt removes and returns the child at index i, clearing its parent.
 func (n *Node) RemoveChildAt(i int) *Node {
-	c := n.Children[i]
-	copy(n.Children[i:], n.Children[i+1:])
-	n.Children = n.Children[:len(n.Children)-1]
+	n.materialize()
+	c := n.children[i]
+	copy(n.children[i:], n.children[i+1:])
+	n.children = n.children[:len(n.children)-1]
 	c.Parent = nil
 	return c
 }
 
 // ReplaceChildAt replaces the child at index i with c and returns the old child.
 func (n *Node) ReplaceChildAt(i int, c *Node) *Node {
-	old := n.Children[i]
+	n.materialize()
+	old := n.children[i]
 	old.Parent = nil
 	c.Parent = n
-	n.Children[i] = c
+	n.children[i] = c
 	return old
 }
 
 // ChildIndex returns the index of c in n's children, or -1.
 func (n *Node) ChildIndex(c *Node) int {
-	for i, k := range n.Children {
+	for i, k := range n.Children() {
 		if k == c {
 			return i
 		}
@@ -166,7 +368,8 @@ func (n *Node) SetAttr(name, value string) *Node {
 	if n.Kind != ElementNode {
 		panic("xmltree: SetAttr on non-element")
 	}
-	for _, a := range n.Attrs {
+	n.materialize()
+	for _, a := range n.attrs {
 		if a.Name == name {
 			a.Data = value
 			return a
@@ -174,7 +377,7 @@ func (n *Node) SetAttr(name, value string) *Node {
 	}
 	a := NewAttr(name, value)
 	a.Parent = n
-	n.Attrs = append(n.Attrs, a)
+	n.attrs = append(n.attrs, a)
 	return a
 }
 
@@ -185,21 +388,51 @@ func (n *Node) AttachAttr(a *Node) *Node {
 	if n.Kind != ElementNode || a.Kind != AttributeNode {
 		panic("xmltree: AttachAttr kind mismatch")
 	}
+	n.materialize()
 	a.Parent = n
-	for i, old := range n.Attrs {
+	for i, old := range n.attrs {
 		if old.Name == a.Name {
-			n.Attrs[i] = a
+			n.attrs[i] = a
 			old.Parent = nil
 			return old
 		}
 	}
-	n.Attrs = append(n.Attrs, a)
+	n.attrs = append(n.attrs, a)
 	return nil
 }
 
+// AttachAttrDup attaches a free-standing attribute node to element n without
+// any duplicate-name replacement, so two attributes of the same name can
+// coexist. It exists solely so the engine can reproduce the Galax
+// duplicate-attribute bug the paper observed; every conformant caller wants
+// AttachAttr.
+func (n *Node) AttachAttrDup(a *Node) {
+	if n.Kind != ElementNode || a.Kind != AttributeNode {
+		panic("xmltree: AttachAttrDup kind mismatch")
+	}
+	n.materialize()
+	a.Parent = n
+	n.attrs = append(n.attrs, a)
+}
+
+// ReplaceAttrAt replaces the attribute at index i with a and returns the old
+// attribute node.
+func (n *Node) ReplaceAttrAt(i int, a *Node) *Node {
+	if n.Kind != ElementNode || a.Kind != AttributeNode {
+		panic("xmltree: ReplaceAttrAt kind mismatch")
+	}
+	n.materialize()
+	old := n.attrs[i]
+	old.Parent = nil
+	a.Parent = n
+	n.attrs[i] = a
+	return old
+}
+
 // Attr returns the string value of the named attribute and whether it exists.
+// Reading an attribute value does not materialize a lazy clone.
 func (n *Node) Attr(name string) (string, bool) {
-	for _, a := range n.Attrs {
+	for _, a := range n.solidView().attrs {
 		if a.Name == name {
 			return a.Data, true
 		}
@@ -215,9 +448,10 @@ func (n *Node) AttrOr(name, def string) string {
 	return def
 }
 
-// AttrNode returns the named attribute node, or nil.
+// AttrNode returns the named attribute node, or nil. Unlike Attr this hands
+// out a node with identity, so it materializes a lazy clone.
 func (n *Node) AttrNode(name string) *Node {
-	for _, a := range n.Attrs {
+	for _, a := range n.Attrs() {
 		if a.Name == name {
 			return a
 		}
@@ -227,10 +461,11 @@ func (n *Node) AttrNode(name string) *Node {
 
 // RemoveAttr removes the named attribute if present, reporting whether it was.
 func (n *Node) RemoveAttr(name string) bool {
-	for i, a := range n.Attrs {
+	n.materialize()
+	for i, a := range n.attrs {
 		if a.Name == name {
-			copy(n.Attrs[i:], n.Attrs[i+1:])
-			n.Attrs = n.Attrs[:len(n.Attrs)-1]
+			copy(n.attrs[i:], n.attrs[i+1:])
+			n.attrs = n.attrs[:len(n.attrs)-1]
 			a.Parent = nil
 			return true
 		}
@@ -258,7 +493,7 @@ func (n *Node) Document() *Node {
 
 // DocumentElement returns the first element child of a document node, or nil.
 func (n *Node) DocumentElement() *Node {
-	for _, c := range n.Children {
+	for _, c := range n.Children() {
 		if c.Kind == ElementNode {
 			return c
 		}
@@ -268,20 +503,70 @@ func (n *Node) DocumentElement() *Node {
 
 // StringValue returns the node's string value per the XQuery data model:
 // concatenated descendant text for documents and elements, the literal value
-// for attributes, text, comments and PIs.
+// for attributes, text, comments and PIs. It never materializes lazy clones
+// (the string value of shared content is the source's), and memoizes the
+// result on frozen (shared) subtrees, whose value can no longer change.
 func (n *Node) StringValue() string {
 	switch n.Kind {
 	case DocumentNode, ElementNode:
+		v := n.solidView()
+		if len(v.children) == 0 {
+			return ""
+		}
+		if sv := v.tv.Load(); sv != nil {
+			return *sv
+		}
 		var b strings.Builder
-		n.appendText(&b)
-		return b.String()
+		v.appendText(&b)
+		s := b.String()
+		if v.shared.Load() {
+			v.tv.Store(&s)
+		}
+		return s
 	default:
 		return n.Data
 	}
 }
 
+// TypedValueCached reports whether the node's string value is already
+// memoized (always true for the scalar kinds, whose Data field is the
+// value). The xdm atomization fast path keys off this.
+func (n *Node) TypedValueCached() bool {
+	switch n.Kind {
+	case DocumentNode, ElementNode:
+		v := n.solidView()
+		return len(v.children) == 0 || v.tv.Load() != nil
+	default:
+		return true
+	}
+}
+
+// Frozen reports whether the node's content is shared with a lazy clone and
+// therefore immutable under the Clone contract. Frozen nodes are safe cache
+// anchors: their string and typed values can no longer legally change.
+func (n *Node) Frozen() bool { return n.solidView().shared.Load() }
+
+// AtomCache returns the opaque value cached by SetAtomCache on this node (or
+// the frozen source it shares content with), or nil.
+func (n *Node) AtomCache() any {
+	if p := n.solidView().abox.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetAtomCache stores an opaque layer-above value (in practice the boxed
+// atomized value) on the node. The store is silently dropped unless the node
+// is Frozen, because a mutable node's typed value may still change.
+func (n *Node) SetAtomCache(v any) {
+	sv := n.solidView()
+	if sv.shared.Load() {
+		sv.abox.Store(&v)
+	}
+}
+
 func (n *Node) appendText(b *strings.Builder) {
-	for _, c := range n.Children {
+	for _, c := range n.solidView().children {
 		switch c.Kind {
 		case TextNode:
 			b.WriteString(c.Data)
@@ -307,63 +592,103 @@ func (n *Node) Prefix() string {
 	return ""
 }
 
-// Clone returns a deep copy of the subtree rooted at n. The copy is
-// parentless; all copied nodes are new identities (as required by XQuery
-// element construction, which copies content).
+// Clone returns a copy of the subtree rooted at n. The copy is parentless;
+// all copied nodes are new identities (as required by XQuery element
+// construction, which copies content).
+//
+// The copy is lazy: it shares the source subtree until navigated or
+// mutated, and pays one level of copying per node actually touched. Clone
+// freezes the source — see the package comment for the sharing contract.
 func (n *Node) Clone() *Node {
 	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
-	if len(n.Attrs) > 0 {
-		c.Attrs = make([]*Node, len(n.Attrs))
-		for i, a := range n.Attrs {
-			ca := a.Clone()
+	if n.Kind != ElementNode && n.Kind != DocumentNode {
+		return c
+	}
+	solid := n
+	if s := n.src.Load(); s != nil {
+		solid = s
+	}
+	if len(solid.attrs) == 0 && len(solid.children) == 0 {
+		return c
+	}
+	solid.shared.Store(true)
+	c.src.Store(solid)
+	cowClones.Add(1)
+	cowNodes.Add(int64(CountNodes(solid) - 1))
+	return c
+}
+
+// CloneEager returns a fully materialized deep copy of the subtree, sharing
+// nothing with the source. It exists for callers that need to mutate the
+// source afterwards (which the lazy Clone contract forbids).
+func (n *Node) CloneEager() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	v := n.solidView()
+	if len(v.attrs) > 0 {
+		c.attrs = make([]*Node, len(v.attrs))
+		for i, a := range v.attrs {
+			ca := a.CloneEager()
 			ca.Parent = c
-			c.Attrs[i] = ca
+			c.attrs[i] = ca
 		}
 	}
-	if len(n.Children) > 0 {
-		c.Children = make([]*Node, len(n.Children))
-		for i, k := range n.Children {
-			ck := k.Clone()
+	if len(v.children) > 0 {
+		c.children = make([]*Node, len(v.children))
+		for i, k := range v.children {
+			ck := k.CloneEager()
 			ck.Parent = c
-			c.Children[i] = ck
+			c.children[i] = ck
 		}
 	}
 	return c
 }
 
 // Equal reports deep structural equality of two subtrees (kind, name, data,
-// attributes in order, children in order). Node identity is ignored.
+// attributes in order, children in order). Node identity is ignored, and
+// lazy clones compare without materializing.
 func Equal(a, b *Node) bool {
 	if a == nil || b == nil {
 		return a == b
 	}
-	if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data ||
-		len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+	if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data {
 		return false
 	}
-	for i := range a.Attrs {
-		if !Equal(a.Attrs[i], b.Attrs[i]) {
+	av, bv := a.solidView(), b.solidView()
+	if av == bv {
+		return true // shared content is equal by construction
+	}
+	if len(av.attrs) != len(bv.attrs) || len(av.children) != len(bv.children) {
+		return false
+	}
+	for i := range av.attrs {
+		if !Equal(av.attrs[i], bv.attrs[i]) {
 			return false
 		}
 	}
-	for i := range a.Children {
-		if !Equal(a.Children[i], b.Children[i]) {
+	for i := range av.children {
+		if !Equal(av.children[i], bv.children[i]) {
 			return false
 		}
 	}
 	return true
 }
 
-// path returns the child-index path from the root to n. Attribute nodes sort
-// just after their owner element and before its children, matching the
+// pathPool recycles the []int scratch buffers CompareDocOrder burns through
+// (two per comparison, O(n log n) comparisons per sort).
+var pathPool = sync.Pool{New: func() any { return new([]int) }}
+
+// path appends the child-index path from the root to n onto buf (only the
+// appended suffix is touched, so buf can be a shared arena). Attribute nodes
+// sort just after their owner element and before its children, matching the
 // XQuery document-order rule.
-func (n *Node) path() []int {
-	var p []int
+func (n *Node) path(buf []int) []int {
+	start := len(buf)
+	p := buf
 	for n.Parent != nil {
 		par := n.Parent
 		if n.Kind == AttributeNode {
 			ai := 0
-			for i, a := range par.Attrs {
+			for i, a := range par.Attrs() {
 				if a == n {
 					ai = i
 					break
@@ -371,14 +696,14 @@ func (n *Node) path() []int {
 			}
 			// Attributes order before children: index encodes position
 			// as a negative offset so attr i < child 0.
-			p = append(p, ai-len(par.Attrs))
+			p = append(p, ai-len(par.attrs))
 		} else {
 			p = append(p, par.ChildIndex(n))
 		}
 		n = par
 	}
-	// reverse
-	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+	// reverse the appended suffix (root-first order)
+	for i, j := start, len(p)-1; i < j; i, j = i+1, j-1 {
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
@@ -402,7 +727,16 @@ func CompareDocOrder(a, b *Node) int {
 		}
 		return 1
 	}
-	pa, pb := a.path(), b.path()
+	bufA, bufB := pathPool.Get().(*[]int), pathPool.Get().(*[]int)
+	pa, pb := a.path((*bufA)[:0]), b.path((*bufB)[:0])
+	r := comparePaths(pa, pb)
+	*bufA, *bufB = pa, pb
+	pathPool.Put(bufA)
+	pathPool.Put(bufB)
+	return r
+}
+
+func comparePaths(pa, pb []int) int {
 	for i := 0; i < len(pa) && i < len(pb); i++ {
 		if pa[i] != pb[i] {
 			if pa[i] < pb[i] {
@@ -418,37 +752,95 @@ func CompareDocOrder(a, b *Node) int {
 	return 1
 }
 
+// sortScratch is the reusable workspace of one SortDocOrder call: the
+// per-node sort keys plus a flat arena backing every path slice, recycled
+// through sortPool because every XPath step result is sorted.
+type sortScratch struct {
+	ents  []sortEnt
+	arena []int
+}
+
+type sortEnt struct {
+	n    *Node
+	root *Node
+	// lo/hi delimit the node's root path inside the shared arena.
+	lo, hi int
+}
+
+var sortPool = sync.Pool{New: func() any { poolNews.Add(1); return new(sortScratch) }}
+
+// Scratch-pool effectiveness counters (process-wide, exported through
+// PoolStats/obs). A "hit" is a Get satisfied by a recycled buffer.
+var (
+	poolGets atomic.Int64
+	poolNews atomic.Int64
+)
+
+// PoolCounters reports the scratch-buffer pool traffic: total Gets and how
+// many of them had to allocate a fresh buffer (misses).
+func PoolCounters() (gets, misses int64) { return poolGets.Load(), poolNews.Load() }
+
+// NotePoolGet and NotePoolMiss fold sibling packages' scratch pools (the
+// data-model layer's node buffers) into the same process-wide counters, so
+// observability reads one place for the whole tree/data-model layer.
+func NotePoolGet()  { poolGets.Add(1) }
+func NotePoolMiss() { poolNews.Add(1) }
+
 // SortDocOrder sorts nodes into document order in place and removes
 // duplicates (by identity), returning the possibly-shortened slice. This is
 // the normalization applied to every XPath step result.
+//
+// Each node's root path is computed once up front (into a pooled arena)
+// rather than on every comparison; with paths in hand the sort itself is
+// cheap integer-slice comparison.
 func SortDocOrder(nodes []*Node) []*Node {
 	if len(nodes) < 2 {
 		return nodes
 	}
-	sort.SliceStable(nodes, func(i, j int) bool {
-		return CompareDocOrder(nodes[i], nodes[j]) < 0
+	poolGets.Add(1)
+	sc := sortPool.Get().(*sortScratch)
+	ents := sc.ents[:0]
+	arena := sc.arena[:0]
+	for _, n := range nodes {
+		lo := len(arena)
+		arena = n.path(arena)
+		ents = append(ents, sortEnt{n: n, root: n.Root(), lo: lo, hi: len(arena)})
+	}
+	sort.SliceStable(ents, func(i, j int) bool {
+		a, b := &ents[i], &ents[j]
+		if a.root != b.root {
+			// Different trees: arbitrary but consistent order, matching
+			// CompareDocOrder's tiebreak.
+			return fmt.Sprintf("%p", a.root) < fmt.Sprintf("%p", b.root)
+		}
+		return comparePaths(arena[a.lo:a.hi], arena[b.lo:b.hi]) < 0
 	})
-	out := nodes[:1]
-	for _, n := range nodes[1:] {
-		if n != out[len(out)-1] {
+	out := nodes[:0]
+	for i := range ents {
+		n := ents[i].n
+		if len(out) == 0 || n != out[len(out)-1] {
 			out = append(out, n)
 		}
 	}
+	sc.ents, sc.arena = ents, arena
+	sortPool.Put(sc)
 	return out
 }
 
 // Walk visits n and every descendant (attributes included, before children)
 // in document order, calling f on each. If f returns false the walk stops.
+// Walk hands out nodes with identity, so it materializes lazy clones as it
+// descends; use the serializer or StringValue for identity-free reads.
 func Walk(n *Node, f func(*Node) bool) bool {
 	if !f(n) {
 		return false
 	}
-	for _, a := range n.Attrs {
+	for _, a := range n.Attrs() {
 		if !f(a) {
 			return false
 		}
 	}
-	for _, c := range n.Children {
+	for _, c := range n.children {
 		if !Walk(c, f) {
 			return false
 		}
@@ -456,9 +848,14 @@ func Walk(n *Node, f func(*Node) bool) bool {
 	return true
 }
 
-// CountNodes returns the number of nodes in the subtree (attributes included).
+// CountNodes returns the number of nodes in the subtree (attributes
+// included). It reads through shared structure without materializing.
 func CountNodes(n *Node) int {
-	count := 0
-	Walk(n, func(*Node) bool { count++; return true })
+	count := 1
+	v := n.solidView()
+	count += len(v.attrs)
+	for _, c := range v.children {
+		count += CountNodes(c)
+	}
 	return count
 }

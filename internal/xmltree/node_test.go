@@ -40,7 +40,7 @@ func TestAppendChildSetsParent(t *testing.T) {
 	if c.Parent != el {
 		t.Fatal("parent not set")
 	}
-	if len(el.Children) != 1 || el.Children[0] != c {
+	if len(el.Children()) != 1 || el.Children()[0] != c {
 		t.Fatal("child not appended")
 	}
 }
@@ -94,8 +94,8 @@ func TestAttrOperations(t *testing.T) {
 	el.SetAttr("x", "1")
 	el.SetAttr("y", "2")
 	el.SetAttr("x", "3") // replace
-	if len(el.Attrs) != 2 {
-		t.Fatalf("attrs = %d, want 2", len(el.Attrs))
+	if len(el.Attrs()) != 2 {
+		t.Fatalf("attrs = %d, want 2", len(el.Attrs()))
 	}
 	if v, ok := el.Attr("x"); !ok || v != "3" {
 		t.Fatalf("x = %q, %v", v, ok)
@@ -187,14 +187,14 @@ func TestCloneDeepAndIndependent(t *testing.T) {
 		t.Fatal("clone not structurally equal")
 	}
 	c.SetAttr("x", "2")
-	c.Children[0].Children[0].Data = "u"
+	c.Children()[0].Children()[0].Data = "u"
 	if v, _ := el.Attr("x"); v != "1" {
 		t.Fatal("clone mutation leaked to original attr")
 	}
 	if el.StringValue() != "t" {
 		t.Fatal("clone mutation leaked to original text")
 	}
-	if c.Children[0].Parent != c {
+	if c.Children()[0].Parent != c {
 		t.Fatal("clone children parents not rewired")
 	}
 }
@@ -221,9 +221,9 @@ func TestEqual(t *testing.T) {
 func TestCompareDocOrder(t *testing.T) {
 	doc := MustParse(`<a x="1"><b><c/></b><d/></a>`)
 	a := doc.DocumentElement()
-	b := a.Children[0]
-	c := b.Children[0]
-	d := a.Children[1]
+	b := a.Children()[0]
+	c := b.Children()[0]
+	d := a.Children()[1]
 	x := a.AttrNode("x")
 	ordered := []*Node{doc, a, x, b, c, d}
 	for i := range ordered {
@@ -259,7 +259,7 @@ func TestCompareDocOrderDifferentTrees(t *testing.T) {
 func TestSortDocOrderDedups(t *testing.T) {
 	doc := MustParse(`<a><b/><c/><d/></a>`)
 	a := doc.DocumentElement()
-	b, c, d := a.Children[0], a.Children[1], a.Children[2]
+	b, c, d := a.Children()[0], a.Children()[1], a.Children()[2]
 	in := []*Node{d, b, c, b, d, a}
 	out := SortDocOrder(in)
 	want := []*Node{a, b, c, d}

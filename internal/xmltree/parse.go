@@ -83,7 +83,7 @@ func ParseFragment(input string) ([]*Node, error) {
 	if err := p.parseContent(doc, ""); err != nil {
 		return nil, err
 	}
-	kids := doc.Children
+	kids := doc.Children()
 	for _, k := range kids {
 		k.Parent = nil
 	}

@@ -19,7 +19,7 @@ func TestParseBasic(t *testing.T) {
 	if v, _ := root.Attr("a"); v != "1" {
 		t.Fatal("attr a")
 	}
-	if root.Children[0].Name != "kid" || root.Children[0].StringValue() != "hi" {
+	if root.Children()[0].Name != "kid" || root.Children()[0].StringValue() != "hi" {
 		t.Fatal("kid")
 	}
 }
@@ -27,10 +27,10 @@ func TestParseBasic(t *testing.T) {
 func TestParseSelfClosing(t *testing.T) {
 	doc := MustParse(`<a><b/><c x="y"/></a>`)
 	a := doc.DocumentElement()
-	if len(a.Children) != 2 {
-		t.Fatalf("children = %d", len(a.Children))
+	if len(a.Children()) != 2 {
+		t.Fatalf("children = %d", len(a.Children()))
 	}
-	if v, _ := a.Children[1].Attr("x"); v != "y" {
+	if v, _ := a.Children()[1].Attr("x"); v != "y" {
 		t.Fatal("attr on self-closing")
 	}
 }
@@ -55,14 +55,14 @@ func TestParseCDATA(t *testing.T) {
 
 func TestParseCommentsAndPIs(t *testing.T) {
 	doc := MustParse(`<!-- lead --><a><!--in--><?target data?></a><!-- trail -->`)
-	if len(doc.Children) != 3 {
-		t.Fatalf("doc children = %d", len(doc.Children))
+	if len(doc.Children()) != 3 {
+		t.Fatalf("doc children = %d", len(doc.Children()))
 	}
 	a := doc.DocumentElement()
-	if a.Children[0].Kind != CommentNode || a.Children[0].Data != "in" {
+	if a.Children()[0].Kind != CommentNode || a.Children()[0].Data != "in" {
 		t.Fatal("inner comment")
 	}
-	if a.Children[1].Kind != PINode || a.Children[1].Name != "target" || a.Children[1].Data != "data" {
+	if a.Children()[1].Kind != PINode || a.Children()[1].Name != "target" || a.Children()[1].Data != "data" {
 		t.Fatal("PI")
 	}
 }
@@ -72,7 +72,7 @@ func TestParseDropComments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.DocumentElement().Children) != 1 {
+	if len(doc.DocumentElement().Children()) != 1 {
 		t.Fatal("comment not dropped")
 	}
 }
@@ -91,12 +91,12 @@ func TestParseTrimWhitespace(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := doc.DocumentElement()
-	if len(a.Children) != 2 {
-		t.Fatalf("children = %d, want 2", len(a.Children))
+	if len(a.Children()) != 2 {
+		t.Fatalf("children = %d, want 2", len(a.Children()))
 	}
 	untrimmed := MustParse(src)
-	if len(untrimmed.DocumentElement().Children) != 5 {
-		t.Fatalf("untrimmed children = %d, want 5", len(untrimmed.DocumentElement().Children))
+	if len(untrimmed.DocumentElement().Children()) != 5 {
+		t.Fatalf("untrimmed children = %d, want 5", len(untrimmed.DocumentElement().Children()))
 	}
 }
 
@@ -215,7 +215,7 @@ func TestEscapeAttrControlChars(t *testing.T) {
 	el.SetAttr("a", "line1\nline2\ttab\"q")
 	out := el.String()
 	doc := MustParse(`<wrap>` + out + `</wrap>`)
-	got, _ := doc.DocumentElement().Children[0].Attr("a")
+	got, _ := doc.DocumentElement().Children()[0].Attr("a")
 	if got != "line1\nline2\ttab\"q" {
 		t.Fatalf("attr round trip = %q", got)
 	}
@@ -295,7 +295,7 @@ func TestQuickSerializeParseRoundTrip(t *testing.T) {
 // normal form the parser produces.
 func coalesceText(n *Node) {
 	var out []*Node
-	for _, c := range n.Children {
+	for _, c := range n.Children() {
 		if c.Kind == TextNode {
 			if c.Data == "" {
 				continue
@@ -309,7 +309,7 @@ func coalesceText(n *Node) {
 		}
 		out = append(out, c)
 	}
-	n.Children = out
+	n.SetChildren(out)
 }
 
 // TestQuickCloneEqual: Clone always yields a structurally equal tree with

@@ -92,8 +92,8 @@ func EscapeAttr(s string) string {
 	return b.String()
 }
 
-func hasMixedText(n *Node) bool {
-	for _, c := range n.Children {
+func hasMixedText(kids []*Node) bool {
+	for _, c := range kids {
 		if c.Kind == TextNode && strings.TrimSpace(c.Data) != "" {
 			return true
 		}
@@ -101,6 +101,9 @@ func hasMixedText(n *Node) bool {
 	return false
 }
 
+// serialize reads through shared structure (solidView) rather than the
+// Children/Attrs accessors: output has no identity, so serializing a lazily
+// cloned tree must not pay for materializing it.
 func serialize(b *strings.Builder, n *Node, opts SerializeOptions, depth int) {
 	ind := func(d int) {
 		if opts.Indent != "" {
@@ -114,27 +117,28 @@ func serialize(b *strings.Builder, n *Node, opts SerializeOptions, depth int) {
 	}
 	switch n.Kind {
 	case DocumentNode:
-		for _, c := range n.Children {
+		for _, c := range n.solidView().children {
 			serialize(b, c, opts, depth)
 		}
 	case ElementNode:
+		v := n.solidView()
 		ind(depth)
 		b.WriteByte('<')
 		b.WriteString(n.Name)
-		for _, a := range n.Attrs {
+		for _, a := range v.attrs {
 			b.WriteByte(' ')
 			b.WriteString(a.Name)
 			b.WriteString(`="`)
 			b.WriteString(EscapeAttr(a.Data))
 			b.WriteByte('"')
 		}
-		if len(n.Children) == 0 {
+		if len(v.children) == 0 {
 			b.WriteString("/>")
 			return
 		}
 		b.WriteByte('>')
-		if opts.Indent != "" && !hasMixedText(n) {
-			for _, c := range n.Children {
+		if opts.Indent != "" && !hasMixedText(v.children) {
+			for _, c := range v.children {
 				if c.Kind == TextNode && strings.TrimSpace(c.Data) == "" {
 					continue
 				}
@@ -147,7 +151,7 @@ func serialize(b *strings.Builder, n *Node, opts SerializeOptions, depth int) {
 		} else {
 			inner := opts
 			inner.Indent = ""
-			for _, c := range n.Children {
+			for _, c := range v.children {
 				serialize(b, c, inner, depth+1)
 			}
 		}

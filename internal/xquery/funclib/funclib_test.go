@@ -317,7 +317,7 @@ func TestNodeFunctions(t *testing.T) {
 	if out := call(t, "node-name", one(xdm.NewNode(xmltree.NewText("t")))); !out.IsEmpty() {
 		t.Fatal("node-name of text is empty")
 	}
-	kid := root.Children[0]
+	kid := root.Children()[0]
 	out := call(t, "root", one(xdm.NewNode(kid)))
 	if n, _ := xdm.IsNode(out[0]); n != doc {
 		t.Fatal("root")

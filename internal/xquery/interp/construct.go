@@ -166,8 +166,8 @@ func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos
 		if err := c.chargeBytes(len(s)); err != nil {
 			return errAt(err, pos)
 		}
-		if k := len(el.Children); k > 0 && el.Children[k-1].Kind == xmltree.TextNode {
-			el.Children[k-1].Data += s
+		if kids := el.Children(); len(kids) > 0 && kids[len(kids)-1].Kind == xmltree.TextNode {
+			kids[len(kids)-1].Data += s
 			return nil
 		}
 		if err := c.chargeNodes(1); err != nil {
@@ -228,7 +228,7 @@ func (c *evalCtx) fillElement(el *xmltree.Node, items []contentItem, pos ast.Pos
 					return err
 				}
 			case xmltree.DocumentNode:
-				for _, kid := range node.Children {
+				for _, kid := range node.Children() {
 					if err := appendCopy(kid); err != nil {
 						return err
 					}
@@ -260,22 +260,20 @@ func (c *evalCtx) foldAttribute(el *xmltree.Node, attr *xmltree.Node, pos ast.Po
 		return errAt(err, pos)
 	}
 	copied := attr.Clone()
-	for i, existing := range el.Attrs {
+	for i, existing := range el.Attrs() {
 		if existing.Name != copied.Name {
 			continue
 		}
 		switch c.ip.opts.DupAttr {
 		case DupAttrLastWins:
-			copied.Parent = el
-			el.Attrs[i] = copied
+			el.ReplaceAttrAt(i, copied)
 			return nil
 		case DupAttrFirstWins:
 			return nil
 		case DupAttrGalaxBug:
 			// Keep both — reproducing the bug the paper observed:
 			// "though Galax did not honor this as of the time of writing".
-			copied.Parent = el
-			el.Attrs = append(el.Attrs, copied)
+			el.AttachAttrDup(copied)
 			return nil
 		case DupAttrError:
 			return &Error{Code: "XQDY0025", Pos: pos,
@@ -499,7 +497,7 @@ func (cp *compiler) compileCompDoc(n *ast.CompDoc) compiledExpr {
 					return nil, &Error{Code: "XPTY0004", Pos: pos,
 						Msg: "attribute node in document constructor content"}
 				case xmltree.DocumentNode:
-					for _, kid := range node.Children {
+					for _, kid := range node.Children() {
 						if err := c.chargeNodes(xmltree.CountNodes(kid)); err != nil {
 							return nil, errAt(err, pos)
 						}

@@ -68,11 +68,23 @@ func (cp *compiler) compileStep(st ast.Step) stepPlan {
 func axisFunc(axis ast.Axis) func(*xmltree.Node) []*xmltree.Node {
 	switch axis {
 	case ast.AxisChild:
-		return xmltree.ChildAxis
+		// Read the child list in place: stepPlan.eval only iterates the
+		// returned slice, so xmltree.ChildAxis's defensive copy is wasted.
+		return func(n *xmltree.Node) []*xmltree.Node {
+			if n.Kind != xmltree.ElementNode && n.Kind != xmltree.DocumentNode {
+				return nil
+			}
+			return n.Children()
+		}
 	case ast.AxisDescendant:
 		return xmltree.DescendantAxis
 	case ast.AxisAttribute:
-		return xmltree.AttributeAxis
+		return func(n *xmltree.Node) []*xmltree.Node {
+			if n.Kind != xmltree.ElementNode {
+				return nil
+			}
+			return n.Attrs()
+		}
 	case ast.AxisSelf:
 		return xmltree.SelfAxis
 	case ast.AxisDescendantOrSelf:
@@ -182,7 +194,9 @@ func (p *pathPlan) evalSteps(c *evalCtx, input xdm.Sequence) (xdm.Sequence, erro
 					c.focus = saved
 					return nil, err
 				}
-				result = xdm.Concat(result, part)
+				// Appending (not Concat) keeps one growing backing array per
+				// step instead of re-copying the accumulator per context item.
+				result = append(result, part...)
 			}
 			c.focus = saved
 		}
@@ -239,15 +253,15 @@ func (sp *stepPlan) eval(c *evalCtx) (xdm.Sequence, error) {
 			Msg: "axis step applied to atomic value " + it.TypeName()}
 	}
 	nodes := sp.axisFunc(node)
-	filtered := nodes[:0:0]
+	// Predicates see positions in axis order (reverse axes count backward
+	// from the context node), which is already the order of `out`.
+	out := make(xdm.Sequence, 0, len(nodes))
 	for _, cand := range nodes {
 		if sp.test(cand) {
-			filtered = append(filtered, cand)
+			out = append(out, xdm.NewNode(cand))
 		}
 	}
-	// Predicates see positions in axis order (reverse axes count backward
-	// from the context node), which is already the order of `filtered`.
-	return sp.applyPredicates(c, xdm.FromNodes(filtered))
+	return sp.applyPredicates(c, out)
 }
 
 // applyPredicates filters seq through each predicate in turn. A predicate

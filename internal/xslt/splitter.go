@@ -64,13 +64,13 @@ func SplitStreams(bundle *xmltree.Node) (*xmltree.Node, []string, error) {
 	}
 	result := xmltree.NewDocument()
 	if ex := docOut.DocumentElement(); ex != nil {
-		for _, c := range ex.Children {
+		for _, c := range ex.Children() {
 			result.AppendChild(c.Clone())
 		}
 	}
 	var problems []string
 	if ex := probOut.DocumentElement(); ex != nil {
-		for _, c := range ex.Children {
+		for _, c := range ex.Children() {
 			if c.Kind == xmltree.ElementNode && c.Name == "problem" {
 				problems = append(problems, c.StringValue())
 			}

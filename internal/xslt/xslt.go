@@ -50,7 +50,7 @@ func Compile(doc *xmltree.Node) (*Stylesheet, error) {
 		return nil, fmt.Errorf("xslt: root element is not xsl:stylesheet")
 	}
 	sheet := &Stylesheet{}
-	for i, c := range root.Children {
+	for i, c := range root.Children() {
 		if c.Kind != xmltree.ElementNode {
 			continue
 		}
@@ -72,7 +72,7 @@ func Compile(doc *xmltree.Node) (*Stylesheet, error) {
 			}
 		}
 		sheet.templates = append(sheet.templates, &templateRule{
-			pattern: pat, priority: prio, order: i, body: c.Children,
+			pattern: pat, priority: prio, order: i, body: c.Children(),
 		})
 	}
 	// Highest priority first; later declaration wins ties.
@@ -182,7 +182,7 @@ func (s *Stylesheet) match(n *xmltree.Node) *templateRule {
 func (x *executor) builtinRule(n *xmltree.Node, parent *xmltree.Node) error {
 	switch n.Kind {
 	case xmltree.DocumentNode, xmltree.ElementNode:
-		return x.applyTemplates(n.Children, parent)
+		return x.applyTemplates(n.Children(), parent)
 	case xmltree.TextNode:
 		parent.AppendChild(xmltree.NewText(n.Data))
 	case xmltree.AttributeNode:
@@ -218,7 +218,7 @@ func (x *executor) instantiate(body []*xmltree.Node, ctx *xmltree.Node, parent *
 // templates ({expr}) and instantiating children.
 func (x *executor) literalElement(item *xmltree.Node, ctx *xmltree.Node, parent *xmltree.Node) error {
 	el := xmltree.NewElement(item.Name)
-	for _, a := range item.Attrs {
+	for _, a := range item.Attrs() {
 		v, err := x.avt(a.Data, ctx)
 		if err != nil {
 			return err
@@ -226,7 +226,7 @@ func (x *executor) literalElement(item *xmltree.Node, ctx *xmltree.Node, parent 
 		el.SetAttr(a.Name, v)
 	}
 	parent.AppendChild(el)
-	return x.instantiate(item.Children, ctx, el)
+	return x.instantiate(item.Children(), ctx, el)
 }
 
 // avt expands an attribute value template: {expr} substitutes the
@@ -271,7 +271,7 @@ func (x *executor) avt(s string, ctx *xmltree.Node) (string, error) {
 func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xmltree.Node) error {
 	switch item.Name {
 	case "xsl:apply-templates":
-		nodes := append([]*xmltree.Node(nil), ctx.Children...)
+		nodes := append([]*xmltree.Node(nil), ctx.Children()...)
 		if sel, ok := item.Attr("select"); ok {
 			var err error
 			nodes, err = x.xpathNodes(sel, ctx)
@@ -306,7 +306,7 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 			if n, isNode := xdm.IsNode(it); isNode {
 				switch n.Kind {
 				case xmltree.DocumentNode:
-					for _, c := range n.Children {
+					for _, c := range n.Children() {
 						parent.AppendChild(c.Clone())
 					}
 				case xmltree.AttributeNode:
@@ -326,11 +326,11 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 		case xmltree.ElementNode:
 			el := xmltree.NewElement(ctx.Name)
 			parent.AppendChild(el)
-			return x.instantiate(item.Children, ctx, el)
+			return x.instantiate(item.Children(), ctx, el)
 		case xmltree.TextNode:
 			parent.AppendChild(xmltree.NewText(ctx.Data))
 		case xmltree.DocumentNode:
-			return x.instantiate(item.Children, ctx, parent)
+			return x.instantiate(item.Children(), ctx, parent)
 		case xmltree.AttributeNode:
 			if parent.Kind == xmltree.ElementNode {
 				parent.SetAttr(ctx.Name, ctx.Data)
@@ -351,7 +351,7 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 			return err
 		}
 		for _, n := range nodes {
-			if err := x.instantiate(item.Children, n, parent); err != nil {
+			if err := x.instantiate(item.Children(), n, parent); err != nil {
 				return err
 			}
 		}
@@ -370,11 +370,11 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 			return err
 		}
 		if hold {
-			return x.instantiate(item.Children, ctx, parent)
+			return x.instantiate(item.Children(), ctx, parent)
 		}
 		return nil
 	case "xsl:choose":
-		for _, c := range item.Children {
+		for _, c := range item.Children() {
 			if c.Kind != xmltree.ElementNode {
 				continue
 			}
@@ -393,10 +393,10 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 					return err
 				}
 				if hold {
-					return x.instantiate(c.Children, ctx, parent)
+					return x.instantiate(c.Children(), ctx, parent)
 				}
 			case "xsl:otherwise":
-				return x.instantiate(c.Children, ctx, parent)
+				return x.instantiate(c.Children(), ctx, parent)
 			default:
 				return fmt.Errorf("xslt: unexpected <%s> in xsl:choose", c.Name)
 			}
@@ -413,7 +413,7 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 		}
 		el := xmltree.NewElement(n)
 		parent.AppendChild(el)
-		return x.instantiate(item.Children, ctx, el)
+		return x.instantiate(item.Children(), ctx, el)
 	case "xsl:attribute":
 		name, ok := item.Attr("name")
 		if !ok {
@@ -425,7 +425,7 @@ func (x *executor) instruction(item *xmltree.Node, ctx *xmltree.Node, parent *xm
 		}
 		// Value is the instantiated content's text.
 		tmp := xmltree.NewElement("tmp")
-		if err := x.instantiate(item.Children, ctx, tmp); err != nil {
+		if err := x.instantiate(item.Children(), ctx, tmp); err != nil {
 			return err
 		}
 		if parent.Kind != xmltree.ElementNode {

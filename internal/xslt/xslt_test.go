@@ -108,8 +108,8 @@ func TestPriorityAndSpecificity(t *testing.T) {
 func TestPatternMatching(t *testing.T) {
 	doc := xmltree.MustParse(`<a><b><c/></b><c/></a>`)
 	a := doc.DocumentElement()
-	bc := a.Children[0].Children[0] // c under b
-	topc := a.Children[1]           // c under a
+	bc := a.Children()[0].Children()[0] // c under b
+	topc := a.Children()[1]             // c under a
 	cases := []struct {
 		pat   string
 		node  *xmltree.Node

@@ -1,6 +1,7 @@
 package xq
 
 import (
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,13 @@ import (
 // Everything else in Options is runtime-only configuration (tracers,
 // resolvers, limits, policies) and is applied per returned *Query, so
 // callers with different runtime options still share one compiled plan.
+//
+// The cache is sharded: each shard is a plain map under its own mutex,
+// selected by a hash of the source text. The batch generation path hits the
+// cache once per phase per document from every worker; sharding keeps those
+// lookups from serializing on one lock (and profiling showed the previous
+// sync.Map paying interface-conversion and amortized-copy overhead on
+// exactly this read-mostly workload).
 
 type planKey struct {
 	src            string
@@ -36,26 +44,42 @@ type planEntry struct {
 	err   error
 }
 
-// planCacheMaxEntries bounds the cache. When an insertion pushes the entry
-// count past the cap, eviction sweeps arbitrary entries (sync.Map range
-// order) down to ~7/8 of the cap, so a host that feeds unbounded
-// user-supplied source through CompileCached degrades to extra compiles
-// instead of unbounded memory growth.
-const planCacheMaxEntries = 1024
+const (
+	// planCacheMaxEntries bounds the cache across all shards. When an
+	// insertion pushes a shard past its share of the cap, eviction sweeps
+	// arbitrary entries (map range order) down to ~7/8, so a host that
+	// feeds unbounded user-supplied source through CompileCached degrades
+	// to extra compiles instead of unbounded memory growth.
+	planCacheMaxEntries = 1024
+	planCacheShards     = 16
+	planShardMaxEntries = planCacheMaxEntries / planCacheShards
+)
+
+type planShard struct {
+	mu sync.Mutex
+	m  map[planKey]*planEntry
+}
 
 var (
-	planCache sync.Map // planKey -> *planEntry
+	planShards [planCacheShards]planShard
+	planSeed   = maphash.MakeSeed()
 
-	// Cache effectiveness counters, exposed via CacheStats. planEntries
-	// tracks the map size so CacheStats and the eviction check are O(1).
+	// Cache effectiveness counters, exposed via CacheStats.
 	planHits      atomic.Int64
 	planMisses    atomic.Int64
 	planEvictions atomic.Int64
-	planEntries   atomic.Int64
-
-	// planEvictMu serializes eviction sweeps; insertion stays lock-free.
-	planEvictMu sync.Mutex
 )
+
+func shardFor(key *planKey) *planShard {
+	h := maphash.String(planSeed, key.src)
+	// The compile-affecting option bits land in the shard choice too, so
+	// the same source at two opt levels can spread across shards.
+	h ^= uint64(key.optLevel) * 0x9e3779b97f4a7c15
+	if key.traceEffectful {
+		h ^= 0xd1b54a32d192ed03
+	}
+	return &planShards[h%planCacheShards]
+}
 
 // CompileCached is Compile backed by a process-wide concurrent plan cache.
 // The compiled plan is keyed by the source text and the compile-affecting
@@ -75,18 +99,24 @@ func CompileCached(src string, opts ...Option) (*Query, error) {
 		o(&cfg)
 	}
 	key := planKey{src: src, optLevel: cfg.optLevel, traceEffectful: cfg.traceIsEffectful}
-	v, ok := planCache.Load(key)
-	if !ok {
-		var loaded bool
-		v, loaded = planCache.LoadOrStore(key, &planEntry{})
-		if !loaded {
-			if planEntries.Add(1) > planCacheMaxEntries {
-				evictPlans(key)
-			}
-		}
+	sh := shardFor(&key)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[planKey]*planEntry)
 	}
-	e := v.(*planEntry)
+	e, ok := sh.m[key]
+	if !ok {
+		if len(sh.m) >= planShardMaxEntries {
+			evictShardLocked(sh)
+		}
+		e = &planEntry{}
+		sh.m[key] = e
+	}
+	sh.mu.Unlock()
+
 	missed := false
+	// Compilation runs outside the shard lock; concurrent first requests
+	// serialize on the entry's Once, not on the shard.
 	e.once.Do(func() {
 		missed = true
 		e.prog, e.stats, e.err = compileModule(src, cfg)
@@ -107,31 +137,20 @@ func CompileCached(src string, opts ...Option) (*Query, error) {
 	return q, nil
 }
 
-// evictPlans sweeps the cache down to ~7/8 of the cap, sparing keep (the
-// key just inserted). sync.Map range order is unspecified, so this is
-// effectively random eviction — cheap, and correct for a cache whose
-// entries can always be rebuilt.
-func evictPlans(keep planKey) {
-	planEvictMu.Lock()
-	defer planEvictMu.Unlock()
-	target := int64(planCacheMaxEntries - planCacheMaxEntries/8)
-	if planEntries.Load() <= planCacheMaxEntries {
-		return // another goroutine already swept
-	}
+// evictShardLocked sweeps one full shard down to ~7/8 of its cap. Map range
+// order is unspecified, so this is effectively random eviction — cheap, and
+// correct for a cache whose entries can always be rebuilt.
+func evictShardLocked(sh *planShard) {
+	target := planShardMaxEntries - planShardMaxEntries/8
 	reg := obs.Default()
-	planCache.Range(func(k, _ any) bool {
-		if k.(planKey) == keep {
-			return true
+	for k := range sh.m {
+		if len(sh.m) <= target {
+			break
 		}
-		if _, loaded := planCache.LoadAndDelete(k); loaded {
-			planEvictions.Add(1)
-			reg.PlanCacheEvictions.Add(1)
-			if planEntries.Add(-1) <= target {
-				return false
-			}
-		}
-		return true
-	})
+		delete(sh.m, k)
+		planEvictions.Add(1)
+		reg.PlanCacheEvictions.Add(1)
+	}
 }
 
 // CacheStats describes the process-wide plan cache: hit/miss/eviction
@@ -157,11 +176,15 @@ func PlanCache() CacheStats {
 		Misses:    planMisses.Load(),
 		Evictions: planEvictions.Load(),
 	}
-	planCache.Range(func(k, _ any) bool {
-		st.Entries++
-		st.SourceBytes += int64(len(k.(planKey).src))
-		return true
-	})
+	for i := range planShards {
+		sh := &planShards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			st.Entries++
+			st.SourceBytes += int64(len(k.src))
+		}
+		sh.mu.Unlock()
+	}
 	return st
 }
 

@@ -1,0 +1,138 @@
+package xq_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lopsided/internal/xmltree"
+	"lopsided/xq"
+)
+
+// Node identity over copy-on-write trees. Clone hands out lazily
+// materialized trees; these tests pin down that a logical tree still
+// behaves as ONE tree for the identity-sensitive operators — `is`,
+// document order (`<<`/`>>`), and the parent/sibling axes — no matter
+// which optimizer level ran, whether the plan was fresh or cached, and
+// whether the input was the frozen original or a lazy clone.
+
+const cowIdentityDoc = `<lib>` +
+	`<book id="b1"><title>Alpha</title><author>A</author></book>` +
+	`<book id="b2"><title>Beta</title><author>B</author></book>` +
+	`<book id="b3"><title>Gamma</title><author>C</author></book>` +
+	`</lib>`
+
+var cowIdentityQueries = []struct {
+	name string
+	src  string
+	want string
+}{
+	{"is-self", `/lib/book[1] is /lib/book[1]`, "true"},
+	{"is-distinct", `/lib/book[1] is /lib/book[2]`, "false"},
+	{"is-attr", `/lib/book[1]/@id is /lib/book[1]/@id`, "true"},
+	{"before", `/lib/book[1] << /lib/book[2]`, "true"},
+	{"before-not", `/lib/book[2] << /lib/book[1]`, "false"},
+	{"after", `/lib/book[3] >> /lib/book[1]`, "true"},
+	{"attr-before-sibling", `/lib/book[1]/@id << /lib/book[2]`, "true"},
+	{"parent-is", `/lib/book[2]/title/parent::book is /lib/book[2]`, "true"},
+	{"parent-of-attr", `/lib/book[3]/@id/parent::book is /lib/book[3]`, "true"},
+	{"following-sibling", `count(/lib/book[1]/following-sibling::book)`, "2"},
+	{"preceding-sibling", `count(/lib/book[3]/preceding-sibling::book)`, "2"},
+	{"sibling-is", `/lib/book[1]/following-sibling::book[1] is /lib/book[2]`, "true"},
+	{"dedup-across-paths", `count((/lib/book/title, /lib/book[2]/title)/..)`, "3"},
+}
+
+// evalIdentity runs every identity query against doc at every optimizer
+// level, with both a fresh and a cached plan, and checks the goldens.
+func evalIdentity(t *testing.T, label string, doc *xq.Node) {
+	t.Helper()
+	for _, lvl := range []xq.OptLevel{xq.O0, xq.O1, xq.O2} {
+		for _, cached := range []bool{false, true} {
+			for _, tc := range cowIdentityQueries {
+				var q *xq.Query
+				var err error
+				if cached {
+					q, err = xq.CompileCached(tc.src, xq.WithOptLevel(lvl))
+				} else {
+					q, err = xq.Compile(tc.src, xq.WithOptLevel(lvl))
+				}
+				if err != nil {
+					t.Fatalf("%s: compile %s at O%d: %v", label, tc.name, lvl, err)
+				}
+				got, err := q.EvalString(nil, doc)
+				if err != nil {
+					t.Fatalf("%s: eval %s at O%d (cached=%v): %v", label, tc.name, lvl, cached, err)
+				}
+				if got != tc.want {
+					t.Errorf("%s: %s at O%d (cached=%v): got %q, want %q\nquery: %s",
+						label, tc.name, lvl, cached, got, tc.want, tc.src)
+				}
+			}
+		}
+	}
+}
+
+func TestCOWIdentityGoldens(t *testing.T) {
+	base, err := xq.ParseXML(cowIdentityDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cloning freezes base and yields a lazily materialized logical copy;
+	// identity must hold within each logical tree independently.
+	clone := base.Clone()
+	evalIdentity(t, "frozen-original", base)
+	evalIdentity(t, "lazy-clone", clone)
+
+	// The two logical trees must never alias: same shape, distinct nodes.
+	a := xmltree.ChildAxis(base)[0]
+	b := xmltree.ChildAxis(clone)[0]
+	if a == b {
+		t.Fatal("clone aliases the original's children")
+	}
+}
+
+// TestCOWIdentityConcurrent drives identity-sensitive queries from many
+// goroutines against ONE shared lazy clone, so the first touches of each
+// subtree race to materialize it (run under -race in CI). Every goroutine
+// must see the same single logical tree.
+func TestCOWIdentityConcurrent(t *testing.T) {
+	base, err := xq.ParseXML(cowIdentityDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := base.Clone()
+
+	const goroutines = 16
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, tc := range cowIdentityQueries {
+					q, err := xq.CompileCached(tc.src)
+					if err != nil {
+						errs <- fmt.Errorf("%s: %w", tc.name, err)
+						return
+					}
+					got, err := q.EvalString(nil, shared)
+					if err != nil {
+						errs <- fmt.Errorf("%s: %w", tc.name, err)
+						return
+					}
+					if got != tc.want {
+						errs <- fmt.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -381,6 +381,13 @@ func (q *Query) Eval(ctx context.Context, doc *Node, opts ...Option) (Sequence, 
 		cfg.tracer.Emit(obs.Event{Kind: obs.PhaseBegin, Name: "eval"})
 	}
 	reg := obs.Default()
+	// Sharing/pool counters are process-wide, so per-eval numbers are
+	// deltas around the call; concurrent evaluations bleed into each
+	// other's deltas (the numbers stay indicative, not exact).
+	var share0 obs.SharingStats
+	if cfg.stats != nil {
+		share0 = sharingSnapshot()
+	}
 	start := time.Now()
 	out, err := ip.EvalWithOpts(ctx, it, cfg.vars, interp.EvalOpts{Stats: cfg.stats})
 	wall := time.Since(start)
@@ -397,8 +404,32 @@ func (q *Query) Eval(ctx context.Context, doc *Node, opts ...Option) (Sequence, 
 	}
 	if cfg.stats != nil {
 		cfg.stats.PlanCacheHit = q.cacheHit
+		share1 := sharingSnapshot()
+		cfg.stats.CowClones = share1.CowClones - share0.CowClones
+		cfg.stats.CowBreaks = share1.CowBreaks - share0.CowBreaks
+		cfg.stats.PoolHits = share1.PoolHits - share0.PoolHits
+		cfg.stats.PoolMisses = share1.PoolMisses - share0.PoolMisses
 	}
 	return out, err
+}
+
+// sharingSnapshot reads the tree layer's copy-on-write and scratch-pool
+// counters in the obs shape. Registered as the obs sharing probe (the tree
+// package cannot import obs) and used for the per-eval deltas above.
+func sharingSnapshot() obs.SharingStats {
+	cow := xmltree.Stats()
+	gets, misses := xmltree.PoolCounters()
+	return obs.SharingStats{
+		CowClones:        cow.Clones,
+		CowBreaks:        cow.Breaks,
+		CowDeferredNodes: cow.DeferredNodes,
+		PoolHits:         gets - misses,
+		PoolMisses:       misses,
+	}
+}
+
+func init() {
+	obs.SetSharingProbe(sharingSnapshot)
 }
 
 // EvalString evaluates and serializes the result (nodes as XML, atomics as
