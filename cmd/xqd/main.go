@@ -1,0 +1,117 @@
+// Command xqd serves XQuery over HTTP/JSON against a directory of XML
+// collections, with admission control, per-request resource budgets, and a
+// graceful drain on SIGTERM.
+//
+//	xqd -data ./db
+//	xqd -data ./db -addr :8399 -max-concurrent 8 -max-queue 32
+//	xqd -data ./db -default-timeout 2s -max-timeout 10s -drain-grace 10s
+//	xqd -data ./db -fault-rate 0.1 -fault-seed 42   # chaos mode
+//
+// Query it:
+//
+//	curl -s localhost:8399/query -d '{"query":"count(/collection//book)","collection":"library"}'
+//	curl -s localhost:8399/healthz; curl -s localhost:8399/metrics
+//
+// Exit codes follow the shared cliutil contract: 2 for config/bind problems
+// (bad flags, unusable data directory, busy port), 1 for runtime aborts.
+// Errors print as "xqd: [phase] message".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lopsided/internal/cliutil"
+	"lopsided/internal/faultinject"
+	"lopsided/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8399", "listen address")
+	data := flag.String("data", "", "data directory: subdirectories become collections, top-level *.xml becomes collection \"db\"")
+
+	maxConcurrent := flag.Int("max-concurrent", 4, "simultaneously evaluating queries")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth (0 = 4x max-concurrent)")
+	maxWait := flag.Duration("max-wait", 2*time.Second, "longest a request may wait for an evaluation slot")
+	drainGrace := flag.Duration("drain-grace", 5*time.Second, "how long SIGTERM lets in-flight queries finish before cancelling them")
+
+	defTimeout := flag.Duration("default-timeout", 5*time.Second, "per-query wall-clock budget when the client sends no hint")
+	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on client timeout hints (0 = 4x default)")
+	defSteps := flag.Int64("default-max-steps", 5_000_000, "per-query step budget when the client sends no hint")
+	maxSteps := flag.Int64("max-steps", 0, "hard cap on client step hints (0 = 4x default)")
+
+	faultRate := flag.Float64("fault-rate", 0, "chaos mode: inject faults into this fraction of store loads (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
+	quiet := flag.Bool("quiet", false, "suppress operational log lines")
+	flag.Parse()
+
+	if *data == "" {
+		return cliutil.Report(os.Stderr, "xqd",
+			cliutil.ConfigErrf("-data is required (a directory of XML collections)"))
+	}
+	if flag.NArg() != 0 {
+		return cliutil.Report(os.Stderr, "xqd",
+			cliutil.ConfigErrf("unexpected arguments %v", flag.Args()))
+	}
+
+	cfg := server.Config{
+		Addr:          *addr,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		MaxWait:       *maxWait,
+		DrainGrace:    *drainGrace,
+	}
+	cfg.DefaultLimits.Timeout = *defTimeout
+	cfg.MaxLimits.Timeout = *maxTimeout
+	cfg.DefaultLimits.MaxSteps = *defSteps
+	cfg.MaxLimits.MaxSteps = *maxSteps
+	if *faultRate > 0 {
+		cfg.Injector = faultinject.New(*faultSeed, *faultRate).Transient(0.5)
+		cfg.ReloadRetry = faultinject.Backoff{
+			Attempts: 4, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond,
+			Jitter: 0.5, Seed: *faultSeed,
+		}
+	}
+
+	// Store problems (missing/empty directory, unparsable documents) are
+	// configuration failures: the operator pointed the daemon at an
+	// unusable corpus.
+	s, err := server.New(*data, cfg)
+	if err != nil {
+		return cliutil.Report(os.Stderr, "xqd", cliutil.ConfigErr(err))
+	}
+	if !*quiet {
+		logger := log.New(os.Stderr, "", log.LstdFlags)
+		s.Logf = func(format string, args ...interface{}) { logger.Printf(format, args...) }
+	}
+
+	// SIGTERM/SIGINT run the drain protocol: stop admitting, finish or
+	// cancel in-flight work within the grace period, then close.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "xqd: %v: draining (grace %v)\n", sig, *drainGrace)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	err = s.ListenAndServe()
+	if be, ok := err.(*server.BindError); ok {
+		return cliutil.Report(os.Stderr, "xqd", cliutil.BindErr(be.Err))
+	}
+	return cliutil.Report(os.Stderr, "xqd", cliutil.RuntimeErr(err))
+}

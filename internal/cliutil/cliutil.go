@@ -56,11 +56,16 @@ func Code(err error) string {
 }
 
 // Classify maps err to the exit code documented in the package comment.
+// Daemon errors wrapped in ServerError classify by lifecycle phase: config
+// and bind failures are usage errors, runtime aborts keep the wrapped
+// error's class (see server.go).
 func Classify(err error) int {
 	if err == nil {
 		return ExitOK
 	}
-	switch err.(type) {
+	switch e := err.(type) {
+	case *ServerError:
+		return classifyServer(e)
 	case *lexer.Error:
 		return ExitStatic
 	case *xmltree.ParseError:
@@ -87,6 +92,9 @@ func Classify(err error) int {
 func Format(tool string, err error) string {
 	if err == nil {
 		return ""
+	}
+	if se, ok := err.(*ServerError); ok {
+		return formatServer(tool, se)
 	}
 	var b strings.Builder
 	b.WriteString(tool)

@@ -1,0 +1,100 @@
+package cliutil
+
+// server.go extends the shared CLI error surface to daemon-shaped commands
+// (xqd). A long-running server fails in phases a one-shot CLI does not
+// have: configuration can be rejected before anything starts, the listen
+// socket can fail to bind, and the serving loop can abort at runtime. The
+// ServerError wrapper names the phase so Format prints it and Classify maps
+// it onto the same 1/2/3/4/5 exit contract the other CLIs use:
+//
+//	config  → 2 (usage: the operator gave the daemon an unusable setup)
+//	bind    → 2 (usage: the requested address/socket cannot be used)
+//	runtime → the wrapped error's own class (static 3 / dynamic 4 /
+//	          limit 5), or 1 for unclassified aborts
+
+import "fmt"
+
+// ServerPhase names where in a daemon's lifecycle an error happened.
+type ServerPhase string
+
+// Daemon lifecycle phases.
+const (
+	// PhaseConfig covers errors rejected before startup: bad flag
+	// combinations, unreadable or empty data directories, invalid policy.
+	PhaseConfig ServerPhase = "config"
+	// PhaseBind covers listen/bind failures on the requested address.
+	PhaseBind ServerPhase = "bind"
+	// PhaseRuntime covers aborts after the daemon was serving.
+	PhaseRuntime ServerPhase = "runtime"
+)
+
+// ServerError wraps a daemon failure with its lifecycle phase.
+type ServerError struct {
+	Phase ServerPhase
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("%s: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *ServerError) Unwrap() error { return e.Err }
+
+// ConfigErr wraps err as a configuration-phase failure (nil stays nil).
+func ConfigErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ServerError{Phase: PhaseConfig, Err: err}
+}
+
+// ConfigErrf builds a configuration-phase failure from a format string.
+func ConfigErrf(format string, args ...interface{}) error {
+	return &ServerError{Phase: PhaseConfig, Err: fmt.Errorf(format, args...)}
+}
+
+// BindErr wraps err as a bind-phase failure (nil stays nil).
+func BindErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ServerError{Phase: PhaseBind, Err: err}
+}
+
+// RuntimeErr wraps err as a runtime abort (nil stays nil).
+func RuntimeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ServerError{Phase: PhaseRuntime, Err: err}
+}
+
+// classifyServer maps a ServerError onto the shared exit contract.
+func classifyServer(e *ServerError) int {
+	switch e.Phase {
+	case PhaseConfig, PhaseBind:
+		return ExitUsage
+	default:
+		// Runtime aborts keep the wrapped error's own class when it has
+		// one (a query-induced abort stays 3/4/5); anything unclassified
+		// is an internal failure.
+		if code := Classify(e.Err); code != ExitOK && code != ExitInternal {
+			return code
+		}
+		return ExitInternal
+	}
+}
+
+// formatServer renders a ServerError as "tool: [phase] message", keeping
+// the wrapped engine error's own code/position rendering when it has one.
+func formatServer(tool string, e *ServerError) string {
+	inner := Format(tool, e.Err)
+	// Format prefixes the tool name; splice the phase tag in after it.
+	prefix := tool + ": "
+	if len(inner) >= len(prefix) && inner[:len(prefix)] == prefix {
+		return fmt.Sprintf("%s[%s] %s", prefix, e.Phase, inner[len(prefix):])
+	}
+	return fmt.Sprintf("%s: [%s] %v", tool, e.Phase, e.Err)
+}

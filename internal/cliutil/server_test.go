@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lopsided/internal/xdm"
+)
+
+func TestServerErrorClassification(t *testing.T) {
+	limitErr := &xdm.Error{Code: "LOPS0001", Msg: "evaluation cancelled"}
+	staticErr := &xdm.Error{Code: "XPST0008", Msg: "undefined variable"}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"config", ConfigErrf("data dir %q is empty", "/tmp/nope"), ExitUsage},
+		{"bind", BindErr(errors.New("listen tcp :80: permission denied")), ExitUsage},
+		{"runtime-plain", RuntimeErr(errors.New("accept: socket closed")), ExitInternal},
+		{"runtime-limit", RuntimeErr(limitErr), ExitLimit},
+		{"runtime-static", RuntimeErr(staticErr), ExitStatic},
+		{"nil-config", ConfigErr(nil), ExitOK},
+		{"nil-bind", BindErr(nil), ExitOK},
+		{"nil-runtime", RuntimeErr(nil), ExitOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Fatalf("Classify(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestServerErrorFormat(t *testing.T) {
+	got := Format("xqd", ConfigErrf("no collections under %q", "./db"))
+	want := `xqd: [config] no collections under "./db"`
+	if got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+
+	// A runtime abort wrapping a coded engine error keeps the code.
+	got = Format("xqd", RuntimeErr(&xdm.Error{Code: "LOPS0009", Msg: "contained panic"}))
+	if !strings.Contains(got, "[runtime]") || !strings.Contains(got, "[LOPS0009]") {
+		t.Fatalf("Format lost phase or code: %q", got)
+	}
+}
+
+func TestServerErrorUnwrap(t *testing.T) {
+	inner := errors.New("boom")
+	if !errors.Is(RuntimeErr(inner), inner) {
+		t.Fatal("errors.Is does not see through ServerError")
+	}
+}

@@ -1,0 +1,38 @@
+package server
+
+// bench_test.go measures the daemon's per-request overhead over a cached
+// plan — the number BENCH_server.json gates in CI via benchcheck (allocs/op
+// only; timing is advisory).
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func BenchmarkServerQuery(b *testing.B) {
+	s := newTestServer(b, Config{})
+	h := s.Handler()
+	body := []byte(`{"query":"count(/collection//book)","collection":"library"}`)
+
+	// Warm the plan cache so the loop measures the serving path, not the
+	// one-time compile.
+	warm := httptest.NewRequest("POST", "/query", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup failed: %d %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("POST", "/query", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+// limits_test.go pins satellite guarantees of the budget surface: how
+// client limit hints compose with server policy (clampLimits, tested at the
+// exact thresholds) and how the two timeout-shaped failure modes stay
+// distinguishable on the wire — a query that ran and hit its budget is
+// LOPS0001/408 (or LOPS0002/422 for steps), while a request the admission
+// controller refused is 503 + Retry-After and never LOPS0001.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"lopsided/internal/xquery/interp"
+)
+
+func TestClampLimitsThresholds(t *testing.T) {
+	def := interp.Limits{
+		Timeout:        5 * time.Second,
+		MaxSteps:       5_000_000,
+		MaxNodes:       1_000_000,
+		MaxOutputBytes: 8 << 20,
+	}
+	max := interp.Limits{
+		Timeout:        20 * time.Second,
+		MaxSteps:       20_000_000,
+		MaxNodes:       4_000_000,
+		MaxOutputBytes: 32 << 20,
+	}
+	cases := []struct {
+		name string
+		hint interp.Limits
+		want interp.Limits
+	}{
+		{
+			name: "zero hint takes defaults",
+			hint: interp.Limits{},
+			want: def,
+		},
+		{
+			name: "hint below max is honored verbatim",
+			hint: interp.Limits{Timeout: time.Second, MaxSteps: 1000, MaxNodes: 10, MaxOutputBytes: 1},
+			want: interp.Limits{Timeout: time.Second, MaxSteps: 1000, MaxNodes: 10, MaxOutputBytes: 1},
+		},
+		{
+			name: "hint exactly at max is honored",
+			hint: max,
+			want: max,
+		},
+		{
+			name: "hint one past max clamps to max",
+			hint: interp.Limits{
+				Timeout:        max.Timeout + time.Nanosecond,
+				MaxSteps:       max.MaxSteps + 1,
+				MaxNodes:       max.MaxNodes + 1,
+				MaxOutputBytes: max.MaxOutputBytes + 1,
+			},
+			want: max,
+		},
+		{
+			name: "negative hint counts as unset",
+			hint: interp.Limits{Timeout: -1, MaxSteps: -1, MaxNodes: -1, MaxOutputBytes: -1},
+			want: def,
+		},
+		{
+			name: "dimensions clamp independently",
+			hint: interp.Limits{Timeout: time.Second, MaxSteps: max.MaxSteps * 10},
+			want: interp.Limits{Timeout: time.Second, MaxSteps: max.MaxSteps,
+				MaxNodes: def.MaxNodes, MaxOutputBytes: def.MaxOutputBytes},
+		},
+		{
+			name: "MaxDepth passes through unclamped",
+			hint: interp.Limits{MaxDepth: 17},
+			want: interp.Limits{Timeout: def.Timeout, MaxSteps: def.MaxSteps,
+				MaxNodes: def.MaxNodes, MaxOutputBytes: def.MaxOutputBytes, MaxDepth: 17},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := clampLimits(tc.hint, def, max)
+			if got != tc.want {
+				t.Fatalf("clampLimits = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClampedTimeoutSurfacesLOPS0001 sends an absurd client timeout hint
+// against a server whose MaxLimits.Timeout is tiny: the clamp must win, the
+// evaluation must be cut off, and the wire must say LOPS0001/408 retryable.
+func TestClampedTimeoutSurfacesLOPS0001(t *testing.T) {
+	cfg := Config{}
+	cfg.DefaultLimits = limitsWithSteps(4_000_000_000)
+	cfg.MaxLimits = limitsWithSteps(4_000_000_000)
+	cfg.DefaultLimits.Timeout = 20 * time.Millisecond
+	cfg.MaxLimits.Timeout = 20 * time.Millisecond
+	s := newTestServer(t, cfg)
+
+	start := time.Now()
+	rec := post(t, s.Handler(), QueryRequest{Query: endlessQuery, TimeoutMs: 3_600_000})
+	elapsed := time.Since(start)
+
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := decodeError(t, rec)
+	if body.Error.Code != interp.CodeTimeout {
+		t.Fatalf("code = %q, want %s", body.Error.Code, interp.CodeTimeout)
+	}
+	if !body.Error.Retryable {
+		t.Fatal("timeout must be marked retryable")
+	}
+	// The hour-long hint did not win: the clamped 20ms budget did.
+	if elapsed > 5*time.Second {
+		t.Fatalf("evaluation ran %v; the 20ms clamp did not take effect", elapsed)
+	}
+}
+
+// TestContextDeadlineTighterThanTimeout pins the composition rule: the
+// tighter of the request context deadline and the clamped Limits.Timeout
+// cuts the evaluation, and it still reads as LOPS0001 on the wire.
+func TestContextDeadlineTighterThanTimeout(t *testing.T) {
+	cfg := Config{}
+	cfg.DefaultLimits = limitsWithSteps(4_000_000_000)
+	cfg.MaxLimits = limitsWithSteps(4_000_000_000)
+	s := newTestServer(t, cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// Limits.Timeout is 60s here; the 20ms request context must win.
+	rec := postCtx(t, s.Handler(), ctx, QueryRequest{Query: endlessQuery, TimeoutMs: 60_000})
+	elapsed := time.Since(start)
+
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if body := decodeError(t, rec); body.Error.Code != interp.CodeTimeout {
+		t.Fatalf("code = %q, want %s", body.Error.Code, interp.CodeTimeout)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("evaluation ran %v past a 20ms context deadline", elapsed)
+	}
+}
+
+// TestStepsBudgetSurfacesLOPS0002 pins the non-timeout limit path: an
+// exhausted step budget is the request's own fault (422, not retryable) —
+// retrying the identical request would burn the same budget again.
+func TestStepsBudgetSurfacesLOPS0002(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s.Handler(), QueryRequest{Query: slowQuery(1_000_000), MaxSteps: 10_000})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := decodeError(t, rec)
+	if body.Error.Code != interp.CodeSteps {
+		t.Fatalf("code = %q, want %s", body.Error.Code, interp.CodeSteps)
+	}
+	if body.Error.Retryable {
+		t.Fatal("a steps-budget trip must not advertise retryability")
+	}
+}
+
+// TestAdmissionRejectionIsNeverLOPS0001 saturates admission and asserts the
+// rejected requests read as 503 + SRV code + Retry-After — not as an engine
+// timeout, even though the client experience ("my request didn't run in
+// time") is superficially similar.
+func TestAdmissionRejectionIsNeverLOPS0001(t *testing.T) {
+	cfg := Config{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		MaxWait:       10 * time.Second,
+	}
+	cfg.DefaultLimits = limitsWithSteps(4_000_000_000)
+	cfg.MaxLimits = limitsWithSteps(4_000_000_000)
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	// Occupy the single slot with a long evaluation.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, h, QueryRequest{Query: slowQuery(2_000_000), TimeoutMs: 30_000})
+	}()
+	waitForInFlight(t, s, 1)
+
+	// Fill the one queue slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, h, QueryRequest{Query: `1`, TimeoutMs: 30_000})
+	}()
+	waitForQueueDepth(t, s.Metrics(), 1)
+
+	// Next request sheds: 503, SRV code, Retry-After — and not LOPS0001.
+	rec := post(t, h, QueryRequest{Query: `1`})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := decodeError(t, rec)
+	if body.Error.Code == interp.CodeTimeout {
+		t.Fatal("admission rejection leaked the engine timeout code")
+	}
+	if body.Error.Code != CodeQueueFull {
+		t.Fatalf("code = %q, want %s", body.Error.Code, CodeQueueFull)
+	}
+	if !body.Error.Retryable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("shed response missing retry advice: retryable=%v header=%q",
+			body.Error.Retryable, rec.Header().Get("Retry-After"))
+	}
+	if body.RetryAfterMs <= 0 {
+		t.Fatal("shed response missing retry_after_ms")
+	}
+	wg.Wait()
+}
