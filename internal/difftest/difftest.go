@@ -2,9 +2,10 @@
 // seeded random query/document generator (gen.go) plus a multi-configuration
 // oracle that evaluates each generated query under every execution
 // configuration the engine has grown — optimizer levels O0/O1/O2, fresh
-// compilation vs the process-wide plan cache, and evaluation with or
-// without a structured tracer and stats attached — and requires identical
-// serialized results and error codes everywhere.
+// compilation vs the process-wide plan cache, evaluation with or without a
+// structured tracer and stats attached, and index-backed access paths vs
+// forced tree walks — and requires identical serialized results and error
+// codes everywhere.
 //
 // The paper's tables T1 (sequence indexing) and T3 (attribute folding) mark
 // exactly the semantics that silently drift between such configurations;
@@ -24,7 +25,7 @@ import (
 type Config struct {
 	// Name is the stable identifier used by `xqdiff -config` and in
 	// divergence reports: "O2", "O1+cache", "O0+trace", "O2+cache+trace",
-	// "O2+galax".
+	// "O2+galax", "O2+noidx".
 	Name string
 	// OptLevel is the optimizer level the plan is built at.
 	OptLevel xq.OptLevel
@@ -38,6 +39,12 @@ type Config struct {
 	// configuration whose dead-code pass may delete fn:trace output. Results
 	// and error codes must still be identical; only trace events may differ.
 	GalaxTrace bool
+	// NoIndex compiles with WithAccessPaths(false), forcing every path step
+	// onto the tree walk. The default configurations plan index scans and
+	// synopsis prunes at O1+ (the context documents are frozen, so probes
+	// really are served from indexes); comparing against NoIndex proves
+	// indexed ≡ unindexed semantics.
+	NoIndex bool
 }
 
 // Matrix returns the full configuration matrix the acceptance criteria
@@ -59,6 +66,11 @@ func Matrix() []Config {
 		}
 	}
 	out = append(out, Config{Name: "O2+galax", OptLevel: xq.O2, GalaxTrace: true})
+	// Unindexed configurations at the levels that plan access paths: the
+	// indexed default vs these proves the access-path layer changes cost,
+	// never semantics.
+	out = append(out, Config{Name: "O1+noidx", OptLevel: xq.O1, NoIndex: true})
+	out = append(out, Config{Name: "O2+noidx", OptLevel: xq.O2, NoIndex: true})
 	return out
 }
 
@@ -146,6 +158,7 @@ func evalCase(c Case, cfg Config, maxSteps int64) Outcome {
 	opts := []xq.Option{
 		xq.WithOptLevel(cfg.OptLevel),
 		xq.WithTraceEffectful(!cfg.GalaxTrace),
+		xq.WithAccessPaths(!cfg.NoIndex),
 		xq.WithDupAttrPolicy(c.Policy),
 	}
 	if maxSteps > 0 {
@@ -193,7 +206,13 @@ func contextDoc(c Case) (*xq.Node, error) {
 	if c.Doc == "" {
 		return nil, nil
 	}
-	return xq.ParseXML(c.Doc)
+	doc, err := xq.ParseXML(c.Doc)
+	if err != nil {
+		return nil, err
+	}
+	// Freeze the context document so indexed configurations exercise real
+	// index probes instead of silently falling back to walks everywhere.
+	return xq.Freeze(doc), nil
 }
 
 // Check evaluates the case under every configuration in configs and returns
@@ -276,6 +295,7 @@ func Explain(c Case, cfg Config) string {
 	q, err := xq.Compile(c.Src,
 		xq.WithOptLevel(cfg.OptLevel),
 		xq.WithTraceEffectful(!cfg.GalaxTrace),
+		xq.WithAccessPaths(!cfg.NoIndex),
 		xq.WithDupAttrPolicy(c.Policy))
 	if err != nil {
 		return "compile error: " + err.Error()

@@ -185,12 +185,21 @@ func (g *gen) arith(depth int) *gnode {
 	return lit("(", g.operand(depth), op, g.operand(depth), ")")
 }
 
-// path generates a path over the fixed document shape.
+// path generates a path over the fixed document shape. The pick-list grew
+// with the access-path layer (`//name` and `[@attr = 'v']` shapes stressing
+// index eligibility: fusable and fusion-blocked `//`, foldable and
+// unfoldable attribute predicates, hits and misses in the value index) —
+// which shifts the RNG draws of older pinned seeds; their lines in
+// seeds.txt remain valid replay inputs regardless.
 func (g *gen) path() *gnode {
 	p := g.pick([]string{
 		"/r/item", "/r/item/@n", "/r//item", "/r/empty", "/r/item/text()",
 		"/r/item[1]", "/r/item[2]/@n", "/r/*", "/r/item[@n = 1]",
 		"/r/item[last()]", "/r/nope",
+		"//item", "//item/@k", "//empty", "//nope",
+		"/r/item[@k = 'k0']", "/r/item[@k = 'zz']", "/r//item[@k = 'k1']",
+		"//item[@k = 'k0']/@n", "//item[@n = '2']", "//item[@k = 'k1'][1]",
+		"//item[2]", "/r/item[@n = 'abc']", "//item[@k = 'k0'][@n = '1']",
 	})
 	return lit(p)
 }

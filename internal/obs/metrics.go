@@ -139,6 +139,30 @@ func SetSharingProbe(fn func() SharingStats) {
 	sharingProbe.Store(&fn)
 }
 
+// IndexStats reports the access-path layer's process-wide traffic: index
+// section builds and the wall time they took, probes served from an index,
+// child steps proven empty by the path synopsis, and probes that fell back
+// to a tree walk. The counters live in the index package; the engine
+// registers a probe, exactly like the sharing counters.
+type IndexStats struct {
+	Builds     int64
+	BuildNanos int64
+	Hits       int64
+	Prunes     int64
+	Fallbacks  int64
+}
+
+// indexProbe is read at snapshot time; nil until an engine package
+// registers one via SetIndexProbe.
+var indexProbe atomic.Pointer[func() IndexStats]
+
+// SetIndexProbe registers the function Snapshot uses to fill the
+// structural/value index counters. Later registrations replace earlier
+// ones.
+func SetIndexProbe(fn func() IndexStats) {
+	indexProbe.Store(&fn)
+}
+
 // Snapshot is a point-in-time copy of a Registry, the MetricsSnapshot()
 // result type.
 type Snapshot struct {
@@ -148,7 +172,10 @@ type Snapshot struct {
 	TraceEvents                                        int64
 	// Sharing holds the copy-on-write/pool counters from the registered
 	// probe (zero when no probe is registered).
-	Sharing                     SharingStats
+	Sharing SharingStats
+	// Index holds the structural/value index counters from the registered
+	// probe (zero when no probe is registered).
+	Index                       IndexStats
 	CompileLatency, EvalLatency HistogramSnapshot
 }
 
@@ -158,8 +185,13 @@ func (r *Registry) Snapshot() Snapshot {
 	if fn := sharingProbe.Load(); fn != nil {
 		sharing = (*fn)()
 	}
+	var index IndexStats
+	if fn := indexProbe.Load(); fn != nil {
+		index = (*fn)()
+	}
 	return Snapshot{
 		Sharing:            sharing,
+		Index:              index,
 		Compiles:           r.Compiles.Load(),
 		CompileErrors:      r.CompileErrors.Load(),
 		PlanCacheHits:      r.PlanCacheHits.Load(),

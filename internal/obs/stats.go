@@ -41,6 +41,13 @@ type EvalStats struct {
 	// order sort keys, node buffers) during the evaluation, with the same
 	// process-wide-delta caveat.
 	PoolHits, PoolMisses int64
+	// IndexHits, IndexPrunes, and IndexFallbacks report access-path traffic
+	// during the evaluation: step probes served from a structural/value
+	// index, child steps proven empty by the path synopsis, and probes that
+	// fell back to a tree walk. IndexBuilds counts index sections
+	// constructed (first probe of a freshly frozen tree pays the build).
+	// Same process-wide-delta caveat as the COW counters.
+	IndexHits, IndexPrunes, IndexFallbacks, IndexBuilds int64
 }
 
 // String renders the stats as the one-line form the CLIs print:
@@ -78,6 +85,10 @@ func (s EvalStats) String() string {
 	}
 	if s.PoolHits > 0 || s.PoolMisses > 0 {
 		fmt.Fprintf(&b, " pool=%d/%d(hits/misses)", s.PoolHits, s.PoolMisses)
+	}
+	if s.IndexHits > 0 || s.IndexPrunes > 0 || s.IndexFallbacks > 0 {
+		fmt.Fprintf(&b, " index=%d/%d/%d(hits/prunes/fallbacks)",
+			s.IndexHits, s.IndexPrunes, s.IndexFallbacks)
 	}
 	return b.String()
 }

@@ -488,6 +488,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Docs        int      `json:"docs"`
 		LoadedAt    string   `json:"loaded_at"`
 	}
+	type indexStats struct {
+		// Process-wide access-path counters from the engine.
+		Builds    int64   `json:"builds"`
+		BuildMs   float64 `json:"build_ms"`
+		Hits      int64   `json:"hits"`
+		Prunes    int64   `json:"prunes"`
+		Fallbacks int64   `json:"fallbacks"`
+		// Per-collection index state of the current snapshot.
+		Collections []store.IndexInfo `json:"collections,omitempty"`
+	}
 	out := struct {
 		Eval struct {
 			OK          int64   `json:"ok"`
@@ -501,9 +511,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCache xq.CacheStats               `json:"plan_cache"`
 		Tenants   map[string]TenantCacheStats `json:"tenants"`
 		Store     *storeStats                 `json:"store,omitempty"`
+		Index     indexStats                  `json:"index"`
 	}{
 		PlanCache: xq.PlanCache(),
 		Tenants:   s.tenants.Stats(),
+	}
+	eng := xq.MetricsSnapshot().Index
+	out.Index = indexStats{
+		Builds:    eng.Builds,
+		BuildMs:   float64(eng.BuildNanos) / float64(time.Millisecond),
+		Hits:      eng.Hits,
+		Prunes:    eng.Prunes,
+		Fallbacks: eng.Fallbacks,
+	}
+	if snap != nil {
+		out.Index.Collections = snap.IndexState()
 	}
 	out.Eval.OK = m.EvalOK
 	out.Eval.Errors = m.EvalErrors

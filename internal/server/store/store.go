@@ -35,6 +35,7 @@ import (
 
 	"lopsided/internal/faultinject"
 	"lopsided/internal/xmltree"
+	"lopsided/internal/xmltree/index"
 )
 
 // DefaultCollection is the name given to *.xml files at the top level of
@@ -259,6 +260,10 @@ func (st *Store) buildCollection(name, dir string, files []string) (*Collection,
 		if err != nil {
 			return nil, fmt.Errorf("store: parse %s: %w", path, err)
 		}
+		// Freeze the parsed document so it can anchor a structural/value
+		// index: fn:doc evaluations share one lazily-built index per
+		// document per snapshot, across requests and tenants.
+		xmltree.Freeze(doc)
 		docName := strings.TrimSuffix(f, ".xml")
 		col.Docs = append(col.Docs, Doc{Name: docName, Root: doc, Bytes: int64(len(data))})
 		col.Bytes += int64(len(data))
@@ -272,11 +277,52 @@ func (st *Store) buildCollection(name, dir string, files []string) (*Collection,
 		}
 		root.AppendChild(wrap)
 	}
-	// Freeze the collection root itself: taking one throwaway clone marks
-	// the tree shared under the COW contract, so concurrent evaluations
-	// get memoized string/typed values and any constructor that copies
-	// from it clones lazily.
-	_ = root.Clone()
+	// Freeze the collection root itself: concurrent evaluations get
+	// memoized string/typed values, any constructor that copies from it
+	// clones lazily, and the root becomes a valid index anchor — the first
+	// `//name` or `[@attr = 'v']` probe against the collection builds its
+	// structural/value index once, and every later request (any tenant)
+	// shares it. A reload builds a fresh snapshot with fresh roots, so old
+	// indexes are dropped atomically with the trees they describe.
+	xmltree.Freeze(root)
 	col.Root = root
 	return col, nil
+}
+
+// Index returns the collection's structural/value index, building the
+// DocIndex shell on first use (sections build lazily on first probe).
+func (c *Collection) Index() (*index.DocIndex, bool) {
+	return index.For(c.Root)
+}
+
+// IndexInfo describes one collection's index state for /stats.
+type IndexInfo struct {
+	Collection string `json:"collection"`
+	// Built/AttrsBuilt report whether the structural and attribute-value
+	// sections have been constructed (they build lazily on first probe).
+	Built      bool `json:"built"`
+	AttrsBuilt bool `json:"attrs_built"`
+	Elements   int  `json:"elements,omitempty"`
+	Names      int  `json:"names,omitempty"`
+	Paths      int  `json:"paths,omitempty"`
+	AttrKeys   int  `json:"attr_keys,omitempty"`
+}
+
+// IndexState reports, per collection, whether (and how much of) the
+// snapshot's index state has been built, without forcing any builds. Sorted
+// by collection name.
+func (s *Snapshot) IndexState() []IndexInfo {
+	out := make([]IndexInfo, 0, len(s.cols))
+	for _, name := range s.Names() {
+		c := s.cols[name]
+		info := IndexInfo{Collection: name}
+		if ix, ok := index.Peek(c.Root); ok {
+			st := ix.Info()
+			info.Built, info.AttrsBuilt = st.Built, st.AttrsBuilt
+			info.Elements, info.Names = st.Elements, st.Names
+			info.Paths, info.AttrKeys = st.Paths, st.AttrKeys
+		}
+		out = append(out, info)
+	}
+	return out
 }

@@ -227,3 +227,87 @@ func TestOpenRejectsEmptyDir(t *testing.T) {
 		t.Fatal("open of an empty directory succeeded")
 	}
 }
+
+// TestSnapshotIndexLifecycle covers the index half of the reload contract:
+// collection roots are index-cacheable, the index state is reported per
+// collection, queries through the engine actually hit the index, and a
+// reload's fresh snapshot starts with no built indexes (the old ones are
+// dropped atomically with the trees they describe).
+func TestSnapshotIndexLifecycle(t *testing.T) {
+	st, err := Open(writeCorpus(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+
+	// Nothing is built until a probe happens.
+	for _, info := range snap.IndexState() {
+		if info.Built || info.AttrsBuilt {
+			t.Fatalf("index built before any probe: %+v", info)
+		}
+	}
+
+	// An indexed query against the collection root must be served from the
+	// index (the root is frozen at load time).
+	lib, _ := snap.Collection("library")
+	q, err := xq.Compile(`count(//title)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats xq.EvalStats
+	out, err := q.EvalString(context.Background(), lib.Root, xq.WithStats(&stats))
+	if err != nil || out != "3" {
+		t.Fatalf("eval: %q %v", out, err)
+	}
+	if stats.IndexHits == 0 {
+		t.Fatalf("collection query did not hit the index: %+v", stats)
+	}
+
+	// The built structural section now shows up in the per-collection state.
+	var libInfo *IndexInfo
+	for _, info := range snap.IndexState() {
+		if info.Collection == "library" {
+			tmp := info
+			libInfo = &tmp
+		}
+	}
+	if libInfo == nil || !libInfo.Built || libInfo.Elements == 0 {
+		t.Fatalf("library index state after probe: %+v", libInfo)
+	}
+
+	// Collection.Index exposes the same memoized index.
+	ix, ok := lib.Index()
+	if !ok || !ix.Info().Built {
+		t.Fatalf("Collection.Index: ok=%v", ok)
+	}
+
+	// fn:doc documents are frozen and indexable too.
+	for _, d := range lib.Docs {
+		if !d.Root.IndexCacheable() {
+			t.Fatalf("document %q root is not index-cacheable", d.Name)
+		}
+	}
+
+	// Reload: the new snapshot's roots are fresh trees with no index built;
+	// the old snapshot (and its indexes) die together.
+	if err := st.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := st.Snapshot()
+	if snap2 == snap {
+		t.Fatal("reload did not swap the snapshot")
+	}
+	for _, info := range snap2.IndexState() {
+		if info.Built || info.AttrsBuilt {
+			t.Fatalf("fresh snapshot inherited a built index: %+v", info)
+		}
+	}
+	lib2, _ := snap2.Collection("library")
+	out, err = q.EvalString(context.Background(), lib2.Root, xq.WithStats(&stats))
+	if err != nil || out != "3" {
+		t.Fatalf("post-reload eval: %q %v", out, err)
+	}
+	if stats.IndexBuilds == 0 {
+		t.Fatalf("post-reload eval did not rebuild the index: %+v", stats)
+	}
+}

@@ -134,6 +134,12 @@ type Node struct {
 	// atomizer stores the boxed atomized value here). xmltree only provides
 	// the storage; it is honored only on frozen nodes, like tv.
 	abox atomic.Pointer[any]
+	// ibox is an opaque cache slot for subtree-level structures built over
+	// this node (in practice the structural/value index). Unlike tv/abox it
+	// is honored only when THIS node is solid and shared — a lazy clone must
+	// never be served its source's index, because the clone's materialized
+	// descendants are distinct identities and the clone is still mutable.
+	ibox atomic.Pointer[any]
 }
 
 // COW sharing counters (process-wide, exported through Stats/obs).
@@ -563,6 +569,57 @@ func (n *Node) SetAtomCache(v any) {
 	if sv.shared.Load() {
 		sv.abox.Store(&v)
 	}
+}
+
+// IndexCacheable reports whether this node may anchor a subtree-level cache:
+// the node must itself be solid (not a lazy clone — a clone's materialized
+// descendants are fresh identities, so a structure built over the source
+// would hand out the wrong nodes) and shared (frozen, so the subtree can no
+// longer legally change underneath the cache).
+func (n *Node) IndexCacheable() bool {
+	return n.src.Load() == nil && n.shared.Load()
+}
+
+// IndexCache returns the opaque subtree-level value stored by SetIndexCache
+// on this node, or nil. Unlike AtomCache it never reads through to a lazy
+// clone's source: the cache is keyed on node identity, not shared content.
+func (n *Node) IndexCache() any {
+	if p := n.ibox.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetIndexCache stores an opaque subtree-level value (in practice the
+// structural/value index) on the node. The store is silently dropped unless
+// the node is IndexCacheable; the first store wins, so concurrent builders
+// converge on one shared value. It returns the value now in the slot.
+func (n *Node) SetIndexCache(v any) any {
+	if !n.IndexCacheable() {
+		return v
+	}
+	if n.ibox.CompareAndSwap(nil, &v) {
+		return v
+	}
+	if p := n.ibox.Load(); p != nil {
+		return *p
+	}
+	return v
+}
+
+// Freeze declares the subtree rooted at n immutable and makes n a valid
+// subtree-cache anchor (IndexCacheable): it materializes n if it is still a
+// lazy clone, then marks it shared — exactly the state a Clone source ends
+// up in. The caller promises not to mutate the subtree afterwards, the same
+// contract Clone imposes on its source. Non-container nodes are returned
+// unchanged. It returns n for chaining.
+func Freeze(n *Node) *Node {
+	if n.Kind != ElementNode && n.Kind != DocumentNode {
+		return n
+	}
+	n.materialize()
+	n.shared.Store(true)
+	return n
 }
 
 func (n *Node) appendText(b *strings.Builder) {

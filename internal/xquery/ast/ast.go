@@ -184,6 +184,54 @@ type NodeTest struct {
 	Kind *xdm.SequenceType
 }
 
+// AccessKind names how a step's node set is produced at runtime.
+type AccessKind int
+
+// The access paths the optimizer can choose for a step.
+const (
+	// AccessTreeWalk is the default: evaluate the axis by walking the tree.
+	AccessTreeWalk AccessKind = iota
+	// AccessIndexScan serves the step from the element-name (and, when an
+	// attribute predicate was folded in, the attribute/value) index of the
+	// context node's frozen tree, falling back to a walk when no index is
+	// available for the tree at hand.
+	AccessIndexScan
+	// AccessSynopsisPrune consults the path synopsis before a child step:
+	// when the label path proves the step empty it short-circuits, otherwise
+	// it walks.
+	AccessSynopsisPrune
+)
+
+// String returns the access-path name as printed by EXPLAIN.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessIndexScan:
+		return "IndexScan"
+	case AccessSynopsisPrune:
+		return "SynopsisPrune"
+	}
+	return "TreeWalk"
+}
+
+// AccessPath records the optimizer's access-path decision for one step. It
+// is advisory toward an equivalent plan: the interpreter must produce
+// identical results (order, identity, errors) whether the probe is served
+// or falls back to the walk.
+type AccessPath struct {
+	Kind AccessKind
+	// AttrName/AttrValue carry a folded [@attr = 'value'] predicate (the
+	// step's former first predicate) when non-empty. The runtime applies it
+	// existentially over every same-named attribute — duplicate-attribute
+	// trees make first-match unsound.
+	AttrName, AttrValue string
+	// Fused marks a descendant step the planner built by collapsing a
+	// descendant-or-self::node()/child::name pair.
+	Fused bool
+	// Reason is the human-readable eligibility (or fallback) rationale
+	// printed by EXPLAIN.
+	Reason string
+}
+
 // Step is one step of a path: either an axis step (Axis+Test) or a filter
 // step (Primary non-nil), each with predicates.
 type Step struct {
@@ -194,7 +242,10 @@ type Step struct {
 	// with predicates), and Axis/Test are ignored.
 	Primary Expr
 	Preds   []Expr
-	P       Pos
+	// Access is the optimizer's access-path decision, nil until planned
+	// (unplanned steps tree-walk).
+	Access *AccessPath
+	P      Pos
 }
 
 // PathRoot describes how a path is rooted.

@@ -5,6 +5,7 @@ import (
 
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
+	"lopsided/internal/xmltree/index"
 	"lopsided/internal/xquery/ast"
 )
 
@@ -20,11 +21,53 @@ type predPlan struct {
 	pos  ast.Pos
 }
 
+// accessPlan is the compiled form of the optimizer's access-path decision
+// for an axis step. The probe is advisory: when the context node's tree has
+// no usable index the step falls back to the axis walk, producing identical
+// results (the optimizer only plans shapes where that equivalence holds).
+type accessPlan struct {
+	kind ast.AccessKind
+	// name is the element name the step selects; desc distinguishes the
+	// descendant probe from the child probe.
+	name string
+	desc bool
+	// attrName/attrValue carry a folded [@attr = 'v'] predicate. The walk
+	// fallback applies it existentially over every same-named attribute
+	// (duplicate-attribute trees make first-match wrong).
+	attrName, attrValue string
+	hasAttr             bool
+}
+
+// probe tries to serve the step's node set from the context tree's index.
+// served is false when no index is available (unfrozen tree, foreign node,
+// or an unhelpful synopsis answer) and the caller must walk.
+func (a *accessPlan) probe(ctx *xmltree.Node) (nodes []*xmltree.Node, served bool) {
+	ix, ok := index.For(ctx.Root())
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case a.kind == ast.AccessSynopsisPrune:
+		if exists, answered := ix.ChildMayExist(ctx, a.name); answered && !exists {
+			return nil, true
+		}
+		return nil, false
+	case a.desc && a.hasAttr:
+		return ix.DescendantsAttrEq(ctx, a.name, a.attrName, a.attrValue)
+	case a.desc:
+		return ix.Descendants(ctx, a.name)
+	case a.hasAttr:
+		return ix.ChildrenAttrEq(ctx, a.name, a.attrName, a.attrValue)
+	}
+	return nil, false
+}
+
 // stepPlan is one compiled path step: an axis step (axisFunc+test) or a
 // filter step (primary non-nil), each with predicates.
 type stepPlan struct {
 	axisFunc func(*xmltree.Node) []*xmltree.Node
 	test     func(*xmltree.Node) bool
+	access   *accessPlan
 	primary  compiledExpr
 	preds    []predPlan
 	pos      ast.Pos
@@ -58,11 +101,39 @@ func (cp *compiler) compileStep(st ast.Step) stepPlan {
 	} else {
 		sp.axisFunc = axisFunc(st.Axis)
 		sp.test = makeTest(st.Test, st.Axis)
+		sp.access = cp.compileAccess(st)
 	}
 	for _, pr := range st.Preds {
 		sp.preds = append(sp.preds, predPlan{expr: cp.compile(pr), pos: pr.Pos()})
 	}
 	return sp
+}
+
+// compileAccess lowers the optimizer's access-path decision onto the step
+// and records it as a plan note for EXPLAIN. Tree walks compile to a nil
+// accessPlan (the default dispatch); unplanned steps (O0, or paths built
+// outside the optimizer) stay silent tree walks.
+func (cp *compiler) compileAccess(st ast.Step) *accessPlan {
+	ap := st.Access
+	if ap == nil {
+		return nil
+	}
+	suffix := ""
+	if ap.Reason != "" {
+		suffix = " (" + ap.Reason + ")"
+	}
+	cp.note(st.P, "access path %s %s::%s%s", ap.Kind, st.Axis, st.Test.Name, suffix)
+	if ap.Kind == ast.AccessTreeWalk {
+		return nil
+	}
+	return &accessPlan{
+		kind:      ap.Kind,
+		name:      st.Test.Name,
+		desc:      st.Axis == ast.AxisDescendant,
+		attrName:  ap.AttrName,
+		attrValue: ap.AttrValue,
+		hasAttr:   ap.AttrName != "",
+	}
 }
 
 func axisFunc(axis ast.Axis) func(*xmltree.Node) []*xmltree.Node {
@@ -252,12 +323,28 @@ func (sp *stepPlan) eval(c *evalCtx) (xdm.Sequence, error) {
 		return nil, &Error{Code: "XPTY0019", Pos: sp.pos,
 			Msg: "axis step applied to atomic value " + it.TypeName()}
 	}
+	if sp.access != nil {
+		if nodes, served := sp.access.probe(node); served {
+			// Index lists are in document order (= forward axis order), and
+			// the name (and any folded attribute) condition is already
+			// satisfied; remaining predicates still apply.
+			out := make(xdm.Sequence, 0, len(nodes))
+			for _, cand := range nodes {
+				out = append(out, xdm.NewNode(cand))
+			}
+			return sp.applyPredicates(c, out)
+		}
+	}
 	nodes := sp.axisFunc(node)
 	// Predicates see positions in axis order (reverse axes count backward
 	// from the context node), which is already the order of `out`.
 	out := make(xdm.Sequence, 0, len(nodes))
 	for _, cand := range nodes {
 		if sp.test(cand) {
+			if sp.access != nil && sp.access.hasAttr &&
+				!index.AttrAnyEq(cand, sp.access.attrName, sp.access.attrValue) {
+				continue // folded [@attr = 'v'] applies on the walk fallback too
+			}
 			out = append(out, xdm.NewNode(cand))
 		}
 	}

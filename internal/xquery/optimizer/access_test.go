@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"testing"
+
+	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/parser"
+)
+
+// planQuery parses `src` as a query whose body is a single path expression,
+// optimizes it at O2, and returns the planned path.
+func planQuery(t *testing.T, src string, opts Options) (*ast.PathExpr, Stats) {
+	t.Helper()
+	mod, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", src, err)
+	}
+	stats := Optimize(mod, opts)
+	p, ok := mod.Body.(*ast.PathExpr)
+	if !ok {
+		t.Fatalf("%s: body is %T, not a path", src, mod.Body)
+	}
+	return p, stats
+}
+
+func TestPlanFusesLeadingSlashSlash(t *testing.T) {
+	p, stats := planQuery(t, `//item`, Options{Level: O2})
+	if p.Root != ast.RootSlash {
+		t.Fatalf("root not rewritten to RootSlash: %v", p.Root)
+	}
+	if len(p.Steps) != 1 {
+		t.Fatalf("steps = %d, want 1 fused step", len(p.Steps))
+	}
+	s := p.Steps[0]
+	if s.Axis != ast.AxisDescendant || s.Test.Name != "item" {
+		t.Fatalf("fused step is %s::%s", s.Axis, s.Test.Name)
+	}
+	if s.Access == nil || s.Access.Kind != ast.AccessIndexScan || !s.Access.Fused {
+		t.Fatalf("fused step access = %+v", s.Access)
+	}
+	if stats.IndexScans != 1 {
+		t.Fatalf("stats.IndexScans = %d", stats.IndexScans)
+	}
+}
+
+func TestPlanFusesInteriorSlashSlash(t *testing.T) {
+	p, _ := planQuery(t, `/r//item`, Options{Level: O2})
+	// /r -> child::r (synopsis), // + item -> descendant::item (index scan).
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(p.Steps))
+	}
+	if a := p.Steps[0].Access; a == nil || a.Kind != ast.AccessSynopsisPrune {
+		t.Fatalf("child step access = %+v", a)
+	}
+	s := p.Steps[1]
+	if s.Axis != ast.AxisDescendant || s.Access == nil || s.Access.Kind != ast.AccessIndexScan || !s.Access.Fused {
+		t.Fatalf("fused step = %s access %+v", s.Axis, s.Access)
+	}
+}
+
+func TestPlanFoldsAttrPredicate(t *testing.T) {
+	p, stats := planQuery(t, `//item[@k = 'v']`, Options{Level: O2})
+	s := p.Steps[len(p.Steps)-1]
+	if s.Access == nil || s.Access.Kind != ast.AccessIndexScan {
+		t.Fatalf("access = %+v", s.Access)
+	}
+	if s.Access.AttrName != "k" || s.Access.AttrValue != "v" {
+		t.Fatalf("folded pred = %q=%q", s.Access.AttrName, s.Access.AttrValue)
+	}
+	if len(s.Preds) != 0 {
+		t.Fatalf("folded predicate still present: %d preds", len(s.Preds))
+	}
+	if stats.FoldedPredicates != 1 {
+		t.Fatalf("stats.FoldedPredicates = %d", stats.FoldedPredicates)
+	}
+
+	// Reversed operand order folds too.
+	p, _ = planQuery(t, `/r/item['v' = @k]`, Options{Level: O2})
+	s = p.Steps[len(p.Steps)-1]
+	if s.Access == nil || s.Access.AttrName != "k" || s.Access.AttrValue != "v" {
+		t.Fatalf("reversed operands not folded: %+v", s.Access)
+	}
+}
+
+func TestPlanRefusesUnsafeShapes(t *testing.T) {
+	cases := []struct {
+		src string
+		why string
+	}{
+		{`//item[2]`, "positional predicate blocks fusion"},
+		{`//item[@k eq 'v']`, "value comparison can raise on duplicate attrs"},
+		{`//item[@k = 5]`, "non-string literal comparisons are numeric, not string"},
+		{`//item[@k = @j]`, "non-literal operand"},
+		{`//*[@k = 'v']`, "wildcard name test"},
+	}
+	for _, tc := range cases {
+		p, _ := planQuery(t, tc.src, Options{Level: O2})
+		for _, s := range p.Steps {
+			if s.Access != nil && s.Access.Kind == ast.AccessIndexScan &&
+				(s.Access.Fused || s.Access.AttrName != "") {
+				t.Errorf("%s: unsafely planned (%s): %+v", tc.src, tc.why, s.Access)
+			}
+		}
+	}
+	// The leading-// rooting must survive unfused in the positional case
+	// (its child step keeps per-parent positions).
+	p, _ := planQuery(t, `//item[2]`, Options{Level: O2})
+	if p.Root != ast.RootSlashSlash || len(p.Steps) != 1 || p.Steps[0].Axis != ast.AxisChild {
+		t.Fatalf("//item[2] was fused: root=%v steps=%d", p.Root, len(p.Steps))
+	}
+	// O2 constant folding can legalize a fold: concat('a','b') becomes the
+	// literal 'ab' before planning, so this one IS (correctly) folded.
+	p, _ = planQuery(t, `//item[@k = concat('a','b')]`, Options{Level: O2})
+	if a := p.Steps[0].Access; a == nil || a.AttrValue != "ab" {
+		t.Fatalf("constant-folded operand did not fold into the probe: %+v", a)
+	}
+}
+
+func TestPlanDisabledAndO0(t *testing.T) {
+	p, stats := planQuery(t, `//item`, Options{Level: O2, DisableAccessPaths: true})
+	for _, s := range p.Steps {
+		if s.Access != nil {
+			t.Fatalf("access planned while disabled: %+v", s.Access)
+		}
+	}
+	if stats.IndexScans+stats.SynopsisPrunes+stats.TreeWalks != 0 {
+		t.Fatalf("stats counted while disabled: %+v", stats)
+	}
+	p, _ = planQuery(t, `//item`, Options{Level: O0})
+	for _, s := range p.Steps {
+		if s.Access != nil {
+			t.Fatalf("access planned at O0: %+v", s.Access)
+		}
+	}
+}
+
+func TestPlanSecondPredicateSurvivesFolding(t *testing.T) {
+	// Only the FIRST predicate may fold (sequential predicate semantics);
+	// with a non-foldable first predicate nothing folds.
+	p, _ := planQuery(t, `/r/descendant::item[@k = 'v'][1]`, Options{Level: O2})
+	s := p.Steps[len(p.Steps)-1]
+	if s.Access == nil || s.Access.AttrName != "k" || len(s.Preds) != 1 {
+		t.Fatalf("first-pred fold with trailing pred: access=%+v preds=%d", s.Access, len(s.Preds))
+	}
+	p, _ = planQuery(t, `/r/descendant::item[1][@k = 'v']`, Options{Level: O2})
+	s = p.Steps[len(p.Steps)-1]
+	if s.Access == nil || s.Access.AttrName != "" || len(s.Preds) != 2 {
+		t.Fatalf("positional-first fold must not happen: access=%+v preds=%d", s.Access, len(s.Preds))
+	}
+}

@@ -35,6 +35,10 @@ type Options struct {
 	// bindings whose value calls fn:trace (the post-fix Galax behavior).
 	// False reproduces the bug the paper fought.
 	TraceIsEffectful bool
+	// DisableAccessPaths turns off access-path planning (index scans and
+	// synopsis prunes), leaving every step a tree walk. Used by the
+	// differential oracle to prove indexed ≡ unindexed semantics.
+	DisableAccessPaths bool
 }
 
 // Stats reports what the optimizer did.
@@ -46,6 +50,9 @@ type Stats struct {
 	// behavior). The sites themselves are recorded on the module so the
 	// runtime can still report them to a structured tracer.
 	ElidedTraces int
+	// Access-path planning counters: steps assigned each access path, and
+	// [@attr = 'v'] predicates folded into an index probe.
+	IndexScans, SynopsisPrunes, TreeWalks, FoldedPredicates int
 }
 
 // Optimize rewrites the module in place (expressions are replaced, shared
@@ -184,7 +191,11 @@ func (o *optimizer) rewrite(e ast.Expr) ast.Expr {
 			}
 			steps[i] = ns
 		}
-		return &ast.PathExpr{Base: n.Base, Root: n.Root, Steps: steps}
+		out := &ast.PathExpr{Base: n.Base, Root: n.Root, Steps: steps}
+		if !o.opts.DisableAccessPaths {
+			o.planPath(out)
+		}
+		return out
 	case *ast.FunctionCall:
 		args := make([]ast.Expr, len(n.Args))
 		for i, a := range n.Args {

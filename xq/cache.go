@@ -32,6 +32,7 @@ type planKey struct {
 	src            string
 	optLevel       OptLevel
 	traceEffectful bool
+	noAccessPaths  bool
 }
 
 // planEntry is one cache slot. The sync.Once makes concurrent first
@@ -78,6 +79,9 @@ func shardFor(key *planKey) *planShard {
 	if key.traceEffectful {
 		h ^= 0xd1b54a32d192ed03
 	}
+	if key.noAccessPaths {
+		h ^= 0x2545f4914f6cdd1d
+	}
 	return &planShards[h%planCacheShards]
 }
 
@@ -98,7 +102,12 @@ func CompileCached(src string, opts ...Option) (*Query, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	key := planKey{src: src, optLevel: cfg.optLevel, traceEffectful: cfg.traceIsEffectful}
+	key := planKey{
+		src:            src,
+		optLevel:       cfg.optLevel,
+		traceEffectful: cfg.traceIsEffectful,
+		noAccessPaths:  cfg.noAccessPaths,
+	}
 	sh := shardFor(&key)
 	sh.mu.Lock()
 	if sh.m == nil {

@@ -43,6 +43,7 @@ import (
 	"lopsided/internal/obs"
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
+	"lopsided/internal/xmltree/index"
 	"lopsided/internal/xquery/interp"
 	"lopsided/internal/xquery/lexer"
 	"lopsided/internal/xquery/optimizer"
@@ -157,6 +158,7 @@ func MetricsSnapshot() obs.Snapshot { return obs.MetricsSnapshot() }
 type config struct {
 	optLevel         OptLevel
 	traceIsEffectful bool
+	noAccessPaths    bool
 	tracer           Tracer
 	docResolver      func(uri string) (*Node, error)
 	dupAttr          DupAttrPolicy
@@ -194,6 +196,14 @@ func WithOptLevel(l OptLevel) Option { return func(c *config) { c.optLevel = l }
 // reproduces the bug that silently swallowed the paper's tracing.
 // Compile-time only.
 func WithTraceEffectful(on bool) Option { return func(c *config) { c.traceIsEffectful = on } }
+
+// WithAccessPaths controls access-path planning at O1+ (default true):
+// rewriting `//name` and `[@attr = 'v']` shapes onto structural/value
+// indexes of frozen trees, with tree-walk fallback when no index is
+// available. Disabling it forces every step to walk — the differential
+// oracle uses the off configuration to prove indexed ≡ unindexed
+// semantics. Compile-time only.
+func WithAccessPaths(on bool) Option { return func(c *config) { c.noAccessPaths = !on } }
 
 // WithTracer installs the structured event consumer. To reproduce the
 // classic fn:trace-only callback, wrap it: WithTracer(xq.TraceFunc(f)).
@@ -291,8 +301,9 @@ func compileModule(src string, cfg config) (*interp.Program, optimizer.Stats, er
 	t = time.Now()
 	phase("optimize", true, t)
 	stats := optimizer.Optimize(mod, optimizer.Options{
-		Level:            cfg.optLevel,
-		TraceIsEffectful: cfg.traceIsEffectful,
+		Level:              cfg.optLevel,
+		TraceIsEffectful:   cfg.traceIsEffectful,
+		DisableAccessPaths: cfg.noAccessPaths,
 	})
 	phase("optimize", false, t)
 
@@ -385,8 +396,10 @@ func (q *Query) Eval(ctx context.Context, doc *Node, opts ...Option) (Sequence, 
 	// deltas around the call; concurrent evaluations bleed into each
 	// other's deltas (the numbers stay indicative, not exact).
 	var share0 obs.SharingStats
+	var index0 obs.IndexStats
 	if cfg.stats != nil {
 		share0 = sharingSnapshot()
+		index0 = indexSnapshot()
 	}
 	start := time.Now()
 	out, err := ip.EvalWithOpts(ctx, it, cfg.vars, interp.EvalOpts{Stats: cfg.stats})
@@ -409,6 +422,11 @@ func (q *Query) Eval(ctx context.Context, doc *Node, opts ...Option) (Sequence, 
 		cfg.stats.CowBreaks = share1.CowBreaks - share0.CowBreaks
 		cfg.stats.PoolHits = share1.PoolHits - share0.PoolHits
 		cfg.stats.PoolMisses = share1.PoolMisses - share0.PoolMisses
+		index1 := indexSnapshot()
+		cfg.stats.IndexHits = index1.Hits - index0.Hits
+		cfg.stats.IndexPrunes = index1.Prunes - index0.Prunes
+		cfg.stats.IndexFallbacks = index1.Fallbacks - index0.Fallbacks
+		cfg.stats.IndexBuilds = index1.Builds - index0.Builds
 	}
 	return out, err
 }
@@ -428,8 +446,23 @@ func sharingSnapshot() obs.SharingStats {
 	}
 }
 
+// indexSnapshot reads the structural/value index layer's counters in the
+// obs shape. Registered as the obs index probe and used for the per-eval
+// deltas above.
+func indexSnapshot() obs.IndexStats {
+	c := index.Stats()
+	return obs.IndexStats{
+		Builds:     c.Builds,
+		BuildNanos: c.BuildNanos,
+		Hits:       c.Hits,
+		Prunes:     c.Prunes,
+		Fallbacks:  c.Fallbacks,
+	}
+}
+
 func init() {
 	obs.SetSharingProbe(sharingSnapshot)
+	obs.SetIndexProbe(indexSnapshot)
 }
 
 // EvalString evaluates and serializes the result (nodes as XML, atomics as
@@ -451,6 +484,10 @@ func (q *Query) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "optimizer: level O%d, folded-constants=%d eliminated-lets=%d elided-traces=%d\n",
 		int(q.cfg.optLevel), q.Stats.FoldedConstants, q.Stats.EliminatedLets, q.Stats.ElidedTraces)
+	if n := q.Stats.IndexScans + q.Stats.SynopsisPrunes + q.Stats.TreeWalks; n > 0 {
+		fmt.Fprintf(&b, "access paths: index-scans=%d synopsis-prunes=%d tree-walks=%d folded-predicates=%d\n",
+			q.Stats.IndexScans, q.Stats.SynopsisPrunes, q.Stats.TreeWalks, q.Stats.FoldedPredicates)
+	}
 	b.WriteString(q.prog.Explain())
 	return b.String()
 }
@@ -481,6 +518,15 @@ func (q *Query) EvalStringWith(doc *Node, vars map[string]Sequence) (string, err
 
 // ParseXML parses an XML document.
 func ParseXML(src string) (*Node, error) { return xmltree.Parse(src) }
+
+// Freeze declares the tree rooted at n immutable, making it eligible for
+// structural/value indexing: the first indexed probe against a frozen tree
+// builds its index once, and every later evaluation — from any goroutine,
+// against any lazy clone source — shares it. The caller promises not to
+// mutate the tree afterwards (the same contract lazy cloning imposes on
+// clone sources). Trees that are never frozen still evaluate correctly;
+// their steps simply walk. It returns n for chaining.
+func Freeze(n *Node) *Node { return xmltree.Freeze(n) }
 
 // Serialize renders a result sequence: nodes as XML, atomics as string
 // values, items separated by spaces.
