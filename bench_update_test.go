@@ -1,0 +1,93 @@
+package lopsided_test
+
+// Benchmarks for the update sublanguage (PR 8): the preserved copy-phase
+// xqgen pipeline (the paper's C2 shape, five full-document copies) against
+// the single-pass update program that replaced it — BenchmarkXqgenPhasePipeline
+// in bench_docgen_test.go now measures the single-pass generator, and
+// BenchmarkXqgenCopyPhases here keeps the legacy path honest — plus a
+// Transform micro-benchmark isolating the pending-update-list apply on both
+// the copy-on-write spine and the eager deep-copy reference path.
+// Before/after numbers live in BENCH_update.json.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lopsided/internal/docgen/xqgen"
+	"lopsided/internal/workload"
+	"lopsided/xq"
+)
+
+// BenchmarkXqgenCopyPhases measures the legacy five-phase pipeline on the
+// same model/template pair as BenchmarkXqgenPhasePipeline, so the two names
+// read as a before/after pair in one bench run.
+func BenchmarkXqgenCopyPhases(b *testing.B) {
+	model := workload.BuildITModel(workload.Config{Seed: 2, Users: 25, Systems: 6, Servers: 8, Programs: 12, Docs: 9})
+	tpl := workload.ParseTemplate(workload.SystemContextTemplate)
+	g := xqgen.NewCopyPhases()
+	if _, err := g.Generate(model, tpl); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate(model, tpl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchUpdateDoc builds a flat corpus-like document with n records and
+// freezes it, the read-mostly shape the COW apply path is built for.
+func benchUpdateDoc(b *testing.B, n int) *xq.Node {
+	var sb strings.Builder
+	sb.WriteString("<corpus>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `<rec id="r%d" k="k%d"><title>Record %d</title><body>text %d</body></rec>`, i, i%7, i, i)
+	}
+	sb.WriteString("</corpus>")
+	doc, err := xq.ParseXML(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return xq.Freeze(doc)
+}
+
+// benchUpdateSrc touches one record family out of seven: an attribute
+// insert and a child rename on the k3 records, and a delete of the k5
+// records. A sparse pending-update list like this is the COW path's case:
+// six-sevenths of the tree rides along untouched and shared.
+const benchUpdateSrc = `
+delete /corpus/rec[@k = "k5"];
+for $r in /corpus/rec where $r/@k = "k3" return (
+  insert attribute audited { "1" } into $r;
+  rename ($r/body)[1] as "content"
+)`
+
+func benchTransform(b *testing.B, eager bool) {
+	q, err := xq.CompileUpdate(benchUpdateSrc, xq.WithEagerCopyApply(eager))
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := benchUpdateDoc(b, 500)
+	if _, err := q.Transform(nil, doc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Transform(nil, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateTransformCOW is the production apply path: the result
+// shares every untouched subtree with the frozen input.
+func BenchmarkUpdateTransformCOW(b *testing.B) { benchTransform(b, false) }
+
+// BenchmarkUpdateTransformEager is the reference apply path: a full deep
+// copy of the input before the pending-update list lands. The gap between
+// the two is what the COW spine saves.
+func BenchmarkUpdateTransformEager(b *testing.B) { benchTransform(b, true) }

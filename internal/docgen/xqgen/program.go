@@ -559,3 +559,107 @@ declare function local:strip($n) {
   <problems>{ for $p in //INTERNAL-DATA/PROBLEM return <problem>{string($p)}</problem> }</problems>
 </SPLIT-OUTPUT>
 `
+
+// updateSrc is phases 2-5 as ONE compiled update program: where the
+// INTERNAL-DATA pipeline paid a full document copy per phase ("fairly
+// inefficient, requiring multiple copies of the entire output"), the update
+// program evaluates every target and content expression against the
+// unchanged phase-1 snapshot and applies the whole pending-update list in
+// one pass over one copy-on-write clone. The prolog variables ($heads,
+// $repls, $markers) are the cross-phase analyses, computed once; the five
+// statements are the four rewrites plus the final INTERNAL-DATA purge.
+const updateSrc = `
+declare variable $model external;
+` + xqModelHelpers + `
+
+declare variable $heads := //h2[@class = "section-heading"][empty(ancestor::INTERNAL-DATA)];
+declare variable $repls := //REPLACEMENT;
+declare variable $markers :=
+  for $r at $i in $repls
+  where empty(($repls[position() lt $i])[@marker = string($r/@marker)])
+  return string($r/@marker);
+
+(: phase 2: the table of omissions :)
+declare function local:omissions($t) {
+  let $visited := for $v in root($t)//VISITED return string($v/@node-id)
+  let $types := tokenize(string($t/@types), " +")[. != ""]
+  let $missing :=
+    for $n in $model/awb-model/node
+    where (some $ty in $types satisfies local:is-node-subtype(string($n/@type), $ty))
+          and not($n/@id = $visited)
+    return $n
+  let $sorted := for $n in $missing order by local:label($n), string($n/@id) return $n
+  return
+    <ul class="omissions">{
+      for $n in $sorted
+      return <li>{concat(string($n/@type), ": ", local:label($n), " (", string($n/@id), ")")}</li>
+    }</ul>
+};
+
+(: phase 4's splice machinery, against the shared $repls/$markers :)
+declare function local:strip-internal($n) {
+  if ($n instance of element(INTERNAL-DATA)) then ()
+  else if ($n instance of element()) then
+    element {name($n)} {
+      (for $a in $n/@* return attribute {name($a)} {string($a)}),
+      (for $c in $n/node() return local:strip-internal($c))
+    }
+  else $n
+};
+
+declare function local:content-for($m) {
+  for $c in ($repls[@marker = $m])[last()]/node()
+  return local:strip-internal($c)
+};
+
+declare function local:earliest-rec($s, $ms, $best, $bestIdx) {
+  if (empty($ms)) then $best
+  else
+    let $m := $ms[1]
+    let $idx := if (contains($s, $m)) then string-length(substring-before($s, $m)) else -1
+    return
+      if ($idx ge 0 and ($bestIdx lt 0 or $idx lt $bestIdx))
+      then local:earliest-rec($s, $ms[position() gt 1], $m, $idx)
+      else local:earliest-rec($s, $ms[position() gt 1], $best, $bestIdx)
+};
+
+declare function local:splice-text($s) {
+  let $m := local:earliest-rec($s, $markers, "", -1)
+  return
+    if ($m = "") then (if ($s = "") then () else text { $s })
+    else (
+      (if (substring-before($s, $m) != "") then text { substring-before($s, $m) } else ()),
+      local:content-for($m),
+      local:splice-text(substring($s, string-length(substring-before($s, $m)) + string-length($m) + 1))
+    )
+};
+
+declare function local:has-marker($s) {
+  some $m in $markers satisfies contains($s, $m)
+};
+
+(: phase 2: each table of omissions is computed from the snapshot :)
+for $t in //table-of-omissions[empty(ancestor::INTERNAL-DATA)]
+return replace $t with local:omissions($t);
+
+(: phase 3a: section-heading ids, numbered by snapshot document order :)
+for $h in $heads
+return (delete $h/@id;
+        insert attribute id { concat("sec-", count($heads[. << $h]) + 1) } into $h);
+
+(: phase 3b: the table of contents :)
+for $c in //toc-here[empty(ancestor::INTERNAL-DATA)]
+return replace $c with
+  <ol class="toc">{
+    for $h at $i in $heads
+    return <li><a href="#sec-{$i}">{string($h)}</a></li>
+  }</ol>;
+
+(: phase 4: splice replacement content into marker-bearing text nodes :)
+for $t in //text()[empty(ancestor::INTERNAL-DATA)]
+where local:has-marker(string($t))
+return replace $t with local:splice-text(string($t));
+
+(: phase 5: destroy the INTERNAL-DATA plumbing :)
+delete //INTERNAL-DATA
+`

@@ -1,0 +1,101 @@
+package experiments
+
+// update.go is the F5 update experiment: the paper's multi-phase
+// INTERNAL-DATA pipeline (phases 2-5, each copying the entire document)
+// against the same four rewrites expressed as ONE compiled update program
+// applied in a single pass over a copy-on-write clone. Both generators run
+// the identical phase-1 generation query; the measured difference is purely
+// how the post-processing executes — N full functional copies vs one
+// pending-update list and a materialized spine. The series reuses E5's
+// model sizes under the marker-heavy system-context template, the workload
+// whose phase tax E5 measured.
+
+import (
+	"fmt"
+
+	"lopsided/internal/docgen/xqgen"
+	"lopsided/internal/textkit"
+	"lopsided/internal/workload"
+)
+
+func init() {
+	register("F5", "Copy-phase pipeline vs single-pass update program", runF5)
+}
+
+func runF5() (Report, error) {
+	sizes := []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"tiny (8 users)", workload.Config{Seed: 1}},
+		{"small (25 users)", workload.Config{Seed: 2, Users: 25, Systems: 6, Servers: 8, Programs: 12, Docs: 9}},
+		{"medium (60 users)", workload.Config{Seed: 3, Users: 60, Systems: 10, Servers: 12, Programs: 20, Docs: 15}},
+	}
+	tpl := workload.ParseTemplate(workload.SystemContextTemplate)
+	copyGen, singleGen := xqgen.NewCopyPhases(), xqgen.New()
+	var rows [][]string
+	allMatch, allFaster := true, true
+	best := 0.0
+	for _, s := range sizes {
+		model := workload.BuildITModel(s.cfg)
+		// Pre-flight both modes: validates the pair, warms the cached
+		// plans, and pins byte parity before anything is timed.
+		a, err := copyGen.Generate(model, tpl)
+		if err != nil {
+			return Report{}, fmt.Errorf("%s copy phases: %w", s.name, err)
+		}
+		b, err := singleGen.Generate(model, tpl)
+		if err != nil {
+			return Report{}, fmt.Errorf("%s single pass: %w", s.name, err)
+		}
+		parity := "identical"
+		if a.DocString() != b.DocString() || fmt.Sprint(a.Problems) != fmt.Sprint(b.Problems) {
+			parity = "MISMATCH"
+			allMatch = false
+		}
+		var timedErr error
+		note := func(err error) {
+			if err != nil && timedErr == nil {
+				timedErr = err
+			}
+		}
+		cp := medianTime(7, func() {
+			_, err := copyGen.Generate(model, tpl)
+			note(err)
+		})
+		sp := medianTime(7, func() {
+			_, err := singleGen.Generate(model, tpl)
+			note(err)
+		})
+		if timedErr != nil {
+			return Report{}, fmt.Errorf("%s failed during timing: %w", s.name, timedErr)
+		}
+		speedup := float64(cp.Nanoseconds()) / float64(sp.Nanoseconds())
+		if speedup > best {
+			best = speedup
+		}
+		if speedup <= 1.0 {
+			allFaster = false
+		}
+		rows = append(rows, []string{
+			s.name, fmtDur(cp), fmtDur(sp), fmt.Sprintf("%.1fx", speedup), parity})
+	}
+	verdict := fmt.Sprintf(
+		"the single-pass update program beats the copy-phase pipeline at every size (best %.1fx end-to-end, target >=1.3x) with byte-identical output — the \"multiple copies of the entire output\" the paper complained about collapse into one pending-update list and a copy-on-write spine; the remainder of each run is phase-1 generation, which both modes share, so the post-processing itself speeds up far more than the end-to-end ratio shows",
+		best)
+	switch {
+	case !allMatch:
+		verdict = "PARITY FAILURE — see rows above"
+	case !allFaster:
+		verdict = fmt.Sprintf("REGRESSION — single pass slower on some size (best speedup %.1fx)", best)
+	case best < 1.3:
+		verdict = fmt.Sprintf("TARGET MISSED — best end-to-end speedup %.1fx, want >=1.3x", best)
+	}
+	return Report{
+		ID:      "F5",
+		Title:   "Copy-phase pipeline vs single-pass update program (C2 revisited)",
+		Paper:   `the phase pipeline "was fairly inefficient, requiring multiple copies of the entire output"; XQuery's missing update sublanguage is why it existed at all`,
+		Text:    textkit.Table([]string{"model", "copy phases", "single pass", "speedup", "parity"}, rows),
+		Verdict: verdict,
+	}, nil
+}

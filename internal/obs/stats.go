@@ -48,6 +48,11 @@ type EvalStats struct {
 	// constructed (first probe of a freshly frozen tree pays the build).
 	// Same process-wide-delta caveat as the COW counters.
 	IndexHits, IndexPrunes, IndexFallbacks, IndexBuilds int64
+	// UpdatesApplied and SpineNodes report what a Transform call did: the
+	// length of the pending-update list applied, and the number of lazy
+	// clone nodes materialized navigating to the targets (the copied spine).
+	// Exact per-call values, not process-wide deltas. Zero for queries.
+	UpdatesApplied, SpineNodes int64
 }
 
 // String renders the stats as the one-line form the CLIs print:
@@ -89,6 +94,9 @@ func (s EvalStats) String() string {
 	if s.IndexHits > 0 || s.IndexPrunes > 0 || s.IndexFallbacks > 0 {
 		fmt.Fprintf(&b, " index=%d/%d/%d(hits/prunes/fallbacks)",
 			s.IndexHits, s.IndexPrunes, s.IndexFallbacks)
+	}
+	if s.UpdatesApplied > 0 || s.SpineNodes > 0 {
+		fmt.Fprintf(&b, " upd=%d/%d(applied/spine-nodes)", s.UpdatesApplied, s.SpineNodes)
 	}
 	return b.String()
 }

@@ -20,6 +20,9 @@ package server
 //	SRV0007  reload failed            500, retryable
 //	SRV0008  store not ready          503, retryable
 //	SRV0009  contained handler panic  500
+//	SRV0010  update target missing    422 (the update program ran but its
+//	         target path names nothing in the collection tree; XUDY0027
+//	         underneath)
 
 import (
 	"encoding/json"
@@ -43,6 +46,7 @@ const (
 	CodeReloadFailed = "SRV0007"
 	CodeNotReady     = "SRV0008"
 	CodeHandlerPanic = "SRV0009"
+	CodeNoTarget     = "SRV0010"
 )
 
 // ErrorBody is the JSON shape of every error response.

@@ -30,10 +30,13 @@ type Metrics struct {
 	ShedDeadline    atomic.Int64 // client deadline too tight to survive the queue
 	ShedWaitTimeout atomic.Int64 // gave up waiting in the queue
 
-	// Evaluation outcomes.
-	EvalOK     atomic.Int64
-	EvalErrors atomic.Int64 // failed evaluations, limit trips included
-	LimitHits  atomic.Int64 // evaluations stopped by a LOPS budget
+	// Evaluation outcomes. Transform requests count in EvalOK/EvalErrors
+	// too; the Transform* pair breaks out the update traffic.
+	EvalOK          atomic.Int64
+	EvalErrors      atomic.Int64 // failed evaluations, limit trips included
+	LimitHits       atomic.Int64 // evaluations stopped by a LOPS budget
+	TransformOK     atomic.Int64
+	TransformErrors atomic.Int64
 
 	// Drain accounting.
 	Drained       atomic.Int64 // in-flight evaluations finished during drain
@@ -48,10 +51,12 @@ type Metrics struct {
 	InFlight   atomic.Int64 // evaluations running right now
 
 	// Aggregate evaluation consumption (the /stats totals).
-	TotalSteps       atomic.Int64
-	TotalNodes       atomic.Int64
-	TotalOutputBytes atomic.Int64
-	TotalWallNanos   atomic.Int64
+	TotalSteps          atomic.Int64
+	TotalNodes          atomic.Int64
+	TotalOutputBytes    atomic.Int64
+	TotalWallNanos      atomic.Int64
+	TotalUpdatesApplied atomic.Int64 // pending updates applied by /transform
+	TotalSpineNodes     atomic.Int64 // COW spine nodes materialized by /transform
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics, shaped for JSON: one
@@ -68,9 +73,11 @@ type MetricsSnapshot struct {
 	ShedDeadline    int64 `json:"server_shed_deadline"`
 	ShedWaitTimeout int64 `json:"server_shed_wait_timeout"`
 
-	EvalOK     int64 `json:"server_eval_ok"`
-	EvalErrors int64 `json:"server_eval_errors"`
-	LimitHits  int64 `json:"server_limit_hits"`
+	EvalOK          int64 `json:"server_eval_ok"`
+	EvalErrors      int64 `json:"server_eval_errors"`
+	LimitHits       int64 `json:"server_limit_hits"`
+	TransformOK     int64 `json:"server_transform_ok"`
+	TransformErrors int64 `json:"server_transform_errors"`
 
 	Drained       int64 `json:"server_drained"`
 	DrainCanceled int64 `json:"server_drain_canceled"`
@@ -81,10 +88,12 @@ type MetricsSnapshot struct {
 	QueueDepth int64 `json:"server_queue_depth"`
 	InFlight   int64 `json:"server_in_flight"`
 
-	TotalSteps       int64 `json:"server_total_steps"`
-	TotalNodes       int64 `json:"server_total_nodes"`
-	TotalOutputBytes int64 `json:"server_total_output_bytes"`
-	TotalWallNanos   int64 `json:"server_total_wall_ns"`
+	TotalSteps          int64 `json:"server_total_steps"`
+	TotalNodes          int64 `json:"server_total_nodes"`
+	TotalOutputBytes    int64 `json:"server_total_output_bytes"`
+	TotalWallNanos      int64 `json:"server_total_wall_ns"`
+	TotalUpdatesApplied int64 `json:"server_total_updates_applied"`
+	TotalSpineNodes     int64 `json:"server_total_spine_nodes"`
 }
 
 // Shed totals every load-shedding rejection across reasons.
@@ -107,16 +116,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		EvalOK:           m.EvalOK.Load(),
 		EvalErrors:       m.EvalErrors.Load(),
 		LimitHits:        m.LimitHits.Load(),
+		TransformOK:      m.TransformOK.Load(),
+		TransformErrors:  m.TransformErrors.Load(),
 		Drained:          m.Drained.Load(),
 		DrainCanceled:    m.DrainCanceled.Load(),
 		Reloads:          m.Reloads.Load(),
 		ReloadErrors:     m.ReloadErrors.Load(),
 		QueueDepth:       m.QueueDepth.Load(),
 		InFlight:         m.InFlight.Load(),
-		TotalSteps:       m.TotalSteps.Load(),
-		TotalNodes:       m.TotalNodes.Load(),
-		TotalOutputBytes: m.TotalOutputBytes.Load(),
-		TotalWallNanos:   m.TotalWallNanos.Load(),
+		TotalSteps:          m.TotalSteps.Load(),
+		TotalNodes:          m.TotalNodes.Load(),
+		TotalOutputBytes:    m.TotalOutputBytes.Load(),
+		TotalWallNanos:      m.TotalWallNanos.Load(),
+		TotalUpdatesApplied: m.TotalUpdatesApplied.Load(),
+		TotalSpineNodes:     m.TotalSpineNodes.Load(),
 	}
 }
 

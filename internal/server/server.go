@@ -257,6 +257,7 @@ func (s *Server) logf(format string, args ...interface{}) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/transform", s.handleTransform)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -508,6 +509,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			OutputBytes int64   `json:"total_output_bytes"`
 			WallMs      float64 `json:"total_wall_ms"`
 		} `json:"eval"`
+		Transform struct {
+			OK             int64 `json:"ok"`
+			Errors         int64 `json:"errors"`
+			UpdatesApplied int64 `json:"total_updates_applied"`
+			SpineNodes     int64 `json:"total_spine_nodes"`
+		} `json:"transform"`
 		PlanCache xq.CacheStats               `json:"plan_cache"`
 		Tenants   map[string]TenantCacheStats `json:"tenants"`
 		Store     *storeStats                 `json:"store,omitempty"`
@@ -527,6 +534,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if snap != nil {
 		out.Index.Collections = snap.IndexState()
 	}
+	out.Transform.OK = m.TransformOK
+	out.Transform.Errors = m.TransformErrors
+	out.Transform.UpdatesApplied = m.TotalUpdatesApplied
+	out.Transform.SpineNodes = m.TotalSpineNodes
 	out.Eval.OK = m.EvalOK
 	out.Eval.Errors = m.EvalErrors
 	out.Eval.LimitHits = m.LimitHits

@@ -1,0 +1,206 @@
+package server
+
+// transform.go is /transform: the update sublanguage over the wire. The
+// endpoint is functional, like everything else in the daemon — the update
+// program is applied against the collection's current snapshot and the
+// transformed document comes back in the response; the store itself is
+// never mutated (a reload is the only way collection contents change).
+// Admission control, limit clamping, per-tenant plan caching, and the
+// error taxonomy are exactly /query's; update programs live in the tenant
+// cache under an "update:" key prefix so an identical source text can be
+// cached as both a query and an update without collision.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lopsided/internal/xquery/interp"
+	"lopsided/xq"
+)
+
+// TransformRequest is the /transform wire format.
+type TransformRequest struct {
+	// Update is the update-program source (required).
+	Update string `json:"update"`
+	// Collection names the collection whose synthetic root is transformed
+	// (required — an update program needs a tree to update).
+	Collection string `json:"collection"`
+	// Tenant selects the plan cache; "" means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Class is "interactive" (default) or "batch"; batch sheds first.
+	Class string `json:"class,omitempty"`
+	// Limit hints, clamped by server policy.
+	TimeoutMs      int64 `json:"timeout_ms,omitempty"`
+	MaxSteps       int64 `json:"max_steps,omitempty"`
+	MaxNodes       int64 `json:"max_nodes,omitempty"`
+	MaxOutputBytes int64 `json:"max_output_bytes,omitempty"`
+}
+
+// TransformResponse is the /transform success body.
+type TransformResponse struct {
+	// Result is the serialized transformed document. The stored collection
+	// is unchanged.
+	Result     string `json:"result"`
+	Collection string `json:"collection"`
+	Tenant     string `json:"tenant"`
+	PlanCache  string `json:"plan_cache"` // "hit" or "miss"
+	Stats      struct {
+		Steps          int64   `json:"steps"`
+		Nodes          int64   `json:"nodes"`
+		OutputBytes    int64   `json:"output_bytes"`
+		UpdatesApplied int64   `json:"updates_applied"`
+		SpineNodes     int64   `json:"spine_nodes"`
+		WallMs         float64 `json:"wall_ms"`
+	} `json:"stats"`
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only", false, 0)
+		return
+	}
+	s.metrics.Requests.Add(1)
+
+	var req TransformRequest
+	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error(), false, 0)
+		return
+	}
+	if req.Update == "" {
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `missing "update"`, false, 0)
+		return
+	}
+	if req.Collection == "" {
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			`missing "collection": an update program needs a tree to transform`, false, 0)
+		return
+	}
+
+	snap := s.store.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady, "store not loaded", true, time.Second)
+		return
+	}
+	col, ok := snap.Collection(req.Collection)
+	if !ok {
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusNotFound, CodeNoCollection,
+			fmt.Sprintf("unknown collection %q (have %v)", req.Collection, snap.Names()), false, 0)
+		return
+	}
+
+	limits := clampLimits(interp.Limits{
+		Timeout:        time.Duration(req.TimeoutMs) * time.Millisecond,
+		MaxSteps:       req.MaxSteps,
+		MaxNodes:       req.MaxNodes,
+		MaxOutputBytes: req.MaxOutputBytes,
+	}, s.cfg.DefaultLimits, s.cfg.MaxLimits)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	release, rej := s.adm.Acquire(ctx, ParseClass(req.Class))
+	if rej != nil {
+		code := map[RejectReason]string{
+			RejectQueueFull:   CodeQueueFull,
+			RejectDegraded:    CodeShed,
+			RejectDraining:    CodeDraining,
+			RejectDeadline:    CodeDeadline,
+			RejectWaitTimeout: CodeQueueFull,
+		}[rej.Reason]
+		writeError(w, http.StatusServiceUnavailable, code, rej.Msg, true, rej.RetryAfter)
+		return
+	}
+	s.inFlight.add()
+	draining := s.adm.isDraining()
+	defer func() {
+		release()
+		s.inFlight.done()
+		if draining || s.adm.isDraining() {
+			s.metrics.Drained.Add(1)
+		}
+	}()
+
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	// "update:" prefixes the cache key: the same source can legally compile
+	// as both a query and an update program, and the two plans must not
+	// collide in the tenant cache (the engine's process cache keys the same
+	// distinction).
+	q, hit, err := s.tenants.forTenant(tenant).compile("update:"+req.Update, func(string) (*xq.Query, error) {
+		return xq.CompileUpdate(req.Update, xq.WithOptLevel(s.cfg.OptLevel))
+	})
+	if err != nil {
+		s.metrics.EvalErrors.Add(1)
+		s.metrics.TransformErrors.Add(1)
+		status, code, retryable := engineErrorStatus(err)
+		writeError(w, status, code, errorMessage(err), retryable, 0)
+		return
+	}
+
+	var st xq.EvalStats
+	startEval := time.Now()
+	out, err := q.Transform(ctx, col.Root,
+		xq.WithLimits(limits),
+		xq.WithStats(&st),
+		xq.WithDocResolver(snap.Resolver(req.Collection)),
+	)
+	wall := time.Since(startEval)
+	s.adm.observeLatency(wall)
+	s.metrics.TotalSteps.Add(st.Steps)
+	s.metrics.TotalNodes.Add(st.Nodes)
+	s.metrics.TotalOutputBytes.Add(st.OutputBytes)
+	s.metrics.TotalWallNanos.Add(int64(wall))
+	s.metrics.TotalUpdatesApplied.Add(st.UpdatesApplied)
+	s.metrics.TotalSpineNodes.Add(st.SpineNodes)
+
+	if err != nil {
+		s.metrics.EvalErrors.Add(1)
+		s.metrics.TransformErrors.Add(1)
+		if xq.IsLimitError(err) {
+			s.metrics.LimitHits.Add(1)
+		}
+		if s.hardCtx.Err() != nil {
+			s.metrics.DrainCanceled.Add(1)
+		}
+		status, code, retryable := engineErrorStatus(err)
+		if code == "XUDY0027" {
+			// The update's target does not exist in the collection tree —
+			// the request is well-formed but names nothing to update. The
+			// daemon gives this its own code so clients can distinguish
+			// "fix your path" from other dynamic failures.
+			code = CodeNoTarget
+		}
+		writeError(w, status, code, errorMessage(err), retryable, 0)
+		return
+	}
+	s.metrics.EvalOK.Add(1)
+	s.metrics.TransformOK.Add(1)
+
+	resp := TransformResponse{
+		Result:     out.String(),
+		Collection: req.Collection,
+		Tenant:     tenant,
+		PlanCache:  map[bool]string{true: "hit", false: "miss"}[hit],
+	}
+	resp.Stats.Steps = st.Steps
+	resp.Stats.Nodes = st.Nodes
+	resp.Stats.OutputBytes = st.OutputBytes
+	resp.Stats.UpdatesApplied = st.UpdatesApplied
+	resp.Stats.SpineNodes = st.SpineNodes
+	resp.Stats.WallMs = float64(wall) / float64(time.Millisecond)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -519,6 +519,112 @@ type ElidedTrace struct {
 	Values []string
 }
 
+// ---- Update sublanguage (FLUX-style) ----
+
+// UpdateStmt is one statement of the update sublanguage. Statements are not
+// expressions: they produce pending updates, never values, which is what
+// keeps the sublanguage's composition rules small. Their embedded target
+// and content expressions are ordinary Exprs and ride the whole expression
+// pipeline (optimizer, access paths, closure compilation).
+type UpdateStmt interface {
+	Pos() Pos
+	updateStmt()
+}
+
+// InsertPlacement says where insert puts its content relative to the target.
+type InsertPlacement int
+
+// Insert placements.
+const (
+	// InsertInto appends content inside the target element.
+	InsertInto InsertPlacement = iota
+	// InsertBefore inserts content as preceding siblings of the target.
+	InsertBefore
+	// InsertAfter inserts content as following siblings of the target.
+	InsertAfter
+)
+
+func (p InsertPlacement) String() string {
+	switch p {
+	case InsertInto:
+		return "into"
+	case InsertBefore:
+		return "before"
+	case InsertAfter:
+		return "after"
+	}
+	return "?"
+}
+
+// InsertStmt is `insert <source> into|before|after <target>`.
+type InsertStmt struct {
+	P         Pos
+	Source    Expr
+	Placement InsertPlacement
+	Target    Expr
+}
+
+// DeleteStmt is `delete <target>`. The target may be any node sequence;
+// deleting nothing is a no-op, per the Update Facility.
+type DeleteStmt struct {
+	P      Pos
+	Target Expr
+}
+
+// ReplaceStmt is `replace <target> with <source>`.
+type ReplaceStmt struct {
+	P      Pos
+	Target Expr
+	Source Expr
+}
+
+// RenameStmt is `rename <target> as <name>`. Name is an expression (usually
+// a string literal) whose atomized value becomes the new name.
+type RenameStmt struct {
+	P      Pos
+	Target Expr
+	Name   Expr
+}
+
+// ForStmt is `for $v in <seq> (where <cond>)? return <stmt>`: the update
+// sublanguage's iteration form. Body holds one statement or a parenthesized
+// block.
+type ForStmt struct {
+	P     Pos
+	Var   string
+	In    Expr
+	Where Expr // nil when absent
+	Body  []UpdateStmt
+}
+
+// BlockStmt is a parenthesized statement sequence: `(s1; s2; ...)`.
+type BlockStmt struct {
+	P     Pos
+	Stmts []UpdateStmt
+}
+
+func (s *InsertStmt) Pos() Pos  { return s.P }
+func (s *DeleteStmt) Pos() Pos  { return s.P }
+func (s *ReplaceStmt) Pos() Pos { return s.P }
+func (s *RenameStmt) Pos() Pos  { return s.P }
+func (s *ForStmt) Pos() Pos     { return s.P }
+func (s *BlockStmt) Pos() Pos   { return s.P }
+
+func (*InsertStmt) updateStmt()  {}
+func (*DeleteStmt) updateStmt()  {}
+func (*ReplaceStmt) updateStmt() {}
+func (*RenameStmt) updateStmt()  {}
+func (*ForStmt) updateStmt()     {}
+func (*BlockStmt) updateStmt()   {}
+
+// UpdateModule is a parsed update program: the ordinary main-module prolog
+// (namespaces, functions, variables — held in Prolog, whose Body is nil)
+// followed by a statement sequence.
+type UpdateModule struct {
+	Prolog *Module
+	Stmts  []UpdateStmt
+}
+
 // NewPos is a convenience constructor for positions.
 func NewPos(line, col int) Pos { return Pos{Line: line, Col: col} }
 

@@ -202,6 +202,62 @@ func printExpr(b *strings.Builder, e Expr) {
 	}
 }
 
+// PrintStmt renders an update statement in the same compact S-expression
+// style as Print; EXPLAIN uses it to show the pending-update plan.
+func PrintStmt(s UpdateStmt) string {
+	var b strings.Builder
+	printStmt(&b, s)
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s UpdateStmt) {
+	switch n := s.(type) {
+	case *InsertStmt:
+		fmt.Fprintf(b, "(insert ")
+		printExpr(b, n.Source)
+		fmt.Fprintf(b, " %s ", n.Placement)
+		printExpr(b, n.Target)
+		b.WriteString(")")
+	case *DeleteStmt:
+		printList(b, "delete", n.Target)
+	case *ReplaceStmt:
+		b.WriteString("(replace ")
+		printExpr(b, n.Target)
+		b.WriteString(" with ")
+		printExpr(b, n.Source)
+		b.WriteString(")")
+	case *RenameStmt:
+		b.WriteString("(rename ")
+		printExpr(b, n.Target)
+		b.WriteString(" as ")
+		printExpr(b, n.Name)
+		b.WriteString(")")
+	case *ForStmt:
+		b.WriteString("(for-each $" + n.Var + " in ")
+		printExpr(b, n.In)
+		if n.Where != nil {
+			b.WriteString(" (where ")
+			printExpr(b, n.Where)
+			b.WriteString(")")
+		}
+		b.WriteString(" (do")
+		for _, st := range n.Body {
+			b.WriteString(" ")
+			printStmt(b, st)
+		}
+		b.WriteString("))")
+	case *BlockStmt:
+		b.WriteString("(block")
+		for _, st := range n.Stmts {
+			b.WriteString(" ")
+			printStmt(b, st)
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "(?%T)", s)
+	}
+}
+
 func printList(b *strings.Builder, head string, items ...Expr) {
 	b.WriteString("(" + head)
 	for _, it := range items {

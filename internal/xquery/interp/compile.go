@@ -77,7 +77,19 @@ type Program struct {
 	// elided carries the fn:trace sites dead-code elimination removed, for
 	// once-per-evaluation reporting to the tracer.
 	elided []ast.ElidedTrace
+	// Update programs only (see update.go): the compiled statement list and
+	// the parsed update module it came from. nil for query programs.
+	stmts  []compiledStmt
+	updMod *ast.UpdateModule
 }
+
+// IsUpdate reports whether this program is a compiled update program
+// (produced by NewUpdateProgram) rather than a query.
+func (p *Program) IsUpdate() bool { return p.updMod != nil }
+
+// UpdateModule returns the parsed update module for update programs, nil
+// for query programs.
+func (p *Program) UpdateModule() *ast.UpdateModule { return p.updMod }
 
 // PlanNote is one compile-time fact about the plan: what the compiler
 // decided at a source position. The sequence of notes, printed by Explain,
@@ -106,6 +118,20 @@ func (p *Program) Module() *ast.Module { return p.mod }
 // NewProgram compiles a parsed (and typically optimizer-processed) module
 // into its closure-compiled form.
 func NewProgram(mod *ast.Module) (*Program, error) {
+	p, cp, err := newProgramShell(mod)
+	if err != nil {
+		return nil, err
+	}
+	p.body = cp.compile(mod.Body)
+	p.frameSize = cp.water
+	return p, nil
+}
+
+// newProgramShell compiles everything a module shares with an update
+// program — user functions, global slots, prolog variable initializers —
+// and returns the program plus the compiler for the main frame scope, ready
+// to compile a query body or a statement list into it.
+func newProgramShell(mod *ast.Module) (*Program, *compiler, error) {
 	p := &Program{mod: mod, globalIdx: map[string]int{}, funcs: map[string]map[int]*compiledFunc{},
 		elided: mod.ElidedTraces}
 	// Pass 1: declare shells so call sites pre-bind in any order.
@@ -116,7 +142,7 @@ func NewProgram(mod *ast.Module) (*Program, error) {
 			p.funcs[f.Name] = byArity
 		}
 		if _, dup := byArity[len(f.Params)]; dup {
-			return nil, &Error{Code: "XQST0034", Pos: f.P,
+			return nil, nil, &Error{Code: "XQST0034", Pos: f.P,
 				Msg: fmt.Sprintf("function %s/%d declared twice", f.Name, len(f.Params))}
 		}
 		byArity[len(f.Params)] = &compiledFunc{name: f.Name, params: f.Params, ret: f.Ret, declPos: f.P}
@@ -141,9 +167,7 @@ func NewProgram(mod *ast.Module) (*Program, error) {
 		}
 		p.prolog = append(p.prolog, st)
 	}
-	p.body = cp.compile(mod.Body)
-	p.frameSize = cp.water
-	return p, nil
+	return p, cp, nil
 }
 
 // compiler carries the compile-time state of one frame scope (the main

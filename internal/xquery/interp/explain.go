@@ -79,6 +79,13 @@ func (p *Program) Explain() string {
 		}
 	}
 
+	if p.updMod != nil {
+		b.WriteString("pending-update plan:\n")
+		for i, s := range p.updMod.Stmts {
+			fmt.Fprintf(&b, "  u%-3d %s\n", i, ast.PrintStmt(s))
+		}
+		return b.String()
+	}
 	b.WriteString("body:\n")
 	b.WriteString(indent(ast.Print(p.mod.Body), "  "))
 	if !strings.HasSuffix(b.String(), "\n") {

@@ -33,6 +33,10 @@ type planKey struct {
 	optLevel       OptLevel
 	traceEffectful bool
 	noAccessPaths  bool
+	// update marks plans compiled through the update-sublanguage pipeline
+	// (CompileUpdateCached); the same source text can legally exist as both
+	// a query and an update program.
+	update bool
 }
 
 // planEntry is one cache slot. The sync.Once makes concurrent first
@@ -82,6 +86,9 @@ func shardFor(key *planKey) *planShard {
 	if key.noAccessPaths {
 		h ^= 0x2545f4914f6cdd1d
 	}
+	if key.update {
+		h ^= 0x94d049bb133111eb
+	}
 	return &planShards[h%planCacheShards]
 }
 
@@ -102,11 +109,30 @@ func CompileCached(src string, opts ...Option) (*Query, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return compileCached(src, cfg, false, compileModule)
+}
+
+// CompileUpdateCached is CompileUpdate backed by the same process-wide plan
+// cache as CompileCached; update plans and query plans never collide even
+// for identical source text.
+func CompileUpdateCached(src string, opts ...Option) (*Query, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return compileCached(src, cfg, true, compileUpdateModule)
+}
+
+// compileCached is the shared cache lookup behind CompileCached and
+// CompileUpdateCached; compile runs the pipeline on a miss.
+func compileCached(src string, cfg config, update bool,
+	compile func(string, config) (*interp.Program, optimizer.Stats, error)) (*Query, error) {
 	key := planKey{
 		src:            src,
 		optLevel:       cfg.optLevel,
 		traceEffectful: cfg.traceIsEffectful,
 		noAccessPaths:  cfg.noAccessPaths,
+		update:         update,
 	}
 	sh := shardFor(&key)
 	sh.mu.Lock()
@@ -128,7 +154,7 @@ func CompileCached(src string, opts ...Option) (*Query, error) {
 	// serialize on the entry's Once, not on the shard.
 	e.once.Do(func() {
 		missed = true
-		e.prog, e.stats, e.err = compileModule(src, cfg)
+		e.prog, e.stats, e.err = compile(src, cfg)
 	})
 	reg := obs.Default()
 	if missed {
@@ -195,12 +221,4 @@ func PlanCache() CacheStats {
 		sh.mu.Unlock()
 	}
 	return st
-}
-
-// PlanCacheStats reports plan-cache hits, misses, and entry count.
-//
-// Deprecated: use PlanCache, which also reports evictions and footprint.
-func PlanCacheStats() (hits, misses, entries int64) {
-	st := PlanCache()
-	return st.Hits, st.Misses, st.Entries
 }

@@ -1,0 +1,55 @@
+package xq
+
+// compat.go is the compatibility shim: every Deprecated wrapper from the
+// pre-options API lives here and nowhere else, so the rest of the package
+// reads as the current API. Nothing in this file will be removed — the
+// public-API contract is that old callers keep compiling — but new code
+// should use the replacements:
+//
+//	Deprecated                    Replacement
+//	--------------------------    ------------------------------------------
+//	q.EvalWith(doc, vars)         q.Eval(ctx, doc, xq.WithVars(vars))
+//	q.EvalContext(ctx, doc, v)    q.Eval(ctx, doc, xq.WithVars(v))
+//	q.EvalStringWith(doc, vars)   q.EvalString(ctx, doc, xq.WithVars(vars))
+//	xq.WithContext(ctx)           pass ctx to Eval/Transform directly
+//	xq.PlanCacheStats()           xq.PlanCache() (adds evictions, footprint)
+//
+// The same table appears in the README's "Migrating from the pre-options
+// API" section. compat_test.go is the only in-repo caller.
+
+import "context"
+
+// WithContext installs a base context checked during every evaluation.
+//
+// Deprecated: pass the context to Query.Eval (or Query.Transform) directly.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
+// EvalWith evaluates with doc as the context item (may be nil) and vars
+// bound as external variables (names without '$').
+//
+// Deprecated: use Eval(ctx, doc, xq.WithVars(vars)).
+func (q *Query) EvalWith(doc *Node, vars map[string]Sequence) (Sequence, error) {
+	return q.Eval(nil, doc, WithVars(vars))
+}
+
+// EvalContext evaluates under ctx with vars bound as external variables.
+//
+// Deprecated: use Eval(ctx, doc, xq.WithVars(vars)).
+func (q *Query) EvalContext(ctx context.Context, ctxNode *Node, vars map[string]Sequence) (Sequence, error) {
+	return q.Eval(ctx, ctxNode, WithVars(vars))
+}
+
+// EvalStringWith evaluates and serializes the result.
+//
+// Deprecated: use EvalString(ctx, doc, xq.WithVars(vars)).
+func (q *Query) EvalStringWith(doc *Node, vars map[string]Sequence) (string, error) {
+	return q.EvalString(nil, doc, WithVars(vars))
+}
+
+// PlanCacheStats reports plan-cache hits, misses, and entry count.
+//
+// Deprecated: use PlanCache, which also reports evictions and footprint.
+func PlanCacheStats() (hits, misses, entries int64) {
+	st := PlanCache()
+	return st.Hits, st.Misses, st.Entries
+}

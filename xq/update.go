@@ -1,0 +1,201 @@
+package xq
+
+// update.go is the public face of the FLUX-style update sublanguage:
+// compile an update program once, then Transform any number of documents.
+// Each Transform evaluates every statement against the UNCHANGED input
+// snapshot, collects a pending-update list, and applies it in one pass over
+// one logical copy-on-write clone — only the spine from the root to each
+// touched node is copied, and the result comes back frozen, so structural/
+// value indexes memoized on either snapshot stay valid by construction.
+//
+//	up, err := xq.CompileUpdate(`delete //draft; insert <audited/> into /doc`)
+//	doc, err := xq.ParseXML(src)
+//	out, err := up.Transform(context.Background(), xq.Freeze(doc))
+//	// doc is untouched; out is the new frozen root.
+//
+// The statement grammar:
+//
+//	insert  <expr> into|before|after <expr> ;
+//	delete  <expr> ;
+//	replace <expr> with <expr> ;
+//	rename  <expr> as <expr> ;
+//	for $v in <expr> [where <expr>] return <stmt or (stmts)>
+//
+// sequenced with ';', sharing the query prolog (declare function/variable/
+// namespace). Errors carry XQuery Update Facility codes (XUTY*/XUDY*); see
+// internal/xquery/interp/update.go for the exact family.
+
+import (
+	"context"
+	"time"
+
+	"lopsided/internal/obs"
+	"lopsided/internal/xquery/interp"
+	"lopsided/internal/xquery/optimizer"
+	"lopsided/internal/xquery/parser"
+)
+
+// WithEagerCopyApply forces Transform to apply the pending-update list
+// against a full eager deep copy of the input instead of the lazy
+// copy-on-write clone. The observable result is identical; this is the
+// naive reference implementation the differential harness compares the COW
+// path against, and is exported for exactly that purpose.
+func WithEagerCopyApply(on bool) Option { return func(c *config) { c.eagerApply = on } }
+
+// compileUpdateModule runs parse → optimize → lower for an update program,
+// with the same metrics and phase events as compileModule.
+func compileUpdateModule(src string, cfg config) (*interp.Program, optimizer.Stats, error) {
+	obs.PublishExpvar()
+	reg := obs.Default()
+	reg.Compiles.Add(1)
+	start := time.Now()
+	defer func() { reg.CompileLatency.Observe(time.Since(start)) }()
+
+	phase := func(name string, begin bool, since time.Time) {
+		if cfg.tracer == nil {
+			return
+		}
+		if begin {
+			cfg.tracer.Emit(obs.Event{Kind: obs.PhaseBegin, Name: name})
+		} else {
+			cfg.tracer.Emit(obs.Event{Kind: obs.PhaseEnd, Name: name, Elapsed: time.Since(since)})
+		}
+	}
+
+	t := time.Now()
+	phase("parse", true, t)
+	um, err := parser.ParseUpdate(src)
+	phase("parse", false, t)
+	if err != nil {
+		reg.CompileErrors.Add(1)
+		return nil, optimizer.Stats{}, err
+	}
+
+	t = time.Now()
+	phase("optimize", true, t)
+	stats := optimizer.OptimizeUpdate(um, optimizer.Options{
+		Level:              cfg.optLevel,
+		TraceIsEffectful:   cfg.traceIsEffectful,
+		DisableAccessPaths: cfg.noAccessPaths,
+	})
+	phase("optimize", false, t)
+
+	t = time.Now()
+	phase("compile", true, t)
+	prog, err := interp.NewUpdateProgram(um)
+	phase("compile", false, t)
+	if err != nil {
+		reg.CompileErrors.Add(1)
+		return nil, optimizer.Stats{}, err
+	}
+	return prog, stats, nil
+}
+
+// CompileUpdate parses, optimizes, and compiles an update program. The
+// result is a *Query whose Transform method applies it; Eval on an update
+// query is an error. Compile-time options (WithOptLevel, WithTraceEffectful,
+// WithAccessPaths) and runtime options work exactly as for Compile.
+func CompileUpdate(src string, opts ...Option) (*Query, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	prog, stats, err := compileUpdateModule(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newQuery(prog, stats, cfg), nil
+}
+
+// MustCompileUpdate is CompileUpdate that panics on error, for static
+// programs.
+func MustCompileUpdate(src string, opts ...Option) *Query {
+	q, err := CompileUpdate(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// IsUpdate reports whether this query was compiled as an update program
+// (CompileUpdate) rather than a query (Compile).
+func (q *Query) IsUpdate() bool { return q.prog.IsUpdate() }
+
+// Transform applies a compiled update program to doc and returns the
+// transformed tree as a new frozen root. doc itself is never mutated: it is
+// frozen (becoming the shared source of the lazy copy) and stays fully
+// valid — both snapshots can be queried, indexed, and transformed again.
+//
+// Options override the query's compile-time defaults for this call alone,
+// exactly as for Eval; WithStats additionally reports UpdatesApplied and
+// SpineNodes (how many nodes the copy-on-write spine materialized).
+//
+// Transform shares Eval's safety contract: concurrent calls on one Query
+// are safe, cancellation and Limits produce coded LOPS* errors, and engine
+// panics are contained as LOPS0009.
+func (q *Query) Transform(ctx context.Context, doc *Node, opts ...Option) (*Node, error) {
+	cfg := q.cfg
+	ip := q.ip
+	if len(opts) > 0 {
+		for _, o := range opts {
+			o(&cfg)
+		}
+		ip = interp.FromProgram(q.prog, cfg.interpOptions())
+	}
+	if ctx == nil {
+		ctx = q.ctx
+	}
+	if !q.prog.IsUpdate() {
+		return nil, &interp.Error{Code: "XPST0003",
+			Msg: "Transform called on a query program (compile with CompileUpdate)"}
+	}
+
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Kind: obs.PhaseBegin, Name: "transform"})
+	}
+	reg := obs.Default()
+	var share0 obs.SharingStats
+	var index0 obs.IndexStats
+	if cfg.stats != nil {
+		share0 = sharingSnapshot()
+		index0 = indexSnapshot()
+	}
+	start := time.Now()
+	out, _, err := ip.Transform(ctx, doc, cfg.vars, interp.EvalOpts{Stats: cfg.stats}, cfg.eagerApply)
+	wall := time.Since(start)
+	if cfg.tracer != nil {
+		cfg.tracer.Emit(obs.Event{Kind: obs.PhaseEnd, Name: "transform", Elapsed: wall})
+	}
+	reg.Evals.Add(1)
+	reg.EvalLatency.Observe(wall)
+	if err != nil {
+		reg.EvalErrors.Add(1)
+		if IsLimitError(err) {
+			reg.LimitHits.Add(1)
+		}
+	}
+	if cfg.stats != nil {
+		cfg.stats.PlanCacheHit = q.cacheHit
+		share1 := sharingSnapshot()
+		cfg.stats.CowClones = share1.CowClones - share0.CowClones
+		cfg.stats.CowBreaks = share1.CowBreaks - share0.CowBreaks
+		cfg.stats.PoolHits = share1.PoolHits - share0.PoolHits
+		cfg.stats.PoolMisses = share1.PoolMisses - share0.PoolMisses
+		index1 := indexSnapshot()
+		cfg.stats.IndexHits = index1.Hits - index0.Hits
+		cfg.stats.IndexPrunes = index1.Prunes - index0.Prunes
+		cfg.stats.IndexFallbacks = index1.Fallbacks - index0.Fallbacks
+		cfg.stats.IndexBuilds = index1.Builds - index0.Builds
+	}
+	return out, err
+}
+
+// Update is the one-shot convenience: compile (through the plan cache) and
+// Transform in one call.
+func Update(src string, doc *Node, opts ...Option) (*Node, error) {
+	q, err := CompileUpdateCached(src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Transform(nil, doc)
+}

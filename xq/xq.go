@@ -167,6 +167,9 @@ type config struct {
 	ctx              context.Context
 	stats            *EvalStats
 	vars             map[string]Sequence
+	// eagerApply makes Transform deep-copy instead of COW-clone (the
+	// differential oracle's reference path; see WithEagerCopyApply).
+	eagerApply bool
 }
 
 func defaultConfig() config { return config{optLevel: O2, traceIsEffectful: true} }
@@ -237,11 +240,6 @@ func WithLimits(l Limits) Option { return func(c *config) { c.limits = l } }
 
 // WithTimeout is shorthand for WithLimits on the wall-clock budget alone.
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.limits.Timeout = d } }
-
-// WithContext installs a base context checked during every evaluation.
-//
-// Deprecated: pass the context to Query.Eval directly.
-func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // ---- Query ----
 
@@ -383,6 +381,10 @@ func (q *Query) Eval(ctx context.Context, doc *Node, opts ...Option) (Sequence, 
 	if ctx == nil {
 		ctx = q.ctx
 	}
+	if q.prog.IsUpdate() {
+		return nil, &interp.Error{Code: "XPST0003",
+			Msg: "Eval called on an update program (use Transform)"}
+	}
 	var it Item
 	if doc != nil {
 		it = xdm.NewNode(doc)
@@ -490,30 +492,6 @@ func (q *Query) Explain() string {
 	}
 	b.WriteString(q.prog.Explain())
 	return b.String()
-}
-
-// ---- Deprecated evaluation wrappers (pre-options API) ----
-
-// EvalWith evaluates with doc as the context item (may be nil) and vars
-// bound as external variables (names without '$').
-//
-// Deprecated: use Eval(ctx, doc, xq.WithVars(vars)).
-func (q *Query) EvalWith(doc *Node, vars map[string]Sequence) (Sequence, error) {
-	return q.Eval(nil, doc, WithVars(vars))
-}
-
-// EvalContext evaluates under ctx with vars bound as external variables.
-//
-// Deprecated: use Eval(ctx, doc, xq.WithVars(vars)).
-func (q *Query) EvalContext(ctx context.Context, ctxNode *Node, vars map[string]Sequence) (Sequence, error) {
-	return q.Eval(ctx, ctxNode, WithVars(vars))
-}
-
-// EvalStringWith evaluates and serializes the result.
-//
-// Deprecated: use EvalString(ctx, doc, xq.WithVars(vars)).
-func (q *Query) EvalStringWith(doc *Node, vars map[string]Sequence) (string, error) {
-	return q.EvalString(nil, doc, WithVars(vars))
 }
 
 // ParseXML parses an XML document.
