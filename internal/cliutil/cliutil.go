@@ -8,7 +8,9 @@
 //	0  success
 //	1  internal or unclassified failure (I/O, contained panic, plain errors)
 //	2  usage error (bad flags/arguments)
-//	3  static error: the program did not compile (lex/parse/XPST*/XQST*)
+//	3  static error: the program did not compile (lex/parse/XPST*/XQST*,
+//	   or a static shape-analysis rejection carrying a runtime code such
+//	   as XPTY0004)
 //	4  dynamic error: the program failed while running (XPDY*/FO*/XQDY*,
 //	   fn:error, malformed input documents)
 //	5  resource-limit error: the sandbox stopped the program (LOPS0001–0005)
@@ -70,6 +72,13 @@ func Classify(err error) int {
 		return ExitStatic
 	case *xmltree.ParseError:
 		return ExitDynamic
+	case *interp.Error:
+		// Static-analysis rejections carry runtime codes (XPTY0004) but
+		// never ran: the program itself is bad, so they classify with the
+		// other compile failures regardless of code prefix.
+		if e.Static {
+			return ExitStatic
+		}
 	}
 	code := Code(err)
 	switch {

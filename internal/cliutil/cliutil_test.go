@@ -72,6 +72,10 @@ func TestClassifyBoundaries(t *testing.T) {
 		{&lexer.Error{Msg: "x"}, ExitStatic},
 		{&interp.Error{Code: "XPST0008"}, ExitStatic},
 		{&interp.Error{Code: "XQST0034"}, ExitStatic},
+		// Static shape-analysis rejections keep their runtime code but
+		// classify as static; the same code without the flag stays dynamic.
+		{&interp.Error{Code: "XPTY0004", Static: true}, ExitStatic},
+		{&interp.Error{Code: "XPTY0004"}, ExitDynamic},
 		{&interp.Error{Code: "XPDY0002"}, ExitDynamic},
 		{&interp.Error{Code: "FOER0000"}, ExitDynamic},
 		{&xdm.Error{Code: "XQDY0025"}, ExitDynamic},

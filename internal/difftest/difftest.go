@@ -45,6 +45,13 @@ type Config struct {
 	// really are served from indexes); comparing against NoIndex proves
 	// indexed ≡ unindexed semantics.
 	NoIndex bool
+	// NoShapes compiles with WithShapes(false), turning off the static
+	// shape & cardinality analysis: no shape-proven dead-let elimination,
+	// no predicate widening, no runtime-check elision, and no compile-time
+	// rejection of inevitable type errors (which then surface at runtime
+	// with the same code, so Out+Code equivalence still holds). Comparing
+	// against NoShapes proves shapes-on ≡ shapes-off semantics.
+	NoShapes bool
 }
 
 // Matrix returns the full configuration matrix the acceptance criteria
@@ -71,6 +78,12 @@ func Matrix() []Config {
 	// never semantics.
 	out = append(out, Config{Name: "O1+noidx", OptLevel: xq.O1, NoIndex: true})
 	out = append(out, Config{Name: "O2+noidx", OptLevel: xq.O2, NoIndex: true})
+	// Shapes-off configurations at the extremes: O0 (no optimizer consumers,
+	// isolates the interp/static-error consumers) and O2 (everything on).
+	// The shaped defaults vs these prove the shape analysis changes cost and
+	// error timing, never results or codes.
+	out = append(out, Config{Name: "O0+noshapes", OptLevel: xq.O0, NoShapes: true})
+	out = append(out, Config{Name: "O2+noshapes", OptLevel: xq.O2, NoShapes: true})
 	return out
 }
 
@@ -159,6 +172,7 @@ func evalCase(c Case, cfg Config, maxSteps int64) Outcome {
 		xq.WithOptLevel(cfg.OptLevel),
 		xq.WithTraceEffectful(!cfg.GalaxTrace),
 		xq.WithAccessPaths(!cfg.NoIndex),
+		xq.WithShapes(!cfg.NoShapes),
 		xq.WithDupAttrPolicy(c.Policy),
 	}
 	if maxSteps > 0 {
@@ -296,6 +310,7 @@ func Explain(c Case, cfg Config) string {
 		xq.WithOptLevel(cfg.OptLevel),
 		xq.WithTraceEffectful(!cfg.GalaxTrace),
 		xq.WithAccessPaths(!cfg.NoIndex),
+		xq.WithShapes(!cfg.NoShapes),
 		xq.WithDupAttrPolicy(c.Policy))
 	if err != nil {
 		return "compile error: " + err.Error()

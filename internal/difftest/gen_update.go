@@ -174,6 +174,7 @@ func EvalUpdate(c UpdateCase, cfg Config, eager bool) Outcome {
 		xq.WithOptLevel(cfg.OptLevel),
 		xq.WithTraceEffectful(!cfg.GalaxTrace),
 		xq.WithAccessPaths(!cfg.NoIndex),
+		xq.WithShapes(!cfg.NoShapes),
 		xq.WithDupAttrPolicy(c.Policy),
 		xq.WithEagerCopyApply(eager),
 	}

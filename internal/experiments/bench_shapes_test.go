@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"lopsided/xq"
+)
+
+// The shapes benchmarks pin the PR 9 elided-dispatch wins as
+// allocation-gated regression tests (BENCH_shapes.json, cmd/benchcheck):
+// one loop dominated by typed-parameter call checks and one dominated by
+// atomize dispatch on arithmetic/comparison operands, each with the static
+// shape analysis on (the default) and off (WithShapes(false), the engine's
+// pre-shapes behavior). The shaped variants' allocs/op is the gate — an
+// inference regression that stops proving these operands singleton-atomic
+// reinstates the full Atomize/Matches path and its per-item allocations,
+// which shows up deterministically whatever the runner's clock does. The
+// NoShapes baselines pin the unelided shape and keep the ratio narrative
+// honest.
+
+func benchShapes(b *testing.B, query string, shaped bool, want string) {
+	opts := []xq.Option{xq.WithOptLevel(xq.O2), xq.WithShapes(shaped)}
+	q, err := xq.Compile(query, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := q.EvalString(nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got != want {
+		b.Fatalf("eval %q = %q, want %q", query, got, want)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.EvalString(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// callChecksQuery: every iteration funnels two integer arguments through a
+// typed user-function signature; with shapes on, both per-call Matches
+// checks compile away (the compiler proves the arguments xs:integer
+// singletons), with shapes off each call re-checks both at runtime.
+const callChecksQuery = `declare function local:clamp($n as xs:integer, $lo as xs:integer) { if ($n lt $lo) then $lo else $n };
+sum(for $i in 1 to 2000 return local:clamp($i mod 7, 3))`
+
+// arithLoopQuery: every iteration atomizes four operands and coerces one
+// boolean; with shapes on all of those dispatch directly on the known
+// singleton-atomic shape instead of through the general Atomize path.
+const arithLoopQuery = `sum(for $i in 1 to 2000 return (if ($i mod 2 eq 0) then $i * 2 else $i idiv 3))`
+
+func BenchmarkShapedCallChecks(b *testing.B) {
+	benchShapes(b, callChecksQuery, true, "7713")
+}
+
+func BenchmarkNoShapesCallChecks(b *testing.B) {
+	benchShapes(b, callChecksQuery, false, "7713")
+}
+
+func BenchmarkShapedArithLoop(b *testing.B) {
+	benchShapes(b, arithLoopQuery, true, "2335000")
+}
+
+func BenchmarkNoShapesArithLoop(b *testing.B) {
+	benchShapes(b, arithLoopQuery, false, "2335000")
+}

@@ -108,6 +108,9 @@ type Registry struct {
 	EvalErrors  atomic.Int64 // all failed evaluations, limit hits included
 	LimitHits   atomic.Int64 // evaluations stopped by a LOPS0001-0005 budget
 	EvalLatency Histogram
+	// ShapeChecksElided accumulates runtime checks skipped across all
+	// evaluations because static shape inference proved them redundant.
+	ShapeChecksElided atomic.Int64
 
 	// Tracing.
 	TraceEvents atomic.Int64 // live fn:trace hits delivered to hosts
@@ -170,6 +173,7 @@ type Snapshot struct {
 	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions int64
 	Evals, EvalErrors, LimitHits                       int64
 	TraceEvents                                        int64
+	ShapeChecksElided                                  int64
 	// Sharing holds the copy-on-write/pool counters from the registered
 	// probe (zero when no probe is registered).
 	Sharing SharingStats
@@ -201,6 +205,7 @@ func (r *Registry) Snapshot() Snapshot {
 		EvalErrors:         r.EvalErrors.Load(),
 		LimitHits:          r.LimitHits.Load(),
 		TraceEvents:        r.TraceEvents.Load(),
+		ShapeChecksElided:  r.ShapeChecksElided.Load(),
 		CompileLatency:     r.CompileLatency.Snapshot(),
 		EvalLatency:        r.EvalLatency.Snapshot(),
 	}

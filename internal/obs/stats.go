@@ -53,6 +53,11 @@ type EvalStats struct {
 	// clone nodes materialized navigating to the targets (the copied spine).
 	// Exact per-call values, not process-wide deltas. Zero for queries.
 	UpdatesApplied, SpineNodes int64
+	// ShapeChecksElided counts runtime checks (operand atomization and
+	// cardinality dispatch, effective-boolean reads, argument type checks)
+	// skipped because the static shape analysis proved them redundant.
+	// Exact per-call value; zero when the plan was compiled without shapes.
+	ShapeChecksElided int64
 }
 
 // String renders the stats as the one-line form the CLIs print:
@@ -97,6 +102,9 @@ func (s EvalStats) String() string {
 	}
 	if s.UpdatesApplied > 0 || s.SpineNodes > 0 {
 		fmt.Fprintf(&b, " upd=%d/%d(applied/spine-nodes)", s.UpdatesApplied, s.SpineNodes)
+	}
+	if s.ShapeChecksElided > 0 {
+		fmt.Fprintf(&b, " shape-elided=%d", s.ShapeChecksElided)
 	}
 	return b.String()
 }

@@ -172,6 +172,15 @@ func TestQueryErrorTaxonomy(t *testing.T) {
 		{"syntax error", QueryRequest{Query: `for $x in`}, http.StatusBadRequest, "XPST0003"},
 		{"undefined variable", QueryRequest{Query: `$nope + 1`}, http.StatusBadRequest, "XPST0008"},
 		{"dynamic error", QueryRequest{Query: `fn:error()`}, http.StatusUnprocessableEntity, "FOER0000"},
+		// The shape analysis proves `1 * "a"` must raise: the rejection
+		// happens at compile time, so the code lands on the 400 row of the
+		// taxonomy even though XPTY0004 is otherwise a runtime code...
+		{"static type error", QueryRequest{Query: `1 * "a"`}, http.StatusBadRequest, "XPTY0004"},
+		// ...while an XPTY0004 outside the analysis' reach (node identity
+		// comparison on atomics) still surfaces at runtime as 422: the
+		// query compiled, ran, and failed.
+		{"runtime type error", QueryRequest{Query: `1 is 2`},
+			http.StatusUnprocessableEntity, "XPTY0004"},
 		{"steps budget", QueryRequest{Query: `count(for $i in 1 to 1000000 return ())`, MaxSteps: 1000},
 			http.StatusUnprocessableEntity, "LOPS0002"},
 	}

@@ -10,12 +10,52 @@ import (
 // and optimizer tests. It is not XQuery syntax and is not parseable back;
 // it exists so humans (and tests) can see what the optimizer did.
 func Print(e Expr) string {
-	var b strings.Builder
-	printExpr(&b, e)
-	return b.String()
+	return PrintAnnotated(e, nil)
 }
 
-func printExpr(b *strings.Builder, e Expr) {
+// PrintAnnotated renders an expression like Print, but with a per-node
+// annotation hook: after each printed expression whose annot(e) is
+// non-empty, the annotation is appended as `::text`. EXPLAIN uses it to
+// attach inferred static shapes to every plan node.
+func PrintAnnotated(e Expr, annot func(Expr) string) string {
+	p := &printer{annot: annot}
+	p.expr(e)
+	return p.b.String()
+}
+
+// PrintStmt renders an update statement in the same compact S-expression
+// style as Print; EXPLAIN uses it to show the pending-update plan.
+func PrintStmt(s UpdateStmt) string {
+	return PrintStmtAnnotated(s, nil)
+}
+
+// PrintStmtAnnotated renders an update statement with the same per-node
+// annotation hook as PrintAnnotated (statements themselves carry no
+// annotation; their embedded expressions do).
+func PrintStmtAnnotated(s UpdateStmt, annot func(Expr) string) string {
+	p := &printer{annot: annot}
+	p.stmt(s)
+	return p.b.String()
+}
+
+// printer walks the AST writing the S-expression, appending the annotation
+// hook's text after every expression node.
+type printer struct {
+	b     strings.Builder
+	annot func(Expr) string
+}
+
+func (p *printer) expr(e Expr) {
+	p.exprBare(e)
+	if p.annot != nil && e != nil {
+		if s := p.annot(e); s != "" {
+			p.b.WriteString("::" + s)
+		}
+	}
+}
+
+func (p *printer) exprBare(e Expr) {
+	b := &p.b
 	switch n := e.(type) {
 	case nil:
 		b.WriteString("()")
@@ -34,19 +74,19 @@ func printExpr(b *strings.Builder, e Expr) {
 	case *EmptySeq:
 		b.WriteString("()")
 	case *SequenceExpr:
-		printList(b, "seq", n.Items...)
+		p.list("seq", n.Items...)
 	case *RangeExpr:
-		printList(b, "to", n.Lo, n.Hi)
+		p.list("to", n.Lo, n.Hi)
 	case *Binary:
-		printList(b, binOpName(n), n.L, n.R)
+		p.list(binOpName(n), n.L, n.R)
 	case *Unary:
 		op := "+u"
 		if n.Minus {
 			op = "-u"
 		}
-		printList(b, op, n.Operand)
+		p.list(op, n.Operand)
 	case *IfExpr:
-		printList(b, "if", n.Cond, n.Then, n.Else)
+		p.list("if", n.Cond, n.Then, n.Else)
 	case *FLWOR:
 		b.WriteString("(flwor")
 		for _, cl := range n.Clauses {
@@ -57,29 +97,29 @@ func printExpr(b *strings.Builder, e Expr) {
 					b.WriteString(" at $" + c.PosVar)
 				}
 				b.WriteString(" in ")
-				printExpr(b, c.In)
+				p.expr(c.In)
 				b.WriteString(")")
 			case LetClause:
 				b.WriteString(" (let $" + c.Var + " := ")
-				printExpr(b, c.Val)
+				p.expr(c.Val)
 				b.WriteString(")")
 			}
 		}
 		if n.Where != nil {
 			b.WriteString(" (where ")
-			printExpr(b, n.Where)
+			p.expr(n.Where)
 			b.WriteString(")")
 		}
 		for _, spec := range n.OrderBy {
 			b.WriteString(" (order ")
-			printExpr(b, spec.Key)
+			p.expr(spec.Key)
 			if spec.Descending {
 				b.WriteString(" desc")
 			}
 			b.WriteString(")")
 		}
 		b.WriteString(" (return ")
-		printExpr(b, n.Return)
+		p.expr(n.Return)
 		b.WriteString("))")
 	case *Quantified:
 		kw := "some"
@@ -89,22 +129,22 @@ func printExpr(b *strings.Builder, e Expr) {
 		b.WriteString("(" + kw)
 		for _, v := range n.Vars {
 			b.WriteString(" ($" + v.Var + " in ")
-			printExpr(b, v.In)
+			p.expr(v.In)
 			b.WriteString(")")
 		}
 		b.WriteString(" satisfies ")
-		printExpr(b, n.Satisfy)
+		p.expr(n.Satisfy)
 		b.WriteString(")")
 	case *Typeswitch:
 		b.WriteString("(typeswitch ")
-		printExpr(b, n.Operand)
+		p.expr(n.Operand)
 		for _, cs := range n.Cases {
 			fmt.Fprintf(b, " (case %s ", cs.Type)
-			printExpr(b, cs.Ret)
+			p.expr(cs.Ret)
 			b.WriteString(")")
 		}
 		b.WriteString(" (default ")
-		printExpr(b, n.Default)
+		p.expr(n.Default)
 		b.WriteString("))")
 	case *PathExpr:
 		b.WriteString("(path")
@@ -116,30 +156,30 @@ func printExpr(b *strings.Builder, e Expr) {
 		}
 		for _, s := range n.Steps {
 			b.WriteString(" ")
-			printStep(b, s)
+			p.step(s)
 		}
 		b.WriteString(")")
 	case *FunctionCall:
-		printList(b, "call "+n.Name, n.Args...)
+		p.list("call "+n.Name, n.Args...)
 	case *InstanceOf:
 		b.WriteString("(instance-of ")
-		printExpr(b, n.Operand)
+		p.expr(n.Operand)
 		fmt.Fprintf(b, " %s)", n.Type)
 	case *TreatAs:
 		b.WriteString("(treat ")
-		printExpr(b, n.Operand)
+		p.expr(n.Operand)
 		fmt.Fprintf(b, " %s)", n.Type)
 	case *CastAs:
 		b.WriteString("(cast ")
-		printExpr(b, n.Operand)
+		p.expr(n.Operand)
 		fmt.Fprintf(b, " %s)", n.TypeName)
 	case *CastableAs:
 		b.WriteString("(castable ")
-		printExpr(b, n.Operand)
+		p.expr(n.Operand)
 		fmt.Fprintf(b, " %s)", n.TypeName)
 	case *TryCatch:
 		b.WriteString("(try ")
-		printExpr(b, n.Try)
+		p.expr(n.Try)
 		b.WriteString(" catch")
 		if n.CatchCodeVar != "" {
 			b.WriteString(" $" + n.CatchCodeVar)
@@ -148,21 +188,21 @@ func printExpr(b *strings.Builder, e Expr) {
 			b.WriteString(" $" + n.CatchVar)
 		}
 		b.WriteString(" ")
-		printExpr(b, n.Catch)
+		p.expr(n.Catch)
 		b.WriteString(")")
 	case *DirElem:
 		fmt.Fprintf(b, "(elem %s", n.Name)
 		for _, a := range n.Attrs {
 			fmt.Fprintf(b, " (@%s", a.Name)
-			for _, p := range a.Parts {
+			for _, pt := range a.Parts {
 				b.WriteString(" ")
-				printExpr(b, p)
+				p.expr(pt)
 			}
 			b.WriteString(")")
 		}
 		for _, c := range n.Content {
 			b.WriteString(" ")
-			printExpr(b, c)
+			p.expr(c)
 		}
 		b.WriteString(")")
 	case *DirComment:
@@ -174,83 +214,76 @@ func printExpr(b *strings.Builder, e Expr) {
 		if n.Name != "" {
 			b.WriteString(n.Name)
 		} else {
-			printExpr(b, n.NameExpr)
+			p.expr(n.NameExpr)
 		}
 		b.WriteString(" ")
-		printExpr(b, n.Content)
+		p.expr(n.Content)
 		b.WriteString(")")
 	case *CompAttr:
 		b.WriteString("(cattr ")
 		if n.Name != "" {
 			b.WriteString(n.Name)
 		} else {
-			printExpr(b, n.NameExpr)
+			p.expr(n.NameExpr)
 		}
 		b.WriteString(" ")
-		printExpr(b, n.Content)
+		p.expr(n.Content)
 		b.WriteString(")")
 	case *CompText:
-		printList(b, "ctext", n.Content)
+		p.list("ctext", n.Content)
 	case *CompComment:
-		printList(b, "ccomment", n.Content)
+		p.list("ccomment", n.Content)
 	case *CompDoc:
-		printList(b, "cdoc", n.Content)
+		p.list("cdoc", n.Content)
 	case *CompPI:
-		printList(b, "cpi "+n.Target, n.Content)
+		p.list("cpi "+n.Target, n.Content)
 	default:
 		fmt.Fprintf(b, "(?%T)", e)
 	}
 }
 
-// PrintStmt renders an update statement in the same compact S-expression
-// style as Print; EXPLAIN uses it to show the pending-update plan.
-func PrintStmt(s UpdateStmt) string {
-	var b strings.Builder
-	printStmt(&b, s)
-	return b.String()
-}
-
-func printStmt(b *strings.Builder, s UpdateStmt) {
+func (p *printer) stmt(s UpdateStmt) {
+	b := &p.b
 	switch n := s.(type) {
 	case *InsertStmt:
 		fmt.Fprintf(b, "(insert ")
-		printExpr(b, n.Source)
+		p.expr(n.Source)
 		fmt.Fprintf(b, " %s ", n.Placement)
-		printExpr(b, n.Target)
+		p.expr(n.Target)
 		b.WriteString(")")
 	case *DeleteStmt:
-		printList(b, "delete", n.Target)
+		p.list("delete", n.Target)
 	case *ReplaceStmt:
 		b.WriteString("(replace ")
-		printExpr(b, n.Target)
+		p.expr(n.Target)
 		b.WriteString(" with ")
-		printExpr(b, n.Source)
+		p.expr(n.Source)
 		b.WriteString(")")
 	case *RenameStmt:
 		b.WriteString("(rename ")
-		printExpr(b, n.Target)
+		p.expr(n.Target)
 		b.WriteString(" as ")
-		printExpr(b, n.Name)
+		p.expr(n.Name)
 		b.WriteString(")")
 	case *ForStmt:
 		b.WriteString("(for-each $" + n.Var + " in ")
-		printExpr(b, n.In)
+		p.expr(n.In)
 		if n.Where != nil {
 			b.WriteString(" (where ")
-			printExpr(b, n.Where)
+			p.expr(n.Where)
 			b.WriteString(")")
 		}
 		b.WriteString(" (do")
 		for _, st := range n.Body {
 			b.WriteString(" ")
-			printStmt(b, st)
+			p.stmt(st)
 		}
 		b.WriteString("))")
 	case *BlockStmt:
 		b.WriteString("(block")
 		for _, st := range n.Stmts {
 			b.WriteString(" ")
-			printStmt(b, st)
+			p.stmt(st)
 		}
 		b.WriteString(")")
 	default:
@@ -258,19 +291,20 @@ func printStmt(b *strings.Builder, s UpdateStmt) {
 	}
 }
 
-func printList(b *strings.Builder, head string, items ...Expr) {
-	b.WriteString("(" + head)
+func (p *printer) list(head string, items ...Expr) {
+	p.b.WriteString("(" + head)
 	for _, it := range items {
-		b.WriteString(" ")
-		printExpr(b, it)
+		p.b.WriteString(" ")
+		p.expr(it)
 	}
-	b.WriteString(")")
+	p.b.WriteString(")")
 }
 
-func printStep(b *strings.Builder, s Step) {
+func (p *printer) step(s Step) {
+	b := &p.b
 	if s.Primary != nil {
 		b.WriteString("(filter ")
-		printExpr(b, s.Primary)
+		p.expr(s.Primary)
 	} else {
 		fmt.Fprintf(b, "(%s::", s.Axis)
 		if s.Test.Kind != nil {
@@ -279,9 +313,9 @@ func printStep(b *strings.Builder, s Step) {
 			b.WriteString(s.Test.Name)
 		}
 	}
-	for _, p := range s.Preds {
+	for _, pr := range s.Preds {
 		b.WriteString(" [")
-		printExpr(b, p)
+		p.expr(pr)
 		b.WriteString("]")
 	}
 	b.WriteString(")")

@@ -1,0 +1,242 @@
+package funclib
+
+// Static result signatures for the built-in library, consumed by the shapes
+// inference pass (internal/xquery/shapes). A Sig is a conservative contract
+// about what a built-in RETURNS and whether calling it can RAISE; it says
+// nothing about how arguments flow into the result — built-ins whose result
+// shape depends on an argument (fn:data, fn:reverse, the cardinality
+// assertions, fn:trace, fn:subsequence) are special-cased by the shapes pass
+// and carry only their totality facts here.
+//
+// Soundness contract: a Sig may under-promise (Occ wider than reality,
+// Total false for a function that never raises) but must never over-promise.
+// Total means "cannot raise a non-resource-limit error for ANY argument
+// values"; TotalIfBounded weakens that to "cannot raise when every argument
+// is statically known to hold at most one item" — the pattern of the
+// stringArg/numArg helpers, whose only failure mode is Atomize(...).AtMostOne
+// on a multi-item argument.
+
+import "strings"
+
+// SigOcc is the occurrence bound of a built-in's result.
+type SigOcc uint8
+
+// Result occurrence bounds, mirroring the shapes lattice.
+const (
+	// SigOccEmpty: always the empty sequence (fn:error never returns).
+	SigOccEmpty SigOcc = iota
+	// SigOccOne: exactly one item.
+	SigOccOne
+	// SigOccOpt: zero or one item.
+	SigOccOpt
+	// SigOccPlus: one or more items.
+	SigOccPlus
+	// SigOccStar: any number of items.
+	SigOccStar
+)
+
+// Sig is the static result signature of one built-in at one arity.
+type Sig struct {
+	// Occ bounds the result's item count.
+	Occ SigOcc
+	// Atomic names the upper bound of atomic result items: "integer",
+	// "decimal", "double", "numeric", "boolean", "string", "untyped", "any",
+	// or "" when the result holds no atomic items (node-returning functions
+	// and fn:error).
+	Atomic string
+	// NodeFree reports that the result can never contain nodes.
+	NodeFree bool
+	// Total reports the call itself cannot raise a non-limit error,
+	// whatever the arguments hold (argument evaluation is the caller's
+	// problem; resource-limit LOPS* errors are exempt everywhere).
+	Total bool
+	// TotalIfBounded reports the call cannot raise a non-limit error
+	// provided every argument is statically known to hold at most one item.
+	TotalIfBounded bool
+}
+
+// Signature returns the static signature of the built-in `name` (fn: prefix
+// optional) at the given arity, and whether one is known. Every registered
+// built-in has a signature at each legal arity; xs:/xdt: constructor
+// functions answer at arity 1. Unknown names report false.
+func Signature(name string, arity int) (Sig, bool) {
+	bare := strings.TrimPrefix(name, "fn:")
+	if f, ok := registry[bare]; ok {
+		if arity < f.MinArgs || (f.MaxArgs >= 0 && arity > f.MaxArgs) {
+			return Sig{}, false
+		}
+		return sigFor(bare, arity), true
+	}
+	if arity == 1 && (strings.HasPrefix(name, "xs:") || strings.HasPrefix(name, "xdt:")) {
+		// Constructor functions are `cast as` in call syntax: at most one
+		// result item of the named type; the cast itself can raise FORG0001.
+		return Sig{Occ: SigOccOpt, Atomic: ctorAtomic(name), NodeFree: true}, true
+	}
+	return Sig{}, false
+}
+
+// ctorAtomic maps a constructor-function name to its result's atomic bound.
+func ctorAtomic(name string) string {
+	switch name {
+	case "xs:string":
+		return "string"
+	case "xs:boolean":
+		return "boolean"
+	case "xs:integer", "xs:int", "xs:long", "xs:nonNegativeInteger", "xs:positiveInteger":
+		return "integer"
+	case "xs:decimal":
+		return "decimal"
+	case "xs:double", "xs:float":
+		return "double"
+	case "xs:untypedAtomic", "xdt:untypedAtomic":
+		return "untyped"
+	}
+	return "any"
+}
+
+// Shorthand constructors for the table.
+func sigT(occ SigOcc, atomic string) Sig { // total at any argument shape
+	return Sig{Occ: occ, Atomic: atomic, NodeFree: true, Total: true}
+}
+func sigB(occ SigOcc, atomic string) Sig { // total when all args are singleton-bounded
+	return Sig{Occ: occ, Atomic: atomic, NodeFree: true, TotalIfBounded: true}
+}
+func sigF(occ SigOcc, atomic string) Sig { // may raise regardless
+	return Sig{Occ: occ, Atomic: atomic, NodeFree: true}
+}
+func sigNodes(occ SigOcc) Sig { // node-holding result, may raise
+	return Sig{Occ: occ}
+}
+
+// sigFor returns the signature for a registered built-in. The name has
+// already been arity-checked against the registry.
+func sigFor(name string, arity int) Sig {
+	switch name {
+	// ---- sequences ----
+	case "count":
+		return sigT(SigOccOne, "integer")
+	case "empty", "exists":
+		return sigT(SigOccOne, "boolean")
+	case "data":
+		// Result mirrors the argument's occurrence (special-cased by shapes);
+		// atomization itself never raises.
+		return sigT(SigOccStar, "any")
+	case "distinct-values":
+		// Incomparable pairs are treated as distinct (sameValue swallows the
+		// comparison error), so only the step budget can stop it.
+		return sigT(SigOccStar, "any")
+	case "index-of":
+		// The needle goes through One(): empty or multi-item raises XPTY0004.
+		return sigF(SigOccStar, "integer")
+	case "insert-before", "remove":
+		// The position argument goes through intArg (One + cast): can raise.
+		return sigNodes(SigOccStar)
+	case "reverse":
+		return Sig{Occ: SigOccStar, Total: true} // same items, reversed
+	case "subsequence":
+		// Result is a subsequence of the first argument; the numeric
+		// position/length arguments raise only on multi-item input.
+		return Sig{Occ: SigOccStar, TotalIfBounded: true}
+	case "zero-or-one":
+		return Sig{Occ: SigOccOpt} // FORG0003 on longer input
+	case "one-or-more":
+		return Sig{Occ: SigOccPlus} // FORG0004 on empty input
+	case "exactly-one":
+		return Sig{Occ: SigOccOne} // FORG0005 unless exactly one
+	case "deep-equal":
+		return sigT(SigOccOne, "boolean")
+	case "sum":
+		if arity == 2 {
+			// The zero-value argument is returned verbatim on empty input.
+			return Sig{Occ: SigOccStar, Atomic: "any"}
+		}
+		return sigF(SigOccOne, "numeric") // foldArith: XPTY0004 on non-numerics
+	case "avg":
+		return sigF(SigOccOpt, "numeric")
+	case "max", "min":
+		return sigF(SigOccOpt, "any") // CompareValue on mixed types raises
+	case "position", "last":
+		return sigF(SigOccOne, "integer") // XPDY0002 without a focus
+
+	// ---- strings ----
+	case "string":
+		if arity == 0 {
+			return sigF(SigOccOne, "string") // focus-dependent
+		}
+		return sigB(SigOccOne, "string")
+	case "concat":
+		return sigB(SigOccOne, "string")
+	case "string-join":
+		// Only the separator is singleton-checked, but TotalIfBounded is the
+		// conservative contract we can state without per-argument facts.
+		return sigB(SigOccOne, "string")
+	case "substring":
+		return sigB(SigOccOne, "string")
+	case "string-length":
+		if arity == 0 {
+			return sigF(SigOccOne, "integer")
+		}
+		return sigB(SigOccOne, "integer")
+	case "normalize-space":
+		if arity == 0 {
+			return sigF(SigOccOne, "string")
+		}
+		return sigB(SigOccOne, "string")
+	case "upper-case", "lower-case", "translate":
+		return sigB(SigOccOne, "string")
+	case "contains", "starts-with", "ends-with":
+		return sigB(SigOccOne, "boolean")
+	case "substring-before", "substring-after":
+		return sigB(SigOccOne, "string")
+	case "compare":
+		return sigB(SigOccOpt, "integer")
+	case "string-to-codepoints":
+		return sigB(SigOccStar, "integer")
+	case "codepoints-to-string":
+		return sigT(SigOccOne, "string") // NumberOf + WriteRune never raise
+	case "matches":
+		return sigF(SigOccOne, "boolean") // FORX0002 on a bad pattern
+	case "replace":
+		return sigF(SigOccOne, "string")
+	case "tokenize":
+		return sigF(SigOccStar, "string")
+
+	// ---- nodes ----
+	case "name", "local-name":
+		return sigF(SigOccOne, "string") // XPTY0004 on non-node, XPDY0002 at arity 0
+	case "node-name":
+		return sigF(SigOccOpt, "string")
+	case "root":
+		return sigNodes(SigOccOpt)
+
+	// ---- diagnostics ----
+	case "error":
+		// Never returns: the empty occurrence is vacuously correct.
+		return Sig{Occ: SigOccEmpty, NodeFree: true}
+	case "trace":
+		// Returns its LAST argument (the Galax behavior); shapes special-cases
+		// the pass-through. The call itself only formats and forwards.
+		return Sig{Occ: SigOccStar, Atomic: "any"}
+	case "doc":
+		return sigNodes(SigOccStar) // FODC0002 on unknown URIs
+
+	// ---- booleans ----
+	case "true", "false":
+		return sigT(SigOccOne, "boolean")
+	case "not", "boolean":
+		// EffectiveBool raises FORG0006 only on multi-item non-node input.
+		return sigB(SigOccOne, "boolean")
+
+	// ---- numerics ----
+	case "number":
+		if arity == 0 {
+			return sigF(SigOccOne, "double")
+		}
+		return sigB(SigOccOne, "double") // non-numerics become NaN, no raise
+	case "abs", "ceiling", "floor", "round", "round-half-to-even":
+		return sigB(SigOccOpt, "numeric")
+	}
+	// A registered built-in without a table entry: report the weakest
+	// sound signature rather than guessing.
+	return Sig{Occ: SigOccStar, Atomic: "any"}
+}

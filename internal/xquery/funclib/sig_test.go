@@ -1,0 +1,145 @@
+package funclib
+
+// The signature table is a soundness contract consumed by the shapes pass:
+// an over-promise here (Total on a function that can raise, an occurrence
+// narrower than reality) becomes a miscompile there. This test pins every
+// registered built-in to an explicit expected signature at its minimum
+// arity — a newly registered function fails the test until someone decides
+// its signature on purpose, instead of silently inheriting the weak
+// default.
+
+import "testing"
+
+func TestSignatureTableComplete(t *testing.T) {
+	// Expected signature at the function's minimum arity.
+	expected := map[string]Sig{
+		"count":                {Occ: SigOccOne, Atomic: "integer", NodeFree: true, Total: true},
+		"empty":                {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, Total: true},
+		"exists":               {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, Total: true},
+		"data":                 {Occ: SigOccStar, Atomic: "any", NodeFree: true, Total: true},
+		"distinct-values":      {Occ: SigOccStar, Atomic: "any", NodeFree: true, Total: true},
+		"index-of":             {Occ: SigOccStar, Atomic: "integer", NodeFree: true},
+		"insert-before":        {Occ: SigOccStar},
+		"remove":               {Occ: SigOccStar},
+		"reverse":              {Occ: SigOccStar, Total: true},
+		"subsequence":          {Occ: SigOccStar, TotalIfBounded: true},
+		"zero-or-one":          {Occ: SigOccOpt},
+		"one-or-more":          {Occ: SigOccPlus},
+		"exactly-one":          {Occ: SigOccOne},
+		"deep-equal":           {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, Total: true},
+		"sum":                  {Occ: SigOccOne, Atomic: "numeric", NodeFree: true},
+		"avg":                  {Occ: SigOccOpt, Atomic: "numeric", NodeFree: true},
+		"max":                  {Occ: SigOccOpt, Atomic: "any", NodeFree: true},
+		"min":                  {Occ: SigOccOpt, Atomic: "any", NodeFree: true},
+		"position":             {Occ: SigOccOne, Atomic: "integer", NodeFree: true},
+		"last":                 {Occ: SigOccOne, Atomic: "integer", NodeFree: true},
+		"string":               {Occ: SigOccOne, Atomic: "string", NodeFree: true}, // arity 0: focus-dependent
+		"concat":               {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"string-join":          {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"substring":            {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"string-length":        {Occ: SigOccOne, Atomic: "integer", NodeFree: true}, // arity 0: focus-dependent
+		"normalize-space":      {Occ: SigOccOne, Atomic: "string", NodeFree: true},  // arity 0: focus-dependent
+		"upper-case":           {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"lower-case":           {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"translate":            {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"contains":             {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, TotalIfBounded: true},
+		"starts-with":          {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, TotalIfBounded: true},
+		"ends-with":            {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, TotalIfBounded: true},
+		"substring-before":     {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"substring-after":      {Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true},
+		"compare":              {Occ: SigOccOpt, Atomic: "integer", NodeFree: true, TotalIfBounded: true},
+		"string-to-codepoints": {Occ: SigOccStar, Atomic: "integer", NodeFree: true, TotalIfBounded: true},
+		"codepoints-to-string": {Occ: SigOccOne, Atomic: "string", NodeFree: true, Total: true},
+		"matches":              {Occ: SigOccOne, Atomic: "boolean", NodeFree: true},
+		"replace":              {Occ: SigOccOne, Atomic: "string", NodeFree: true},
+		"tokenize":             {Occ: SigOccStar, Atomic: "string", NodeFree: true},
+		"name":                 {Occ: SigOccOne, Atomic: "string", NodeFree: true},
+		"local-name":           {Occ: SigOccOne, Atomic: "string", NodeFree: true},
+		"node-name":            {Occ: SigOccOpt, Atomic: "string", NodeFree: true},
+		"root":                 {Occ: SigOccOpt},
+		"error":                {Occ: SigOccEmpty, NodeFree: true},
+		"trace":                {Occ: SigOccStar, Atomic: "any"},
+		"doc":                  {Occ: SigOccStar},
+		"true":                 {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, Total: true},
+		"false":                {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, Total: true},
+		"not":                  {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, TotalIfBounded: true},
+		"boolean":              {Occ: SigOccOne, Atomic: "boolean", NodeFree: true, TotalIfBounded: true},
+		"number":               {Occ: SigOccOne, Atomic: "double", NodeFree: true}, // arity 0: focus-dependent
+		"abs":                  {Occ: SigOccOpt, Atomic: "numeric", NodeFree: true, TotalIfBounded: true},
+		"ceiling":              {Occ: SigOccOpt, Atomic: "numeric", NodeFree: true, TotalIfBounded: true},
+		"floor":                {Occ: SigOccOpt, Atomic: "numeric", NodeFree: true, TotalIfBounded: true},
+		"round":                {Occ: SigOccOpt, Atomic: "numeric", NodeFree: true, TotalIfBounded: true},
+		"round-half-to-even":   {Occ: SigOccOpt, Atomic: "numeric", NodeFree: true, TotalIfBounded: true},
+	}
+	for _, name := range Names() {
+		want, ok := expected[name]
+		if !ok {
+			t.Errorf("built-in %q has no expected signature: decide one and add it to this table AND sigFor", name)
+			continue
+		}
+		f := registry[name]
+		arity := f.MinArgs
+		got, ok := Signature(name, arity)
+		if !ok {
+			t.Errorf("Signature(%q, %d) unknown", name, arity)
+			continue
+		}
+		if got != want {
+			t.Errorf("Signature(%q, %d) = %+v, want %+v", name, arity, got, want)
+		}
+	}
+	for name := range expected {
+		if _, ok := registry[name]; !ok {
+			t.Errorf("expected table names %q, which is not registered", name)
+		}
+	}
+}
+
+func TestSignatureArityVariants(t *testing.T) {
+	cases := []struct {
+		name  string
+		arity int
+		want  Sig
+	}{
+		// The focus-dependent zero-arity forms may raise XPDY0002; the
+		// one-argument forms only do singleton checks.
+		{"string", 1, Sig{Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true}},
+		{"string-length", 1, Sig{Occ: SigOccOne, Atomic: "integer", NodeFree: true, TotalIfBounded: true}},
+		{"normalize-space", 1, Sig{Occ: SigOccOne, Atomic: "string", NodeFree: true, TotalIfBounded: true}},
+		{"number", 1, Sig{Occ: SigOccOne, Atomic: "double", NodeFree: true, TotalIfBounded: true}},
+		// sum/2 returns the caller's zero value verbatim on empty input.
+		{"sum", 2, Sig{Occ: SigOccStar, Atomic: "any"}},
+	}
+	for _, c := range cases {
+		got, ok := Signature(c.name, c.arity)
+		if !ok {
+			t.Errorf("Signature(%q, %d) unknown", c.name, c.arity)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Signature(%q, %d) = %+v, want %+v", c.name, c.arity, got, c.want)
+		}
+	}
+}
+
+func TestSignatureBoundsAndCtors(t *testing.T) {
+	if _, ok := Signature("concat", 1); ok {
+		t.Error("concat/1 is not a legal arity")
+	}
+	if _, ok := Signature("nonexistent", 1); ok {
+		t.Error("unknown name must not have a signature")
+	}
+	sig, ok := Signature("xs:integer", 1)
+	if !ok || sig.Occ != SigOccOpt || sig.Atomic != "integer" || !sig.NodeFree || sig.Total {
+		t.Errorf("xs:integer ctor signature = %+v", sig)
+	}
+	if _, ok := Signature("xs:integer", 2); ok {
+		t.Error("constructors answer only at arity 1")
+	}
+	// fn: prefix is transparent, as in Lookup.
+	a, _ := Signature("fn:count", 1)
+	b, _ := Signature("count", 1)
+	if a != b {
+		t.Error("fn: prefix must not change the signature")
+	}
+}

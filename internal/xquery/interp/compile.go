@@ -28,6 +28,7 @@ import (
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/ast"
 	"lopsided/internal/xquery/funclib"
+	"lopsided/internal/xquery/shapes"
 )
 
 // compiledExpr is the runtime form of one expression: invoke it with the
@@ -77,6 +78,12 @@ type Program struct {
 	// elided carries the fn:trace sites dead-code elimination removed, for
 	// once-per-evaluation reporting to the tracer.
 	elided []ast.ElidedTrace
+	// shapes is the static shape analysis of mod, when the host ran one
+	// (NewProgramWithShapes); nil compiles the fully-checked plan. The facts
+	// let the compiler install fast paths that skip provably redundant
+	// runtime checks — every fast path re-checks cheaply and falls back, so
+	// plans with and without shapes stay observationally equivalent.
+	shapes *shapes.Info
 	// Update programs only (see update.go): the compiled statement list and
 	// the parsed update module it came from. nil for query programs.
 	stmts  []compiledStmt
@@ -118,7 +125,17 @@ func (p *Program) Module() *ast.Module { return p.mod }
 // NewProgram compiles a parsed (and typically optimizer-processed) module
 // into its closure-compiled form.
 func NewProgram(mod *ast.Module) (*Program, error) {
-	p, cp, err := newProgramShell(mod)
+	return NewProgramWithShapes(mod, nil)
+}
+
+// NewProgramWithShapes compiles mod with the facts of a static shape
+// analysis attached: operand atomization, cardinality checks, boolean
+// condition reads and argument type checks the analysis proves redundant
+// compile into guarded fast paths (counted per evaluation as
+// ShapeChecksElided). info must come from shapes.InferModule over the SAME
+// AST (post-optimization); nil info is NewProgram.
+func NewProgramWithShapes(mod *ast.Module, info *shapes.Info) (*Program, error) {
+	p, cp, err := newProgramShell(mod, info)
 	if err != nil {
 		return nil, err
 	}
@@ -131,9 +148,9 @@ func NewProgram(mod *ast.Module) (*Program, error) {
 // program — user functions, global slots, prolog variable initializers —
 // and returns the program plus the compiler for the main frame scope, ready
 // to compile a query body or a statement list into it.
-func newProgramShell(mod *ast.Module) (*Program, *compiler, error) {
+func newProgramShell(mod *ast.Module, info *shapes.Info) (*Program, *compiler, error) {
 	p := &Program{mod: mod, globalIdx: map[string]int{}, funcs: map[string]map[int]*compiledFunc{},
-		elided: mod.ElidedTraces}
+		elided: mod.ElidedTraces, shapes: info}
 	// Pass 1: declare shells so call sites pre-bind in any order.
 	for _, f := range mod.Functions {
 		byArity := p.funcs[f.Name]
@@ -226,6 +243,88 @@ func (cp *compiler) globalSlot(name string) int {
 	return s
 }
 
+// ---- shape-driven fast paths ----
+//
+// When a static shape analysis is attached (NewProgramWithShapes), the
+// compiler replaces the hot coercion checks — atomize-and-cardinality before
+// arithmetic/comparison/cast, effective-boolean-value before branches — with
+// guarded fast paths at sites where the analysis proves the full check
+// redundant. The guard re-verifies the promise with one length test and one
+// type assertion and falls back to the full check on mismatch: an inference
+// bug costs speed, never a wrong answer or a changed error. Every guard hit
+// increments the per-evaluation elision counter (EvalStats.ShapeChecksElided
+// and the process registry), which is how the noshapes differential oracle
+// and the benchmarks observe the feature.
+
+// shapeOf looks up the inferred shape of e when an analysis is attached.
+func (cp *compiler) shapeOf(e ast.Expr) (shapes.Shape, bool) {
+	if cp.prog.shapes == nil {
+		return shapes.Shape{}, false
+	}
+	return cp.prog.shapes.Of(e)
+}
+
+// atomizer returns the coercion an operand site uses in place of
+// xdm.Atomize(v).AtMostOne(): the fast path when e's shape proves the
+// operand is already an atomic singleton (or empty), the full check
+// otherwise. Errors carry pos either way.
+func (cp *compiler) atomizer(e ast.Expr, pos ast.Pos) func(*evalCtx, xdm.Sequence) (xdm.Item, error) {
+	full := func(c *evalCtx, v xdm.Sequence) (xdm.Item, error) {
+		it, err := xdm.Atomize(v).AtMostOne()
+		if err != nil {
+			return nil, errAt(err, pos)
+		}
+		return it, nil
+	}
+	sh, ok := cp.shapeOf(e)
+	if !ok || !sh.ElidableAtomize() {
+		return full
+	}
+	cp.note(e.Pos(), "shape %s: atomize dispatch elided", sh)
+	return func(c *evalCtx, v xdm.Sequence) (xdm.Item, error) {
+		switch len(v) {
+		case 0:
+			c.noteElided()
+			return nil, nil
+		case 1:
+			if _, isNode := xdm.IsNode(v[0]); !isNode {
+				c.noteElided()
+				return v[0], nil
+			}
+		}
+		return full(c, v)
+	}
+}
+
+// ebv returns the coercion a condition site uses in place of
+// xdm.EffectiveBool(v): the fast path when e's shape proves the value is an
+// optional boolean singleton, the full check otherwise.
+func (cp *compiler) ebv(e ast.Expr, pos ast.Pos) func(*evalCtx, xdm.Sequence) (bool, error) {
+	full := func(c *evalCtx, v xdm.Sequence) (bool, error) {
+		b, err := xdm.EffectiveBool(v)
+		if err != nil {
+			return false, errAt(err, pos)
+		}
+		return b, nil
+	}
+	sh, ok := cp.shapeOf(e)
+	if !ok || !sh.ElidableEBV() {
+		return full
+	}
+	cp.note(e.Pos(), "shape %s: boolean coercion elided", sh)
+	return func(c *evalCtx, v xdm.Sequence) (bool, error) {
+		if len(v) == 0 {
+			c.noteElided()
+			return false, nil
+		}
+		if b, isBool := v[0].(xdm.Boolean); len(v) == 1 && isBool {
+			c.noteElided()
+			return bool(b), nil
+		}
+		return full(c, v)
+	}
+}
+
 // Shared boolean singletons: comparisons are the hottest sequence
 // constructors, and the values are immutable.
 var (
@@ -308,15 +407,15 @@ func (cp *compiler) compileBody(e ast.Expr) compiledExpr {
 		return cp.compileUnary(n)
 	case *ast.IfExpr:
 		cond, then, els := cp.compile(n.Cond), cp.compile(n.Then), cp.compile(n.Else)
-		pos := n.P
+		condBool := cp.ebv(n.Cond, n.P)
 		return func(c *evalCtx) (xdm.Sequence, error) {
 			cv, err := cond(c)
 			if err != nil {
 				return nil, err
 			}
-			b, err := xdm.EffectiveBool(cv)
+			b, err := condBool(c, cv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
 			if b {
 				return then(c)
@@ -484,15 +583,16 @@ func evalIntOpt(c *evalCtx, ce compiledExpr) (*int64, error) {
 
 func (cp *compiler) compileUnary(n *ast.Unary) compiledExpr {
 	operand := cp.compile(n.Operand)
+	atomize := cp.atomizer(n.Operand, n.P)
 	minus, pos := n.Minus, n.P
 	return func(c *evalCtx) (xdm.Sequence, error) {
 		v, err := operand(c)
 		if err != nil {
 			return nil, err
 		}
-		it, err := xdm.Atomize(v).AtMostOne()
+		it, err := atomize(c, v)
 		if err != nil {
-			return nil, errAt(err, pos)
+			return nil, err
 		}
 		if it == nil {
 			return xdm.Empty, nil
@@ -520,14 +620,15 @@ func (cp *compiler) compileBinary(n *ast.Binary) compiledExpr {
 	switch n.Kind {
 	case ast.OpOr, ast.OpAnd:
 		isOr := n.Kind == ast.OpOr
+		lBool, rBool := cp.ebv(n.L, pos), cp.ebv(n.R, pos)
 		return func(c *evalCtx) (xdm.Sequence, error) {
 			lv, err := l(c)
 			if err != nil {
 				return nil, err
 			}
-			lb, err := xdm.EffectiveBool(lv)
+			lb, err := lBool(c, lv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
 			if isOr && lb {
 				return seqTrue, nil
@@ -539,9 +640,9 @@ func (cp *compiler) compileBinary(n *ast.Binary) compiledExpr {
 			if err != nil {
 				return nil, err
 			}
-			rb, err := xdm.EffectiveBool(rv)
+			rb, err := rBool(c, rv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
 			return boolSingleton(rb), nil
 		}
@@ -560,18 +661,19 @@ func (cp *compiler) compileBinary(n *ast.Binary) compiledExpr {
 		}
 	case ast.OpValueComp:
 		cmp := n.Cmp
+		lAtom, rAtom := cp.atomizer(n.L, pos), cp.atomizer(n.R, pos)
 		return func(c *evalCtx) (xdm.Sequence, error) {
 			lv, rv, err := evalPair(c, l, r)
 			if err != nil {
 				return nil, err
 			}
-			li, err := xdm.Atomize(lv).AtMostOne()
+			li, err := lAtom(c, lv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
-			ri, err := xdm.Atomize(rv).AtMostOne()
+			ri, err := rAtom(c, rv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
 			if li == nil || ri == nil {
 				return xdm.Empty, nil
@@ -613,18 +715,19 @@ func (cp *compiler) compileBinary(n *ast.Binary) compiledExpr {
 		}
 	case ast.OpArith:
 		op := n.Arith
+		lAtom, rAtom := cp.atomizer(n.L, pos), cp.atomizer(n.R, pos)
 		return func(c *evalCtx) (xdm.Sequence, error) {
 			lv, rv, err := evalPair(c, l, r)
 			if err != nil {
 				return nil, err
 			}
-			li, err := xdm.Atomize(lv).AtMostOne()
+			li, err := lAtom(c, lv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
-			ri, err := xdm.Atomize(rv).AtMostOne()
+			ri, err := rAtom(c, rv)
 			if err != nil {
-				return nil, errAt(err, pos)
+				return nil, err
 			}
 			if li == nil || ri == nil {
 				return xdm.Empty, nil
@@ -718,17 +821,18 @@ func evalSetOp(kind ast.BinOpKind, l, r xdm.Sequence, pos ast.Pos) (xdm.Sequence
 
 func (cp *compiler) compileCast(operand ast.Expr, typeName string, optional, castableOnly bool, pos ast.Pos) compiledExpr {
 	op := cp.compile(operand)
+	atomize := cp.atomizer(operand, pos)
 	return func(c *evalCtx) (xdm.Sequence, error) {
 		v, err := op(c)
 		if err != nil {
 			return nil, err
 		}
-		it, err := xdm.Atomize(v).AtMostOne()
+		it, err := atomize(c, v)
 		if err != nil {
 			if castableOnly {
 				return seqFalse, nil
 			}
-			return nil, errAt(err, pos)
+			return nil, err
 		}
 		if it == nil {
 			if castableOnly {
@@ -1163,6 +1267,25 @@ func (cp *compiler) compileCall(n *ast.FunctionCall) compiledExpr {
 	pos := n.P
 	if byArity, ok := cp.prog.funcs[n.Name]; ok {
 		if fn, ok := byArity[len(n.Args)]; ok {
+			// Argument type checks whose success the shape analysis proves
+			// (argument shape subsumed by the declared parameter type) are
+			// skipped outright — unlike the coercion fast paths there is no
+			// runtime guard, which is exactly what the noshapes differential
+			// oracle exercises.
+			var skipCheck []bool
+			if cp.prog.shapes != nil {
+				elided := 0
+				skipCheck = make([]bool, len(n.Args))
+				for i, a := range n.Args {
+					if sh, known := cp.shapeOf(a); known && shapes.Subsumes(sh, fn.params[i].Type) {
+						skipCheck[i] = true
+						elided++
+					}
+				}
+				if elided > 0 {
+					cp.note(pos, "call %s/%d: %d argument type check(s) shape-elided", n.Name, len(n.Args), elided)
+				}
+			}
 			cp.note(pos, "call %s/%d -> user function (frame %d)", n.Name, len(n.Args), fn.frameSize)
 			return func(c *evalCtx) (xdm.Sequence, error) {
 				// The callee frame doubles as the argument vector: params
@@ -1180,6 +1303,10 @@ func (cp *compiler) compileCall(n *ast.FunctionCall) compiledExpr {
 						Msg: fmt.Sprintf("recursion depth limit (%d) exceeded calling %s", c.ip.opts.MaxDepth, fn.name)}
 				}
 				for i := range fn.params {
+					if skipCheck != nil && skipCheck[i] {
+						c.noteElided()
+						continue
+					}
 					if !fn.params[i].Type.Matches(frame[i]) {
 						return nil, &Error{Code: "XPTY0004", Pos: pos,
 							Msg: fmt.Sprintf("argument %d of %s does not match %s", i+1, fn.name, fn.params[i].Type)}

@@ -79,15 +79,38 @@ func (p *Program) Explain() string {
 		}
 	}
 
+	// Shape annotation hook: with a static analysis attached, every plan
+	// node the inference visited prints its shape as `::{occ type facts}`.
+	var annot func(ast.Expr) string
+	if p.shapes != nil {
+		annot = func(e ast.Expr) string {
+			if sh, ok := p.shapes.Of(e); ok {
+				return sh.String()
+			}
+			return ""
+		}
+		if body := p.mod.Body; body != nil && p.updMod == nil {
+			if sh, ok := p.shapes.Of(body); ok {
+				fmt.Fprintf(&b, "shapes: result %s\n", sh)
+			}
+		}
+		if len(p.shapes.Warnings) > 0 {
+			b.WriteString("shape warnings:\n")
+			for _, w := range p.shapes.Warnings {
+				fmt.Fprintf(&b, "  %d:%d %s %s\n", w.P.Line, w.P.Col, w.Code, w.Msg)
+			}
+		}
+	}
+
 	if p.updMod != nil {
 		b.WriteString("pending-update plan:\n")
 		for i, s := range p.updMod.Stmts {
-			fmt.Fprintf(&b, "  u%-3d %s\n", i, ast.PrintStmt(s))
+			fmt.Fprintf(&b, "  u%-3d %s\n", i, ast.PrintStmtAnnotated(s, annot))
 		}
 		return b.String()
 	}
 	b.WriteString("body:\n")
-	b.WriteString(indent(ast.Print(p.mod.Body), "  "))
+	b.WriteString(indent(ast.PrintAnnotated(p.mod.Body, annot), "  "))
 	if !strings.HasSuffix(b.String(), "\n") {
 		b.WriteString("\n")
 	}

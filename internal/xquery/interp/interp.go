@@ -74,6 +74,12 @@ type Error struct {
 	Code string
 	Msg  string
 	Pos  ast.Pos
+	// Static marks an error reported at compile time by static analysis
+	// (the shapes pass proving an XPTY/XPST error inevitable) rather than
+	// raised during evaluation. Hosts map the distinction onto their error
+	// taxonomies: the CLI exits with the static-error status, the server
+	// answers 400 instead of 422.
+	Static bool
 }
 
 // Error implements the error interface; unlike the Galax of the paper's
@@ -267,6 +273,11 @@ func (ip *Interp) EvalWithOpts(ctx context.Context, ctxItem xdm.Item, vars map[s
 		start = time.Now()
 		defer func() { ip.fillStats(eo.Stats, c.bud, time.Since(start)) }()
 	}
+	defer func() {
+		if c.bud != nil && c.bud.shapeElided > 0 {
+			obs.Default().ShapeChecksElided.Add(c.bud.shapeElided)
+		}
+	}()
 	// Trace sites the optimizer's dead-code pass removed are reported
 	// up front, once per evaluation: the host still learns the program
 	// traced here, which Galax-era tracing never did.
@@ -320,6 +331,7 @@ func (ip *Interp) fillStats(st *obs.EvalStats, b *budget, wall time.Duration) {
 	if b != nil {
 		st.Steps, st.Nodes, st.OutputBytes = b.steps, b.nodes, b.bytes
 		st.TraceEvents = b.traceHits
+		st.ShapeChecksElided = b.shapeElided
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"lopsided/internal/xdm"
 	"lopsided/internal/xmltree"
 	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/shapes"
 )
 
 // compiledStmt is the runtime form of one update statement: evaluate its
@@ -54,7 +55,15 @@ type pulState struct {
 // plan cache, Explain and Interp plumbing — whose IsUpdate reports true and
 // whose statements run via Interp.Transform.
 func NewUpdateProgram(um *ast.UpdateModule) (*Program, error) {
-	p, cp, err := newProgramShell(um.Prolog)
+	return NewUpdateProgramWithShapes(um, nil)
+}
+
+// NewUpdateProgramWithShapes compiles um with static shape facts attached,
+// exactly as NewProgramWithShapes does for query modules. info must come
+// from shapes.InferUpdateModule over the same post-optimization AST; nil is
+// NewUpdateProgram.
+func NewUpdateProgramWithShapes(um *ast.UpdateModule, info *shapes.Info) (*Program, error) {
+	p, cp, err := newProgramShell(um.Prolog, info)
 	if err != nil {
 		return nil, err
 	}
@@ -443,6 +452,11 @@ func (ip *Interp) Transform(ctx context.Context, root *xmltree.Node, vars map[st
 			eo.Stats.SpineNodes = st.SpineNodes
 		}()
 	}
+	defer func() {
+		if c.bud != nil && c.bud.shapeElided > 0 {
+			obs.Default().ShapeChecksElided.Add(c.bud.shapeElided)
+		}
+	}()
 	if c.tr != nil {
 		for _, et := range p.elided {
 			c.tr.Emit(obs.Event{Kind: obs.TraceHit, Line: et.P.Line, Col: et.P.Col,

@@ -12,12 +12,19 @@ package optimizer
 // The fusion is semantics-preserving only under tight conditions:
 //
 //   - the descendant-or-self step must carry no predicates, and
-//   - the child step's predicates must be empty or consist of exactly one
-//     foldable `[@attr = 'literal']` predicate.
+//   - the child step's predicates must be empty, consist of exactly one
+//     foldable `[@attr = 'literal']` predicate, or (shapes on) consist of
+//     exactly one predicate the shape analysis proves non-positional.
 //
 // Positional predicates block fusion because `a//b[2]` counts positions per
 // parent while `descendant::b[2]` counts globally — a divergence the
-// differential oracle would (and did, at design time) catch.
+// differential oracle would (and did, at design time) catch. The shape
+// widening admits exactly the predicates where that hazard is absent: the
+// predicate's value can never be a singleton number (so predicateHolds
+// takes the effective-boolean branch on both plans) and the predicate never
+// reads the focus position via fn:position or fn:last. The context ITEM is
+// the candidate node itself under either grouping, so everything else the
+// predicate can observe is identical.
 //
 // Decisions here are advisory toward an equivalent plan: the interpreter
 // falls back to the tree walk whenever the context tree has no usable index,
@@ -28,6 +35,7 @@ import (
 
 	"lopsided/internal/xdm"
 	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/shapes"
 )
 
 // planPath assigns access paths to the steps of p, fusing //-pairs first.
@@ -78,13 +86,21 @@ func (o *optimizer) fuseChild(s ast.Step) (ast.Step, bool) {
 		ap.Reason = "fused // into descendant::" + name
 	case len(s.Preds) == 1:
 		attr, val, foldable := foldableAttrPred(s.Preds[0])
-		if !foldable {
+		if foldable {
+			ap.AttrName, ap.AttrValue = attr, val
+			ap.Reason = "fused // into descendant::" + name + ", folded [@" + attr + " = '" + val + "']"
+			s.Preds = nil
+			o.stats.FoldedPredicates++
+			break
+		}
+		if !o.shapeNonPositional(s.Preds[0]) {
 			return s, false
 		}
-		ap.AttrName, ap.AttrValue = attr, val
-		ap.Reason = "fused // into descendant::" + name + ", folded [@" + attr + " = '" + val + "']"
-		s.Preds = nil
-		o.stats.FoldedPredicates++
+		// The predicate stays on the step (applied after the index probe or
+		// the walk fallback); only the grouping changed, which the shape
+		// proof shows the predicate cannot observe.
+		ap.Reason = "fused // into descendant::" + name + ", predicate shape-proven non-positional"
+		o.stats.ShapeWidenedPredicates++
 	default:
 		return s, false
 	}
@@ -92,6 +108,71 @@ func (o *optimizer) fuseChild(s ast.Step) (ast.Step, bool) {
 	s.Access = ap
 	o.stats.IndexScans++
 	return s, true
+}
+
+// shapeNonPositional reports whether the shape analysis proves a predicate
+// can never act positionally AND can never raise: its value holds no
+// numeric atomic (so a singleton-number positional test is impossible), it
+// never calls fn:position or fn:last, and evaluation is total. The totality
+// leg matters because fusion reorders predicate evaluation (per-parent
+// groups become one global document-order scan); a predicate that raises
+// different codes on different nodes would surface a different first error
+// across plans. A total predicate can at worst make the effective-boolean
+// test raise FORG0006 — the same code under either order. A path made only
+// of predicate-free axis steps gets the same guarantee structurally: from
+// the node focus a fused step supplies, axis steps produce only nodes and
+// raise nothing, and an all-node value is EBV-safe. Disabled configurations
+// refuse every predicate, reproducing the pre-shapes plans.
+func (o *optimizer) shapeNonPositional(pred ast.Expr) bool {
+	if o.opts.DisableShapes {
+		return false
+	}
+	sh := shapes.InferExpr(pred, shapes.Scope{
+		InScope:    func(name string) bool { return o.scope[name] > 0 },
+		IsUserFunc: func(name string) bool { return o.userFuncs[name] },
+		HasFocus:   true,
+	})
+	if sh.Atomic&shapes.ANum != 0 {
+		return false
+	}
+	if !sh.Total && !pureAxisPath(pred) {
+		return false
+	}
+	return !usesFocusPosition(pred)
+}
+
+// pureAxisPath recognizes a path consisting solely of predicate-free,
+// primary-free axis steps — total whenever the context item is a node,
+// which fuseChild's candidate steps guarantee.
+func pureAxisPath(e ast.Expr) bool {
+	p, ok := e.(*ast.PathExpr)
+	if !ok {
+		return false
+	}
+	for _, s := range p.Steps {
+		if s.Primary != nil || len(s.Preds) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// usesFocusPosition reports whether e contains a call to fn:position or
+// fn:last anywhere — including inside nested predicates, where the call is
+// harmless (it sees its own focus); the coarse answer only costs a fusion.
+func usesFocusPosition(e ast.Expr) bool {
+	found := false
+	walk(e, func(x ast.Expr) bool {
+		if call, ok := x.(*ast.FunctionCall); ok {
+			switch call.Name {
+			case "position", "fn:position", "last", "fn:last":
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // planStep records the access-path decision for one unfused step.

@@ -134,6 +134,56 @@ func TestPlanDisabledAndO0(t *testing.T) {
 	}
 }
 
+func TestPlanWidensNonPositionalPredicates(t *testing.T) {
+	widened := []string{
+		`//item[@k]`,               // pure axis path: total from a node focus
+		`//item[b/c]`,              // multi-step axis path
+		`//item[contains(., 'v')]`, // total builtin over the context item
+	}
+	for _, src := range widened {
+		p, stats := planQuery(t, src, Options{Level: O2})
+		if p.Root != ast.RootSlash || len(p.Steps) != 1 {
+			t.Errorf("%s: not fused (root=%v steps=%d)", src, p.Root, len(p.Steps))
+			continue
+		}
+		s := p.Steps[0]
+		if s.Axis != ast.AxisDescendant || s.Access == nil || !s.Access.Fused || s.Access.AttrName != "" {
+			t.Errorf("%s: fused step = %s access %+v", src, s.Axis, s.Access)
+		}
+		if len(s.Preds) != 1 {
+			t.Errorf("%s: widened predicate must stay on the step, preds=%d", src, len(s.Preds))
+		}
+		if stats.ShapeWidenedPredicates != 1 {
+			t.Errorf("%s: stats.ShapeWidenedPredicates = %d", src, stats.ShapeWidenedPredicates)
+		}
+	}
+	refused := []struct {
+		src string
+		why string
+	}{
+		{`//item[2]`, "positional"},
+		{`//item[position() lt 2]`, "reads the focus position"},
+		{`//item[last()]`, "reads the focus size"},
+		{`//item[count(b)]`, "numeric value acts positionally"},
+		{`//item[@k eq 'v']`, "value comparison can raise on duplicate attrs"},
+		{`//item[string(@n) = $v]`, "free variable: unknown shape"},
+	}
+	for _, tc := range refused {
+		p, stats := planQuery(t, tc.src, Options{Level: O2})
+		if p.Root != ast.RootSlashSlash {
+			t.Errorf("%s: fused despite %s", tc.src, tc.why)
+		}
+		if stats.ShapeWidenedPredicates != 0 {
+			t.Errorf("%s: widening counted despite %s", tc.src, tc.why)
+		}
+	}
+	// The noshapes configuration reproduces the pre-shapes plan exactly.
+	p, stats := planQuery(t, `//item[@k]`, Options{Level: O2, DisableShapes: true})
+	if p.Root != ast.RootSlashSlash || stats.ShapeWidenedPredicates != 0 {
+		t.Fatalf("noshapes config widened: root=%v stats=%+v", p.Root, stats)
+	}
+}
+
 func TestPlanSecondPredicateSurvivesFolding(t *testing.T) {
 	// Only the FIRST predicate may fold (sequential predicate semantics);
 	// with a non-foldable first predicate nothing folds.

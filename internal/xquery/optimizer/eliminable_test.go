@@ -1,0 +1,199 @@
+package optimizer
+
+// Audit of the two dead-let eliminability judges. The syntactic whitelist
+// predates the shape analysis; now that both answer, they must agree on the
+// whitelist's domain (everything the whitelist accepts, shapes must prove
+// total) and the composition must stay strict on the two corners the
+// whitelist was built around: fn:trace effectfulness and user functions
+// shadowing built-in names.
+
+import (
+	"testing"
+
+	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/parser"
+	"lopsided/internal/xquery/shapes"
+)
+
+// newTestOptimizer builds an optimizer with the given bound variables and
+// declared user-function names, mirroring the state rewriteFLWOR would have
+// mid-walk.
+func newTestOptimizer(opts Options, vars, funcs []string) *optimizer {
+	o := &optimizer{opts: opts, userFuncs: map[string]bool{}, scope: map[string]int{}}
+	for _, v := range vars {
+		o.bind(v)
+	}
+	for _, f := range funcs {
+		o.userFuncs[f] = true
+	}
+	return o
+}
+
+func parseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+// TestEliminableAgreementAudit pins the agreement: every expression the
+// syntactic whitelist accepts, the shape analysis must independently prove
+// total under the same scope. A failure here means one judge over-promises
+// and the stricter one must win — which is exactly what a whitelist
+// acceptance that shapes refuses would violate, since eliminable ORs them.
+func TestEliminableAgreementAudit(t *testing.T) {
+	corpus := []string{
+		`1`, `"a"`, `1.5`, `1e0`, `()`,
+		`$x`, `$nope`,
+		`(1, "a", $x)`, `(1, $nope)`,
+		`-5`, `-1.5`, `-$x`,
+		`true()`, `false()`, `not(true())`,
+		`trace("a", 1)`, `trace($x, "lbl")`, `trace()`,
+		`1 + 2`, `1 div 0`, `//a`, `position()`,
+		`concat("a", "b")`, `count($x)`, `string-length("abc")`,
+		`"a" cast as xs:string`, `"a" cast as xs:integer`,
+	}
+	o := newTestOptimizer(Options{Level: O2}, []string{"x"}, nil)
+	sc := shapes.Scope{
+		InScope:    func(name string) bool { return o.scope[name] > 0 },
+		IsUserFunc: func(name string) bool { return o.userFuncs[name] },
+	}
+	for _, src := range corpus {
+		e := parseExpr(t, src)
+		if o.eliminableSyntactic(e) && !shapes.TotalExpr(e, sc) {
+			t.Errorf("%s: syntactic whitelist accepts but shapes cannot prove totality", src)
+		}
+	}
+}
+
+// TestEliminableShapesUpgrade checks the expressions the whitelist refuses
+// but the shape analysis proves total — and that genuinely risky ones stay
+// refused by both.
+func TestEliminableShapesUpgrade(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`1 + 2`, true},
+		{`"a" cast as xs:string`, true},
+		{`count($x)`, true},
+		{`string-length("abc")`, true},
+		{`1 eq 2`, true},
+		{`1 div 0`, false},                // FOAR0001
+		{`1 idiv 2`, false},               // FOAR0001/0002 even on safe operands
+		{`//a`, false},                    // needs a focus: XPDY0002
+		{`position()`, false},             // focus-dependent
+		{`"a" cast as xs:integer`, false}, // FORG0001
+		{`no-such-fn(1)`, false},          // XPST0017
+		{`concat("a", $x)`, false},        // unbounded arg: AtMostOne can raise
+	}
+	o := newTestOptimizer(Options{Level: O2}, []string{"x"}, nil)
+	for _, c := range cases {
+		e := parseExpr(t, c.src)
+		if got := o.eliminable(e); got != c.want {
+			t.Errorf("eliminable(%s) = %v, want %v", c.src, got, c.want)
+		}
+		if c.want && o.eliminableSyntactic(e) {
+			t.Errorf("%s: expected a shapes-only upgrade, but the whitelist already accepts it", c.src)
+		}
+	}
+	if o.stats.ShapeProvenTotal == 0 {
+		t.Error("no shapes-proven eliminations counted")
+	}
+	// The same expressions with shapes disabled: only the whitelist answers.
+	off := newTestOptimizer(Options{Level: O2, DisableShapes: true}, []string{"x"}, nil)
+	for _, c := range cases {
+		if off.eliminable(parseExpr(t, c.src)) {
+			t.Errorf("%s: eliminable with shapes disabled", c.src)
+		}
+	}
+}
+
+// TestEliminableTraceCorners: shapes considers fn:trace total (true — it
+// formats and forwards), but dropping one is only legal when the
+// configuration says trace has no side channel. The shapes path must not
+// reopen the paper's dead-trace bug in the fixed configuration.
+func TestEliminableTraceCorners(t *testing.T) {
+	// trace over a non-whitelist but shapes-total argument.
+	e := parseExpr(t, `trace(1 + 2, "lbl")`)
+
+	galax := newTestOptimizer(Options{Level: O2}, nil, nil)
+	if galax.eliminableSyntactic(e) {
+		t.Error("trace(1 + 2, ...) must not pass the syntactic whitelist (1 + 2 is not a literal)")
+	}
+	if !galax.eliminable(e) {
+		t.Error("galax-era config: shapes-total trace binding should be eliminable")
+	}
+
+	fixed := newTestOptimizer(Options{Level: O2, TraceIsEffectful: true}, nil, nil)
+	if fixed.eliminable(e) {
+		t.Error("TraceIsEffectful: trace must never be eliminable, even when shapes proves it total")
+	}
+	// ... including a trace buried inside a larger total expression.
+	buried := parseExpr(t, `concat("a", trace("b", "lbl"))`)
+	if fixed.eliminable(buried) {
+		t.Error("TraceIsEffectful: buried trace must block elimination")
+	}
+
+	// End to end: the galax-era shapes elimination still records the elided
+	// trace sites for the structured tracer.
+	mod, err := parser.Parse(`let $dummy := trace(1 + 2, "lbl") return 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Optimize(mod, Options{Level: O2})
+	if stats.EliminatedLets != 1 || stats.ElidedTraces != 1 {
+		t.Fatalf("galax-era stats = %+v", stats)
+	}
+	if len(mod.ElidedTraces) != 1 {
+		t.Fatalf("elided trace sites not recorded: %v", mod.ElidedTraces)
+	}
+}
+
+// TestEliminableShadowedBuiltin: a user function shadowing a built-in name
+// must not borrow the built-in's totality in either judge.
+func TestEliminableShadowedBuiltin(t *testing.T) {
+	for _, src := range []string{`true()`, `false()`, `count("a")`} {
+		e := parseExpr(t, src)
+		name := e.(*ast.FunctionCall).Name
+		clean := newTestOptimizer(Options{Level: O2}, nil, nil)
+		if !clean.eliminable(e) {
+			t.Errorf("%s: built-in call should be eliminable", src)
+		}
+		shadowed := newTestOptimizer(Options{Level: O2}, nil, []string{name})
+		if shadowed.eliminable(e) {
+			t.Errorf("%s: call resolving to a user function must not be eliminable", src)
+		}
+	}
+}
+
+// TestOptimizeShapesDeadLet: the full pipeline drops a dead let the
+// whitelist alone would keep, and leaves it with shapes disabled.
+func TestOptimizeShapesDeadLet(t *testing.T) {
+	const src = `let $u := "a" cast as xs:string return 9`
+	mod, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Optimize(mod, Options{Level: O2})
+	if _, isFLWOR := mod.Body.(*ast.FLWOR); isFLWOR {
+		t.Fatal("dead let not eliminated despite shapes totality proof")
+	}
+	if stats.EliminatedLets != 1 || stats.ShapeProvenTotal != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	mod2, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2 := Optimize(mod2, Options{Level: O2, DisableShapes: true})
+	if _, isFLWOR := mod2.Body.(*ast.FLWOR); !isFLWOR {
+		t.Fatal("noshapes config must keep the cast binding")
+	}
+	if stats2.ShapeProvenTotal != 0 {
+		t.Fatalf("noshapes stats = %+v", stats2)
+	}
+}

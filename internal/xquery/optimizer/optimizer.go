@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"lopsided/internal/xquery/ast"
+	"lopsided/internal/xquery/shapes"
 )
 
 // Level selects how much rewriting happens.
@@ -39,6 +40,11 @@ type Options struct {
 	// synopsis prunes), leaving every step a tree walk. Used by the
 	// differential oracle to prove indexed ≡ unindexed semantics.
 	DisableAccessPaths bool
+	// DisableShapes turns off the static shape analysis consumers: dead-let
+	// eliminability falls back to the syntactic whitelist and predicate
+	// widening in access-path planning is skipped. Used by the differential
+	// oracle to prove shapes-on ≡ shapes-off semantics.
+	DisableShapes bool
 }
 
 // Stats reports what the optimizer did.
@@ -53,6 +59,12 @@ type Stats struct {
 	// Access-path planning counters: steps assigned each access path, and
 	// [@attr = 'v'] predicates folded into an index probe.
 	IndexScans, SynopsisPrunes, TreeWalks, FoldedPredicates int
+	// ShapeProvenTotal counts dead lets the syntactic whitelist refused but
+	// the shape analysis proved total (and therefore eliminable).
+	ShapeProvenTotal int
+	// ShapeWidenedPredicates counts `//`-fusions accepted only because the
+	// shape analysis proved the residual predicate non-positional.
+	ShapeWidenedPredicates int
 }
 
 // Optimize rewrites the module in place (expressions are replaced, shared
@@ -427,12 +439,56 @@ func (o *optimizer) usedAfter(n *ast.FLWOR, i int, name string) bool {
 // divergence the differential harness exists to catch (1 idiv 0, failing
 // casts, unknown functions, …).
 //
-// The check is a whitelist of total expressions: literals, references to
-// variables the walk has seen bound (an unbound name is a static XPST0008
-// the optimizer must not hide), sequences of eliminable parts, true()/
-// false(), and — in the Galax-era configuration the paper fought — fn:trace
-// over eliminable arguments. Everything else is conservatively kept.
+// Two judges answer, strictest-first: the historical syntactic whitelist,
+// then (unless disabled) the shape analysis's totality proof. The shapes
+// path must re-check the two properties the whitelist enforced by shape
+// alone: trace effectfulness (shapes considers fn:trace total, which is
+// true but ignores the configured side channel) and shadowed built-ins
+// (handled inside shapes via Scope.IsUserFunc). The sweep in
+// eliminable_test.go pins the agreement: everything the whitelist accepts,
+// shapes must also prove total.
 func (o *optimizer) eliminable(e ast.Expr) bool {
+	if o.eliminableSyntactic(e) {
+		return true
+	}
+	if o.opts.DisableShapes {
+		return false
+	}
+	if o.opts.TraceIsEffectful && containsTrace(e) {
+		return false
+	}
+	if shapes.TotalExpr(e, shapes.Scope{
+		InScope:    func(name string) bool { return o.scope[name] > 0 },
+		IsUserFunc: func(name string) bool { return o.userFuncs[name] },
+	}) {
+		o.stats.ShapeProvenTotal++
+		return true
+	}
+	return false
+}
+
+// containsTrace reports whether any fn:trace call occurs in e. Dropping one
+// is only legal when the configuration says trace has no side channel.
+func containsTrace(e ast.Expr) bool {
+	found := false
+	walk(e, func(x ast.Expr) bool {
+		if call, ok := x.(*ast.FunctionCall); ok && (call.Name == "trace" || call.Name == "fn:trace") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// eliminableSyntactic is the pre-shapes whitelist of total expressions:
+// literals, references to variables the walk has seen bound (an unbound
+// name is a static XPST0008 the optimizer must not hide), sequences of
+// eliminable parts, true()/false(), and — in the Galax-era configuration
+// the paper fought — fn:trace over eliminable arguments. Everything else
+// is conservatively kept. Retained both as the O2+noshapes behavior and as
+// the agreement baseline the shapes audit tests against.
+func (o *optimizer) eliminableSyntactic(e ast.Expr) bool {
 	switch n := e.(type) {
 	case *ast.IntLit, *ast.StringLit, *ast.DecimalLit, *ast.DoubleLit, *ast.EmptySeq:
 		return true
@@ -440,7 +496,7 @@ func (o *optimizer) eliminable(e ast.Expr) bool {
 		return o.scope[n.Name] > 0
 	case *ast.SequenceExpr:
 		for _, it := range n.Items {
-			if !o.eliminable(it) {
+			if !o.eliminableSyntactic(it) {
 				return false
 			}
 		}
@@ -468,7 +524,7 @@ func (o *optimizer) eliminable(e ast.Expr) bool {
 				return false
 			}
 			for _, a := range n.Args {
-				if !o.eliminable(a) {
+				if !o.eliminableSyntactic(a) {
 					return false
 				}
 			}

@@ -1,0 +1,293 @@
+// Package shapes implements static shape and cardinality inference over the
+// optimized XQuery AST: a forward pass computing, per expression, a small
+// lattice of facts — occurrence bounds, an atomic-type upper bound,
+// node-free-ness, and totality (cannot raise) — in the spirit of the regular
+// expression subtyping line of work the roadmap cites.
+//
+// The facts feed four consumers: the optimizer's dead-let eliminability test
+// (a real totality analysis instead of a syntactic whitelist), the closure
+// compiler's cardinality/Atomize check elision, compile-time XPTY diagnostics
+// with source spans, and EXPLAIN's per-node shape annotations.
+//
+// Soundness invariant: a Shape describes the VALUE an expression produces on
+// successful evaluation; Total additionally promises success. Occurrence and
+// kind bounds therefore hold independently of totality — if the expression
+// raises, no value flows and the bounds are vacuous. Resource-limit errors
+// (the sandbox's LOPS* family) are exempt from totality everywhere: they can
+// strike any expression, are uncatchable, and the differential harness never
+// compares step budgets across shape configurations.
+package shapes
+
+import "strings"
+
+// Occ is an occurrence bound: how many items an expression's value may hold.
+// The lattice is ordered by interval inclusion with OccStar on top; OccEmpty
+// and OccOne are incomparable bottoms.
+type Occ uint8
+
+// Occurrence bounds.
+const (
+	// OccEmpty: exactly the empty sequence.
+	OccEmpty Occ = iota
+	// OccOne: exactly one item.
+	OccOne
+	// OccOpt: zero or one item.
+	OccOpt
+	// OccPlus: one or more items.
+	OccPlus
+	// OccStar: any number of items (no information).
+	OccStar
+)
+
+// Lo returns the minimum item count (0 or 1) the bound admits.
+func (o Occ) Lo() int {
+	if o == OccOne || o == OccPlus {
+		return 1
+	}
+	return 0
+}
+
+// Hi returns the maximum item count the bound admits, with 2 standing in for
+// "unbounded".
+func (o Occ) Hi() int {
+	switch o {
+	case OccEmpty:
+		return 0
+	case OccOne, OccOpt:
+		return 1
+	}
+	return 2
+}
+
+// occFromBounds canonicalizes interval bounds back into an Occ.
+func occFromBounds(lo, hi int) Occ {
+	if hi <= 0 {
+		return OccEmpty
+	}
+	if hi == 1 {
+		if lo >= 1 {
+			return OccOne
+		}
+		return OccOpt
+	}
+	if lo >= 1 {
+		return OccPlus
+	}
+	return OccStar
+}
+
+// Join is the least upper bound: the tightest Occ admitting both operands
+// (the if/typeswitch/try rule).
+func (o Occ) Join(p Occ) Occ {
+	return occFromBounds(min(o.Lo(), p.Lo()), max(o.Hi(), p.Hi()))
+}
+
+// Concat is sequence concatenation: item counts add (the comma rule).
+func (o Occ) Concat(p Occ) Occ {
+	return occFromBounds(min(o.Lo()+p.Lo(), 1), min(o.Hi()+p.Hi(), 2))
+}
+
+// Product is iteration: item counts multiply (the FLWOR for rule — a body
+// producing p per binding over a range producing o).
+func (o Occ) Product(p Occ) Occ {
+	return occFromBounds(o.Lo()*p.Lo(), min(o.Hi()*p.Hi(), 2))
+}
+
+// Sub reports o ⊑ p: every count o admits, p admits too.
+func (o Occ) Sub(p Occ) bool {
+	return p.Lo() <= o.Lo() && o.Hi() <= p.Hi()
+}
+
+// String renders the bound as an XQuery-style occurrence indicator.
+func (o Occ) String() string {
+	switch o {
+	case OccEmpty:
+		return "0"
+	case OccOne:
+		return "1"
+	case OccOpt:
+		return "?"
+	case OccPlus:
+		return "+"
+	}
+	return "*"
+}
+
+// Atom is a bitset upper bound over the atomic types an expression's value
+// may contain. ANone (no bits) means the value holds no atomic items; AAny is
+// the uninformative top. Join is bitwise union.
+type Atom uint8
+
+// Atomic-kind bits.
+const (
+	AInt Atom = 1 << iota
+	ADec
+	ADbl
+	ABool
+	AStr
+	AUntyped
+)
+
+// Derived bounds.
+const (
+	ANone Atom = 0
+	ANum       = AInt | ADec | ADbl
+	AAny       = ANum | ABool | AStr | AUntyped
+)
+
+// Sub reports a ⊆ b.
+func (a Atom) Sub(b Atom) bool { return a&^b == 0 }
+
+// String renders the kind bound compactly.
+func (a Atom) String() string {
+	switch a {
+	case ANone:
+		return "none"
+	case ANum:
+		return "numeric"
+	case AAny:
+		return "any"
+	}
+	var parts []string
+	for _, e := range [...]struct {
+		bit  Atom
+		name string
+	}{{AInt, "int"}, {ADec, "dec"}, {ADbl, "dbl"}, {ABool, "bool"}, {AStr, "str"}, {AUntyped, "untyped"}} {
+		if a&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Shape is the full fact lattice for one expression.
+type Shape struct {
+	// Occ bounds the value's item count.
+	Occ Occ
+	// Atomic bounds the atomic types of the value's atomic items; nodes are
+	// tracked by NodeFree, not here.
+	Atomic Atom
+	// NodeFree reports the value can never contain nodes.
+	NodeFree bool
+	// Total reports evaluation cannot raise a non-limit error.
+	Total bool
+}
+
+// Unknown is the uninformative top element.
+var Unknown = Shape{Occ: OccStar, Atomic: AAny}
+
+// emptyShape describes a value known to be ().
+func emptyShape(total bool) Shape {
+	return Shape{Occ: OccEmpty, Atomic: ANone, NodeFree: true, Total: total}
+}
+
+// one builds a total singleton atomic shape (the literal rule).
+func one(a Atom) Shape {
+	return Shape{Occ: OccOne, Atomic: a, NodeFree: true, Total: true}
+}
+
+// norm canonicalizes: a provably empty value holds no items of any kind.
+func (s Shape) norm() Shape {
+	if s.Occ == OccEmpty {
+		s.Atomic = ANone
+		s.NodeFree = true
+	}
+	return s
+}
+
+// Join is the least upper bound of two alternative values (branches).
+func Join(a, b Shape) Shape {
+	return Shape{
+		Occ:      a.Occ.Join(b.Occ),
+		Atomic:   a.Atomic | b.Atomic,
+		NodeFree: a.NodeFree && b.NodeFree,
+		Total:    a.Total && b.Total,
+	}.norm()
+}
+
+// Concat combines two values evaluated in sequence (the comma rule).
+func Concat(a, b Shape) Shape {
+	return Shape{
+		Occ:      a.Occ.Concat(b.Occ),
+		Atomic:   a.Atomic | b.Atomic,
+		NodeFree: a.NodeFree && b.NodeFree,
+		Total:    a.Total && b.Total,
+	}.norm()
+}
+
+// atomizedKind bounds the atomic kinds after xdm.Atomize: atomics pass
+// through; any node becomes xs:untypedAtomic.
+func (s Shape) atomizedKind() Atom {
+	if s.NodeFree {
+		return s.Atomic
+	}
+	return s.Atomic | AUntyped
+}
+
+// allNodes reports the value can contain only nodes (or be empty).
+func (s Shape) allNodes() bool { return s.Atomic == ANone }
+
+// ebvSafe reports xdm.EffectiveBool cannot raise on the value: FORG0006
+// needs a multi-item sequence whose first item is not a node, so a bound of
+// at most one item is safe for every kind, and an all-node value is safe at
+// any length (node-first short-circuits to true).
+func (s Shape) ebvSafe() bool { return s.Occ.Hi() <= 1 || s.allNodes() }
+
+// bounded reports the value holds at most one item.
+func (s Shape) bounded() bool { return s.Occ.Hi() <= 1 }
+
+// ElidableAtomize reports the runtime's Atomize+AtMostOne operand dispatch
+// can compile away: at most one item and never a node, so atomization is
+// the identity and the cardinality check cannot fail. Consumers must still
+// guard the fast path cheaply (length and node checks) so a wrong shape
+// costs speed, not correctness.
+func (s Shape) ElidableAtomize() bool { return s.Occ.Hi() <= 1 && s.NodeFree }
+
+// ElidableEBV reports a condition read can skip xdm.EffectiveBool: at most
+// one item, never a node, and only boolean atomics — so the effective
+// boolean value is false (empty) or the item itself.
+func (s Shape) ElidableEBV() bool {
+	return s.Occ.Hi() <= 1 && s.NodeFree && s.Atomic.Sub(ABool)
+}
+
+// String renders the shape for EXPLAIN annotations, e.g. {1 int nf tot},
+// {* node}, {? any}.
+func (s Shape) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	b.WriteString(s.Occ.String())
+	b.WriteByte(' ')
+	switch {
+	case s.Occ == OccEmpty:
+		b.WriteString("()")
+	case s.Atomic == ANone:
+		b.WriteString("node")
+	case s.NodeFree:
+		b.WriteString(s.Atomic.String())
+	default:
+		b.WriteString(s.Atomic.String())
+		b.WriteString("|node")
+	}
+	if s.NodeFree && s.Occ != OccEmpty && s.Atomic != ANone {
+		b.WriteString(" nf")
+	}
+	if s.Total {
+		b.WriteString(" tot")
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

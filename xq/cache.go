@@ -33,6 +33,7 @@ type planKey struct {
 	optLevel       OptLevel
 	traceEffectful bool
 	noAccessPaths  bool
+	noShapes       bool
 	// update marks plans compiled through the update-sublanguage pipeline
 	// (CompileUpdateCached); the same source text can legally exist as both
 	// a query and an update program.
@@ -86,6 +87,9 @@ func shardFor(key *planKey) *planShard {
 	if key.noAccessPaths {
 		h ^= 0x2545f4914f6cdd1d
 	}
+	if key.noShapes {
+		h ^= 0xbf58476d1ce4e5b9
+	}
 	if key.update {
 		h ^= 0x94d049bb133111eb
 	}
@@ -132,6 +136,7 @@ func compileCached(src string, cfg config, update bool,
 		optLevel:       cfg.optLevel,
 		traceEffectful: cfg.traceIsEffectful,
 		noAccessPaths:  cfg.noAccessPaths,
+		noShapes:       cfg.noShapes,
 		update:         update,
 	}
 	sh := shardFor(&key)

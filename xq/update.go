@@ -33,6 +33,7 @@ import (
 	"lopsided/internal/xquery/interp"
 	"lopsided/internal/xquery/optimizer"
 	"lopsided/internal/xquery/parser"
+	"lopsided/internal/xquery/shapes"
 )
 
 // WithEagerCopyApply forces Transform to apply the pending-update list
@@ -77,12 +78,24 @@ func compileUpdateModule(src string, cfg config) (*interp.Program, optimizer.Sta
 		Level:              cfg.optLevel,
 		TraceIsEffectful:   cfg.traceIsEffectful,
 		DisableAccessPaths: cfg.noAccessPaths,
+		DisableShapes:      cfg.noShapes,
 	})
 	phase("optimize", false, t)
 
+	// Update programs get shape facts for check elision and EXPLAIN only:
+	// statements run conditionally by nature, so inference never produces
+	// static diagnostics here and there is nothing to raise.
+	var info *shapes.Info
+	if !cfg.noShapes {
+		t = time.Now()
+		phase("shapes", true, t)
+		info = shapes.InferUpdateModule(um)
+		phase("shapes", false, t)
+	}
+
 	t = time.Now()
 	phase("compile", true, t)
-	prog, err := interp.NewUpdateProgram(um)
+	prog, err := interp.NewUpdateProgramWithShapes(um, info)
 	phase("compile", false, t)
 	if err != nil {
 		reg.CompileErrors.Add(1)

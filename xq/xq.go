@@ -48,6 +48,7 @@ import (
 	"lopsided/internal/xquery/lexer"
 	"lopsided/internal/xquery/optimizer"
 	"lopsided/internal/xquery/parser"
+	"lopsided/internal/xquery/shapes"
 )
 
 // Sequence is an XQuery result sequence (always flat).
@@ -159,6 +160,7 @@ type config struct {
 	optLevel         OptLevel
 	traceIsEffectful bool
 	noAccessPaths    bool
+	noShapes         bool
 	tracer           Tracer
 	docResolver      func(uri string) (*Node, error)
 	dupAttr          DupAttrPolicy
@@ -199,6 +201,18 @@ func WithOptLevel(l OptLevel) Option { return func(c *config) { c.optLevel = l }
 // reproduces the bug that silently swallowed the paper's tracing.
 // Compile-time only.
 func WithTraceEffectful(on bool) Option { return func(c *config) { c.traceIsEffectful = on } }
+
+// WithShapes controls the static shape & cardinality analysis (default
+// true): a forward inference pass over the optimized AST whose facts let
+// dead-let elimination accept shape-proven-total expressions, access-path
+// planning widen predicates proven non-positional, the compiled plan elide
+// provably redundant runtime checks (counted in EvalStats.ShapeChecksElided),
+// EXPLAIN annotate every plan node with its inferred shape, and inevitable
+// type errors (XPTY0004) surface at compile time as static errors (check
+// IsStaticError). Disabling it reproduces the pre-shapes engine exactly —
+// the differential oracle runs the off configuration to prove shapes-on ≡
+// shapes-off semantics. Compile-time only.
+func WithShapes(on bool) Option { return func(c *config) { c.noShapes = !on } }
 
 // WithAccessPaths controls access-path planning at O1+ (default true):
 // rewriting `//name` and `[@attr = 'v']` shapes onto structural/value
@@ -302,16 +316,37 @@ func compileModule(src string, cfg config) (*interp.Program, optimizer.Stats, er
 		Level:              cfg.optLevel,
 		TraceIsEffectful:   cfg.traceIsEffectful,
 		DisableAccessPaths: cfg.noAccessPaths,
+		DisableShapes:      cfg.noShapes,
 	})
 	phase("optimize", false, t)
 
+	// Shape inference runs between optimize and lower so the compiler can
+	// install its check-elision fast paths over the same AST.
+	var info *shapes.Info
+	if !cfg.noShapes {
+		t = time.Now()
+		phase("shapes", true, t)
+		info = shapes.InferModule(mod)
+		phase("shapes", false, t)
+	}
+
 	t = time.Now()
 	phase("compile", true, t)
-	prog, err := interp.NewProgram(mod)
+	prog, err := interp.NewProgramWithShapes(mod, info)
 	phase("compile", false, t)
 	if err != nil {
 		reg.CompileErrors.Add(1)
 		return nil, optimizer.Stats{}, err
+	}
+	// Inevitable-error diagnostics are raised only after lowering succeeds,
+	// so the historical compile errors (XQST0034 duplicate function,
+	// XQST0040 duplicate attribute, …) keep winning over the new static
+	// type errors.
+	if info != nil {
+		if d := info.FirstDiag(); d != nil {
+			reg.CompileErrors.Add(1)
+			return nil, optimizer.Stats{}, &interp.Error{Code: d.Code, Msg: d.Msg, Pos: d.P, Static: true}
+		}
 	}
 	return prog, stats, nil
 }
@@ -490,6 +525,10 @@ func (q *Query) Explain() string {
 		fmt.Fprintf(&b, "access paths: index-scans=%d synopsis-prunes=%d tree-walks=%d folded-predicates=%d\n",
 			q.Stats.IndexScans, q.Stats.SynopsisPrunes, q.Stats.TreeWalks, q.Stats.FoldedPredicates)
 	}
+	if n := q.Stats.ShapeProvenTotal + q.Stats.ShapeWidenedPredicates; n > 0 {
+		fmt.Fprintf(&b, "shape facts used: proven-total-lets=%d widened-predicates=%d\n",
+			q.Stats.ShapeProvenTotal, q.Stats.ShapeWidenedPredicates)
+	}
 	b.WriteString(q.prog.Explain())
 	return b.String()
 }
@@ -541,3 +580,13 @@ func ErrorCode(err error) string {
 // timeout/cancellation (LOPS0001), step budget (LOPS0002), recursion depth
 // (LOPS0003), node budget (LOPS0004) or output budget (LOPS0005).
 func IsLimitError(err error) bool { return interp.IsLimitCode(ErrorCode(err)) }
+
+// IsStaticError reports whether err is a compile-time static-analysis error:
+// the shapes pass proved the query must raise this code (e.g. XPTY0004) on
+// every evaluation, so Compile rejects it up front. Hosts give these the
+// "bad query" treatment (CLI static exit status, server HTTP 400) rather
+// than the runtime-error one.
+func IsStaticError(err error) bool {
+	e, ok := err.(*interp.Error)
+	return ok && e.Static
+}
