@@ -67,18 +67,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: awbgen (-demo | -model m.xml -template t.xml) [-engine native|xquery] [-o out]")
 			os.Exit(2)
 		}
-		data, err := os.ReadFile(*modelFile)
+		mf, err := os.Open(*modelFile)
 		if err != nil {
 			fatal(err)
 		}
-		if model, err = awb.ImportXML(string(data)); err != nil {
-			fatal(err)
-		}
-		tdata, err := os.ReadFile(*tplFile)
+		model, err = awb.ImportReader(mf)
+		mf.Close()
 		if err != nil {
 			fatal(err)
 		}
-		if tpl, err = xmltree.ParseWith(string(tdata), xmltree.ParseOptions{TrimWhitespace: true}); err != nil {
+		tf, err := os.Open(*tplFile)
+		if err != nil {
+			fatal(err)
+		}
+		tpl, err = xmltree.ParseReaderWith(tf, xmltree.ParseOptions{TrimWhitespace: true})
+		tf.Close()
+		if err != nil {
 			fatal(err)
 		}
 	}

@@ -4,26 +4,44 @@
 // non-zero only for unreadable input, never for a "bad" model.
 //
 //	awblint -model testdata/example-model.xml
+//	awblint -stream -model big-model.xml
 //	awblint -demo -severity warning
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"syscall"
 
 	"lopsided/internal/awb"
 	"lopsided/internal/cliutil"
 	"lopsided/internal/workload"
 )
 
+// countingReader counts bytes handed to the streaming model parse, for the
+// -stream report line.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func main() {
-	modelFile := flag.String("model", "", "AWB model interchange XML")
+	modelFile := flag.String("model", "", "AWB model interchange XML (\"-\" for stdin)")
 	demo := flag.Bool("demo", false, "use the built-in demo model")
 	severity := flag.String("severity", "info", "minimum severity to print: info | warning")
+	streaming := flag.Bool("stream", false, "parse the model incrementally and report bytes scanned and peak RSS")
 	flag.Parse()
 
 	var model *awb.Model
+	var scanned int64
 	switch {
 	case *demo:
 		model = workload.BuildITModel(workload.Config{
@@ -32,16 +50,20 @@ func main() {
 			OmitSystemBeingDesigned: true,
 		})
 	case *modelFile != "":
-		data, err := os.ReadFile(*modelFile)
-		if err != nil {
-			fatal(err)
+		var err error
+		if *streaming {
+			model, scanned, err = loadStreaming(*modelFile)
+		} else {
+			var data []byte
+			if data, err = os.ReadFile(*modelFile); err == nil {
+				model, err = awb.ImportXML(string(data))
+			}
 		}
-		model, err = awb.ImportXML(string(data))
 		if err != nil {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: awblint (-demo | -model m.xml) [-severity info|warning]")
+		fmt.Fprintln(os.Stderr, "usage: awblint (-demo | -model m.xml) [-stream] [-severity info|warning]")
 		os.Exit(2)
 	}
 
@@ -71,6 +93,36 @@ func main() {
 	if count == 0 {
 		fmt.Println("no advisories — the model even matches the metamodel's fond hopes")
 	}
+	if *streaming {
+		fmt.Fprintf(os.Stderr, "stream: bytes-scanned=%d peak-rss-kb=%d\n", scanned, peakRSSKB())
+	}
+}
+
+// loadStreaming parses the model incrementally from the file (or stdin for
+// "-") so the raw XML never exists as one in-memory string.
+func loadStreaming(path string) (*awb.Model, int64, error) {
+	in := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		in = f
+	}
+	cr := &countingReader{r: in}
+	m, err := awb.ImportReader(cr)
+	return m, cr.n, err
+}
+
+// peakRSSKB reports the process's peak resident set size in kilobytes, or 0
+// where the platform doesn't expose it.
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss // kilobytes on Linux
 }
 
 func fatal(err error) {

@@ -41,11 +41,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: awbquery (-demo | -model m.xml) (-e '<query>…' | -query q.xml) [-engine native|xquery]")
 			os.Exit(2)
 		}
-		data, err := os.ReadFile(*modelFile)
+		f, err := os.Open(*modelFile)
 		if err != nil {
 			fatal(err)
 		}
-		if model, err = awb.ImportXML(string(data)); err != nil {
+		model, err = awb.ImportReader(f)
+		f.Close()
+		if err != nil {
 			fatal(err)
 		}
 	}

@@ -37,7 +37,8 @@ func (v varFlags) Set(s string) error {
 
 func main() {
 	expr := flag.String("e", "", "inline XQuery expression (instead of a file)")
-	ctxFile := flag.String("ctx", "", "XML file to use as the context item")
+	ctxFile := flag.String("ctx", "", "XML file to use as the context item (\"-\" for stdin)")
+	streaming := flag.Bool("stream", false, "evaluate the -ctx document with the streaming tiers (pure stream / projected parse / materialize)")
 	optLevel := flag.Int("O", 2, "optimizer level (0-2)")
 	galaxTrace := flag.Bool("galax-trace", false, "treat fn:trace as pure, reproducing the dead-code bug")
 	traceEvents := flag.Bool("trace-events", false, "log every structured engine event (phases, clauses, calls, traces) to stderr")
@@ -74,13 +75,54 @@ func main() {
 		xq.WithTraceEffectful(!*galaxTrace),
 		xq.WithTracer(tracer),
 		xq.WithDocResolver(func(uri string) (*xq.Node, error) {
-			data, err := os.ReadFile(uri)
+			f, err := os.Open(uri)
 			if err != nil {
 				return nil, err
 			}
-			return xq.ParseXML(string(data))
+			defer f.Close()
+			return xq.ParseXMLReader(f)
 		}),
 	}
+
+	external := map[string]xq.Sequence{}
+	for name, val := range vars {
+		external[name] = xq.Singleton(xq.String(val))
+	}
+	evalOpts := []xq.Option{xq.WithVars(external)}
+	var st xq.EvalStats
+	if ef.Stats {
+		evalOpts = append(evalOpts, xq.WithStats(&st))
+	}
+
+	if *streaming {
+		q, err := xq.CompileStream(src, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		if ef.Explain {
+			fmt.Print(q.Explain())
+			return
+		}
+		in := os.Stdin
+		if *ctxFile != "" && *ctxFile != "-" {
+			f, err := os.Open(*ctxFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		out, err := q.EvalReader(nil, in, evalOpts...)
+		if ef.Stats {
+			fmt.Fprintln(os.Stderr, "stats:", st.String())
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
 	q, err := xq.CompileCached(src, opts...)
 	if err != nil {
 		fatal(err)
@@ -91,22 +133,7 @@ func main() {
 	}
 	var ctx *xq.Node
 	if *ctxFile != "" {
-		data, err := os.ReadFile(*ctxFile)
-		if err != nil {
-			fatal(err)
-		}
-		if ctx, err = xq.ParseXML(string(data)); err != nil {
-			fatal(err)
-		}
-	}
-	external := map[string]xq.Sequence{}
-	for name, val := range vars {
-		external[name] = xq.Singleton(xq.String(val))
-	}
-	evalOpts := []xq.Option{xq.WithVars(external)}
-	var st xq.EvalStats
-	if ef.Stats {
-		evalOpts = append(evalOpts, xq.WithStats(&st))
+		ctx = loadContext(*ctxFile)
 	}
 	out, err := q.EvalString(nil, ctx, evalOpts...)
 	if ef.Stats {
@@ -116,6 +143,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(out)
+}
+
+// loadContext parses the context document incrementally from the file (or
+// stdin for "-"), avoiding the read-then-copy double buffering of
+// ReadFile + Parse.
+func loadContext(path string) *xq.Node {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	n, err := xq.ParseXMLReader(in)
+	if err != nil {
+		fatal(err)
+	}
+	return n
 }
 
 // fatal prints the structured error surface (code, position, message) and

@@ -2,6 +2,7 @@ package awb
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"lopsided/internal/xmltree"
@@ -171,6 +172,16 @@ func (m *Metamodel) exportXML() *xmltree.Node {
 // ImportXML parses a model interchange document produced by ExportXML.
 func ImportXML(src string) (*Model, error) {
 	doc, err := xmltree.ParseTrimmed(src)
+	if err != nil {
+		return nil, fmt.Errorf("awb: %w", err)
+	}
+	return ImportXMLDoc(doc)
+}
+
+// ImportReader parses a model interchange document incrementally from r,
+// without buffering the whole input into a string first.
+func ImportReader(r io.Reader) (*Model, error) {
+	doc, err := xmltree.ParseReaderWith(r, xmltree.ParseOptions{TrimWhitespace: true})
 	if err != nil {
 		return nil, fmt.Errorf("awb: %w", err)
 	}

@@ -52,6 +52,18 @@ type Config struct {
 	// with the same code, so Out+Code equivalence still holds). Comparing
 	// against NoShapes proves shapes-on ≡ shapes-off semantics.
 	NoShapes bool
+	// Projected compiles through xq.CompileStream with the pure-streaming
+	// tier disabled and evaluates via EvalReader, so the context document is
+	// parsed through the static path projection (pruned to the query's
+	// touchable subtrees plus ancestor shells). Comparing against the
+	// materialized default proves projected-parse ≡ full-parse semantics.
+	Projected bool
+	// Streamed compiles through xq.CompileStream with both streaming tiers
+	// enabled: queries in the downward-axis fragment are answered by the
+	// SAX evaluator with no tree at all, the rest fall back to projection
+	// or materialization. Comparing against the default proves the whole
+	// streaming ladder changes memory, never semantics.
+	Streamed bool
 }
 
 // Matrix returns the full configuration matrix the acceptance criteria
@@ -84,6 +96,11 @@ func Matrix() []Config {
 	// error timing, never results or codes.
 	out = append(out, Config{Name: "O0+noshapes", OptLevel: xq.O0, NoShapes: true})
 	out = append(out, Config{Name: "O2+noshapes", OptLevel: xq.O2, NoShapes: true})
+	// Streaming configurations at O2 (where the optimizer rewrites paths the
+	// projection and stream analyses must still see through): projection-only
+	// parsing, and the full streaming ladder with the SAX tier on top.
+	out = append(out, Config{Name: "O2+proj", OptLevel: xq.O2, Projected: true})
+	out = append(out, Config{Name: "O2+stream", OptLevel: xq.O2, Streamed: true})
 	return out
 }
 
@@ -182,6 +199,9 @@ func evalCase(c Case, cfg Config, maxSteps int64) Outcome {
 	if cfg.Traced {
 		opts = append(opts, xq.WithTracer(xq.NopTracer), xq.WithStats(&st))
 	}
+	if cfg.Projected || cfg.Streamed {
+		return evalStreaming(c, cfg, opts, out)
+	}
 	compile := xq.Compile
 	if cfg.Cached {
 		compile = xq.CompileCached
@@ -197,6 +217,35 @@ func evalCase(c Case, cfg Config, maxSteps int64) Outcome {
 		return out
 	}
 	s, err := q.EvalString(nil, doc)
+	if err != nil {
+		out.Code, out.Err = codeOf(err)
+		out.LimitTripped = xq.IsLimitError(err)
+		return out
+	}
+	out.Out = s
+	return out
+}
+
+// evalStreaming runs the case through the streaming entry point: the context
+// document streams from its markup instead of being pre-parsed, exercising
+// the projection-pruned parse (Projected) or the full streaming ladder
+// (Streamed). A case with no context document evaluates like the default
+// path — there is nothing to stream.
+func evalStreaming(c Case, cfg Config, opts []xq.Option, out Outcome) Outcome {
+	if cfg.Projected {
+		opts = append(opts, xq.WithStreamEval(false))
+	}
+	q, err := xq.CompileStream(c.Src, opts...)
+	if err != nil {
+		out.Code, out.Err = codeOf(err)
+		return out
+	}
+	var s string
+	if c.Doc == "" {
+		s, err = q.EvalString(nil, nil)
+	} else {
+		s, err = q.EvalReader(nil, strings.NewReader(c.Doc))
+	}
 	if err != nil {
 		out.Code, out.Err = codeOf(err)
 		out.LimitTripped = xq.IsLimitError(err)

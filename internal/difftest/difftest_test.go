@@ -161,7 +161,7 @@ func TestFindConfig(t *testing.T) {
 	if _, ok := FindConfig("O9"); ok {
 		t.Fatal("FindConfig must reject unknown names")
 	}
-	if len(Matrix()) != 17 {
-		t.Fatalf("matrix size = %d, want 17 (3 levels × cache × trace + galax + O1/O2 noidx + O0/O2 noshapes)", len(Matrix()))
+	if len(Matrix()) != 19 {
+		t.Fatalf("matrix size = %d, want 19 (3 levels × cache × trace + galax + O1/O2 noidx + O0/O2 noshapes + O2 proj/stream)", len(Matrix()))
 	}
 }

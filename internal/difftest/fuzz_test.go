@@ -1,6 +1,10 @@
 package difftest
 
-import "testing"
+import (
+	"testing"
+
+	"lopsided/xq"
+)
 
 // FuzzDiff feeds fuzzer-chosen seeds through the full differential matrix.
 // The corpus starts from the pinned regression seeds so the fuzzer begins
@@ -12,6 +16,29 @@ func FuzzDiff(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		c := Generate(seed)
 		if d := Check(c, nil); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	})
+}
+
+// FuzzProjected focuses the oracle on the streaming boundary: the projected
+// parse and the full streaming ladder against the materializing default at
+// O2, where the optimizer's path rewrites are exactly what the projection
+// and stream analyses must see through. The corpus starts from the pinned
+// proj-* seeds (projection-corner shapes: ancestor retention, attribute-only
+// paths, descendant steps under descendant steps).
+func FuzzProjected(f *testing.F) {
+	for _, seed := range []int64{14, 17, 27, 36, 48} {
+		f.Add(seed)
+	}
+	configs := []Config{
+		{Name: "O2", OptLevel: xq.O2},
+		{Name: "O2+proj", OptLevel: xq.O2, Projected: true},
+		{Name: "O2+stream", OptLevel: xq.O2, Streamed: true},
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(seed)
+		if d := Check(c, configs); d != nil {
 			t.Fatalf("seed %d: %v", seed, d)
 		}
 	})

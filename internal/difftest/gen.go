@@ -83,16 +83,50 @@ func GenerateTree(seed int64) (Case, *gnode) {
 	return c, root
 }
 
-// document builds a small context document with untyped numeric, NaN-ish,
-// and textual attribute content for the path/comparison productions.
+// document builds a context document with untyped numeric, NaN-ish, and
+// textual attribute content for the path/comparison productions. One draw in
+// four builds the bulk shape instead: dozens of items, some nested under
+// <grp> wrappers at varying depth with comments and stray text between them
+// — the shape that stresses the streaming tiers (ancestor-shell retention,
+// dead-branch skipping, `//` matching at depth) without changing what the
+// small shape's paths mean.
 func (g *gen) document() string {
 	var b strings.Builder
 	b.WriteString("<r>")
-	n := 1 + g.rng.Intn(4)
 	vals := []string{"1", "2", "3.5", "NaN", "abc", "", "0", "-7"}
-	for i := 0; i < n; i++ {
+	item := func(i int) {
 		fmt.Fprintf(&b, `<item n="%s" k="k%d">%s</item>`,
 			vals[g.rng.Intn(len(vals))], i, vals[g.rng.Intn(len(vals))])
+	}
+	if g.rng.Intn(4) == 0 {
+		n := 20 + g.rng.Intn(100)
+		for i := 0; i < n; i++ {
+			switch g.rng.Intn(6) {
+			case 0:
+				// Nested group: items reachable by // but not /r/item.
+				depth := 1 + g.rng.Intn(3)
+				for d := 0; d < depth; d++ {
+					b.WriteString("<grp>")
+				}
+				item(i)
+				for d := 0; d < depth; d++ {
+					b.WriteString("</grp>")
+				}
+			case 1:
+				b.WriteString("<!-- filler -->")
+				item(i)
+			case 2:
+				b.WriteString("<pad><deep><deeper/></deep></pad>")
+				item(i)
+			default:
+				item(i)
+			}
+		}
+	} else {
+		n := 1 + g.rng.Intn(4)
+		for i := 0; i < n; i++ {
+			item(i)
+		}
 	}
 	b.WriteString("<empty/></r>")
 	return b.String()

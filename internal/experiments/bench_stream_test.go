@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lopsided/xq"
+)
+
+// The streaming benchmarks pin the F6 corpus shape as allocation-gated
+// regression tests (BENCH_stream.json, cmd/benchcheck): the SAX evaluator
+// and the projection-pruned parse against the materializing parse, all over
+// the same markup. The streaming variants' allocs/op is the gate — a
+// scanner that starts copying token buffers, or a projection that stops
+// pruning, shows up there deterministically.
+
+func benchStreamDoc(b *testing.B) string {
+	b.Helper()
+	return f6Doc(2000)
+}
+
+func BenchmarkStreamEvalCount(b *testing.B) {
+	src := benchStreamDoc(b)
+	q, err := xq.CompileStream(`count(//item[@k = 'k7'])`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if q.Mode() != xq.StreamFull {
+		b.Fatalf("mode = %v, want full-stream", q.Mode())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := q.EvalReader(nil, strings.NewReader(src))
+		if err != nil || out != "125" {
+			b.Fatalf("out=%q err=%v", out, err)
+		}
+	}
+}
+
+func BenchmarkProjectedParse(b *testing.B) {
+	src := benchStreamDoc(b)
+	q, err := xq.CompileStream(`sum(//item/@n)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.ParseProjected(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaterializedParse(b *testing.B) {
+	src := benchStreamDoc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xq.ParseXMLReader(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

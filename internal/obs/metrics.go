@@ -166,6 +166,29 @@ func SetIndexProbe(fn func() IndexStats) {
 	indexProbe.Store(&fn)
 }
 
+// StreamStats reports the streaming-parse layer's process-wide traffic:
+// full reader parses, projection-pruned parses, input bytes scanned, and
+// the projected parses' element retain/prune decisions. The counters live
+// in the tree package; the engine registers a probe, exactly like the
+// sharing counters.
+type StreamStats struct {
+	ReaderParses     int64
+	ProjectedParses  int64
+	BytesScanned     int64
+	ElementsRetained int64
+	ElementsPruned   int64
+}
+
+// streamProbe is read at snapshot time; nil until an engine package
+// registers one via SetStreamProbe.
+var streamProbe atomic.Pointer[func() StreamStats]
+
+// SetStreamProbe registers the function Snapshot uses to fill the
+// streaming-parse counters. Later registrations replace earlier ones.
+func SetStreamProbe(fn func() StreamStats) {
+	streamProbe.Store(&fn)
+}
+
 // Snapshot is a point-in-time copy of a Registry, the MetricsSnapshot()
 // result type.
 type Snapshot struct {
@@ -179,7 +202,10 @@ type Snapshot struct {
 	Sharing SharingStats
 	// Index holds the structural/value index counters from the registered
 	// probe (zero when no probe is registered).
-	Index                       IndexStats
+	Index IndexStats
+	// Stream holds the streaming-parse counters from the registered probe
+	// (zero when no probe is registered).
+	Stream                      StreamStats
 	CompileLatency, EvalLatency HistogramSnapshot
 }
 
@@ -193,9 +219,14 @@ func (r *Registry) Snapshot() Snapshot {
 	if fn := indexProbe.Load(); fn != nil {
 		index = (*fn)()
 	}
+	var stream StreamStats
+	if fn := streamProbe.Load(); fn != nil {
+		stream = (*fn)()
+	}
 	return Snapshot{
 		Sharing:            sharing,
 		Index:              index,
+		Stream:             stream,
 		Compiles:           r.Compiles.Load(),
 		CompileErrors:      r.CompileErrors.Load(),
 		PlanCacheHits:      r.PlanCacheHits.Load(),

@@ -58,6 +58,15 @@ type EvalStats struct {
 	// skipped because the static shape analysis proved them redundant.
 	// Exact per-call value; zero when the plan was compiled without shapes.
 	ShapeChecksElided int64
+	// StreamMode records which streaming tier served the evaluation:
+	// "full-stream" (SAX evaluator, no tree), "projected"
+	// (projection-pruned parse), or "materialize". Empty for evaluations
+	// that did not go through a streaming entry point.
+	StreamMode string
+	// BytesScanned counts input bytes consumed by the streaming parse or
+	// SAX evaluation; NodesPruned counts elements the projection dropped.
+	// Exact per-call values; zero outside streaming entry points.
+	BytesScanned, NodesPruned int64
 }
 
 // String renders the stats as the one-line form the CLIs print:
@@ -105,6 +114,12 @@ func (s EvalStats) String() string {
 	}
 	if s.ShapeChecksElided > 0 {
 		fmt.Fprintf(&b, " shape-elided=%d", s.ShapeChecksElided)
+	}
+	if s.StreamMode != "" {
+		fmt.Fprintf(&b, " stream=%s scanned-bytes=%d", s.StreamMode, s.BytesScanned)
+		if s.NodesPruned > 0 {
+			fmt.Fprintf(&b, " pruned-nodes=%d", s.NodesPruned)
+		}
 	}
 	return b.String()
 }

@@ -242,31 +242,42 @@ func (st *Store) buildCollection(name, dir string, files []string) (*Collection,
 	for _, f := range files {
 		path := filepath.Join(dir, f)
 		op := fmt.Sprintf("load(%q)", name+"/"+f)
-		var data []byte
+		// Parse straight off the file through the streaming reader: the raw
+		// bytes never exist as one in-memory string next to the tree. A
+		// retried attempt re-opens the file, so a transient fault mid-parse
+		// starts over from a clean scanner.
+		var doc *xmltree.Node
+		var bytes int64
 		err := faultinject.Retry(st.opts.Retry, func() error {
 			if st.opts.Hook != nil {
 				if err := st.opts.Hook(op); err != nil {
 					return err
 				}
 			}
-			var e error
-			data, e = os.ReadFile(path)
-			return e
+			fh, e := os.Open(path)
+			if e != nil {
+				return e
+			}
+			defer fh.Close()
+			if fi, e := fh.Stat(); e == nil {
+				bytes = fi.Size()
+			}
+			doc, e = xmltree.ParseReader(fh)
+			if e != nil {
+				return fmt.Errorf("parse: %w", e)
+			}
+			return nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("store: %s: %w", op, err)
-		}
-		doc, err := xmltree.Parse(string(data))
-		if err != nil {
-			return nil, fmt.Errorf("store: parse %s: %w", path, err)
 		}
 		// Freeze the parsed document so it can anchor a structural/value
 		// index: fn:doc evaluations share one lazily-built index per
 		// document per snapshot, across requests and tenants.
 		xmltree.Freeze(doc)
 		docName := strings.TrimSuffix(f, ".xml")
-		col.Docs = append(col.Docs, Doc{Name: docName, Root: doc, Bytes: int64(len(data))})
-		col.Bytes += int64(len(data))
+		col.Docs = append(col.Docs, Doc{Name: docName, Root: doc, Bytes: bytes})
+		col.Bytes += bytes
 		// Wrap a lazy COW clone of the document element: the clone
 		// freezes the parsed tree (so fn:doc serves frozen documents) and
 		// shares its storage with the collection root instead of copying.

@@ -1,0 +1,344 @@
+package xmltree
+
+import (
+	"io"
+	"strings"
+)
+
+// ParseReader parses a complete XML document from r and returns its
+// document node. It accepts exactly the language Parse accepts and reports
+// identical *ParseError values; the difference is purely operational — the
+// input is tokenized incrementally instead of being held as one string, so
+// a file or network stream never needs a second in-memory copy.
+func ParseReader(r io.Reader) (*Node, error) {
+	return ParseReaderWith(r, ParseOptions{})
+}
+
+// ParseReaderWith is ParseReader with parse options.
+func ParseReaderWith(r io.Reader, opts ParseOptions) (*Node, error) {
+	s := NewScanner(r, opts)
+	doc := NewDocument()
+	cur := doc
+	stack := []*Node{}
+	for {
+		tok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case TokStartElement:
+			el := NewElement(tok.Name)
+			for _, a := range tok.Attrs {
+				el.SetAttr(a.Name, a.Value)
+			}
+			cur.AppendChild(el)
+			if !tok.SelfClose {
+				stack = append(stack, cur)
+				cur = el
+			} else {
+				// The synthetic end token follows; consume it here so the
+				// main loop stays balanced without tracking self-closes.
+				if _, err := s.Next(); err != nil {
+					return nil, err
+				}
+			}
+		case TokEndElement:
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case TokText:
+			cur.AppendChild(NewText(tok.Data))
+		case TokComment:
+			cur.AppendChild(NewComment(tok.Data))
+		case TokPI:
+			cur.AppendChild(NewPI(tok.Name, tok.Data))
+		case TokEOF:
+			recordReaderParse(s.BytesRead())
+			return doc, nil
+		}
+	}
+}
+
+// ---- Projection ----
+
+// ProjStep is one step of a root-anchored projection path: a name test,
+// optionally reachable at any depth (Desc) instead of as a direct child.
+// Name tests use the engine's textual matching: "x", "*", "pre:*", "*:local".
+type ProjStep struct {
+	Name string
+	Desc bool
+}
+
+// ProjPath is one root-anchored path the query can touch. Elements matching
+// the full step sequence are retained; Subtree retains their entire
+// subtrees (value uses: atomization, serialization, kind tests below),
+// while without it only the element shell (name + ancestry) survives
+// (existence/count/name uses). Attrs lists attribute names required on
+// matching elements; "*" keeps all of them.
+type ProjPath struct {
+	Steps   []ProjStep
+	Subtree bool
+	Attrs   []string
+}
+
+// Projection is the static path analysis' verdict: the set of paths a
+// query can navigate into its context document. ParseProjected builds only
+// matching subtrees (plus the ancestor shells needed to reach them) and
+// skips everything else.
+type Projection struct {
+	Paths []ProjPath
+}
+
+// EverythingNeeded reports whether the projection retains the whole
+// document anyway (a Subtree mark on the root path), in which case
+// projected parsing degenerates to a full parse.
+func (p *Projection) EverythingNeeded() bool {
+	for _, pp := range p.Paths {
+		if len(pp.Steps) == 0 && pp.Subtree {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the path set the way EXPLAIN prints it.
+func (p *Projection) String() string {
+	if len(p.Paths) == 0 {
+		return "(empty)"
+	}
+	var b strings.Builder
+	for i, pp := range p.Paths {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if len(pp.Steps) == 0 {
+			b.WriteString("/")
+		}
+		for _, st := range pp.Steps {
+			if st.Desc {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+			b.WriteString(st.Name)
+		}
+		for _, a := range pp.Attrs {
+			b.WriteString("/@")
+			b.WriteString(a)
+		}
+		if pp.Subtree {
+			b.WriteString("#subtree")
+		}
+	}
+	return b.String()
+}
+
+// NameTestMatches applies a projection name test to an element name with
+// the engine's textual matching rules (paths.go makeTest).
+func NameTestMatches(test, name string) bool {
+	switch {
+	case test == "*":
+		return true
+	case strings.HasSuffix(test, ":*"):
+		prefix := strings.TrimSuffix(test, ":*")
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			return name[:i] == prefix
+		}
+		return prefix == ""
+	case strings.HasPrefix(test, "*:"):
+		local := strings.TrimPrefix(test, "*:")
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			return name[i+1:] == local
+		}
+		return name == local
+	}
+	return test == name
+}
+
+// ProjStats reports what one projected parse did.
+type ProjStats struct {
+	// BytesRead is the input size consumed.
+	BytesRead int64
+	// ElementsRetained counts elements present in the projected tree.
+	ElementsRetained int64
+	// ElementsPruned counts elements seen in the input but not retained —
+	// dropped candidate shells plus whole subtrees skipped without
+	// building.
+	ElementsPruned int64
+}
+
+// projState is one NFA state: the next step of Paths[path] to match.
+type projState struct {
+	path, step int
+}
+
+// projFrame is the per-open-element matching state.
+type projFrame struct {
+	node *Node
+	// subtree marks the keep-everything region below a Subtree match.
+	subtree bool
+	// keep marks a terminal path match (the shell survives regardless of
+	// descendants).
+	keep bool
+	// childKept records that some descendant was retained, so this shell
+	// is a required ancestor.
+	childKept bool
+	// states are the NFA states applied to this frame's children.
+	states []projState
+}
+
+// ParseProjected parses a document from r, building only the parts the
+// projection says the query can touch. The result is a normal frozen tree:
+// indexes, serialization, and the whole engine work on it unchanged.
+func ParseProjected(r io.Reader, proj *Projection) (*Node, error) {
+	doc, _, err := ParseProjectedStats(r, proj, ParseOptions{})
+	return doc, err
+}
+
+// ParseProjectedStats is ParseProjected with parse options and per-parse
+// statistics.
+func ParseProjectedStats(r io.Reader, proj *Projection, opts ParseOptions) (*Node, ProjStats, error) {
+	if proj == nil || proj.EverythingNeeded() {
+		// Nothing to prune; the plain reader parse is the same tree.
+		doc, err := ParseReaderWith(r, opts)
+		if err != nil {
+			return nil, ProjStats{}, err
+		}
+		var st ProjStats
+		st.ElementsRetained = countElements(doc)
+		return Freeze(doc), st, nil
+	}
+	s := NewScanner(r, opts)
+	doc := NewDocument()
+	// The document frame: every path starts here. A path with no steps
+	// marks the document itself (count(/), attrs are meaningless on it).
+	root := projFrame{node: doc, keep: true}
+	for i, pp := range proj.Paths {
+		if len(pp.Steps) > 0 {
+			root.states = append(root.states, projState{path: i, step: 0})
+		}
+	}
+	frames := []projFrame{root}
+	var st ProjStats
+	var elementsSeen int64
+	for {
+		tok, err := s.Next()
+		if err != nil {
+			return nil, ProjStats{}, err
+		}
+		f := &frames[len(frames)-1]
+		switch tok.Kind {
+		case TokStartElement:
+			elementsSeen++
+			nf := projFrame{subtree: f.subtree}
+			var attrFilter []string // nil = none, ["*"] = all
+			if f.subtree {
+				attrFilter = starAttr
+			}
+			for _, stt := range f.states {
+				step := proj.Paths[stt.path].Steps[stt.step]
+				if step.Desc {
+					nf.states = append(nf.states, stt)
+				}
+				if !NameTestMatches(step.Name, tok.Name) {
+					continue
+				}
+				if stt.step+1 == len(proj.Paths[stt.path].Steps) {
+					pp := &proj.Paths[stt.path]
+					nf.keep = true
+					if pp.Subtree {
+						nf.subtree = true
+						attrFilter = starAttr
+					}
+					if attrFilter == nil || attrFilter[0] != "*" {
+						attrFilter = append(attrFilter, pp.Attrs...)
+					}
+				} else {
+					nf.states = append(nf.states, projState{path: stt.path, step: stt.step + 1})
+				}
+			}
+			if !nf.keep && !nf.subtree && len(nf.states) == 0 {
+				// Dead branch: nothing below can match. Validate and skip
+				// the whole subtree without building anything.
+				if !tok.SelfClose {
+					if err := s.SkipElement(); err != nil {
+						return nil, ProjStats{}, err
+					}
+				} else if _, err := s.Next(); err != nil { // synthetic end
+					return nil, ProjStats{}, err
+				}
+				continue
+			}
+			el := NewElement(tok.Name)
+			for _, a := range tok.Attrs {
+				if attrWanted(attrFilter, a.Name) {
+					el.SetAttr(a.Name, a.Value)
+				}
+			}
+			nf.node = el
+			if tok.SelfClose {
+				if _, err := s.Next(); err != nil { // synthetic end
+					return nil, ProjStats{}, err
+				}
+				if nf.keep || nf.subtree {
+					f.node.AppendChild(el)
+					f.childKept = true
+					st.ElementsRetained++
+				}
+				continue
+			}
+			frames = append(frames, nf)
+		case TokEndElement:
+			done := *f
+			frames = frames[:len(frames)-1]
+			parent := &frames[len(frames)-1]
+			if done.keep || done.subtree || done.childKept {
+				parent.node.AppendChild(done.node)
+				parent.childKept = true
+				st.ElementsRetained++
+			}
+		case TokText:
+			if f.subtree {
+				f.node.AppendChild(NewText(tok.Data))
+			}
+		case TokComment:
+			// Comments survive inside subtree regions and at document
+			// level (where only kind tests — which force a subtree mark —
+			// or whole-document serialization can observe them).
+			if f.subtree || len(frames) == 1 {
+				f.node.AppendChild(NewComment(tok.Data))
+			}
+		case TokPI:
+			if f.subtree || len(frames) == 1 {
+				f.node.AppendChild(NewPI(tok.Name, tok.Data))
+			}
+		case TokEOF:
+			st.BytesRead = s.BytesRead()
+			st.ElementsPruned = elementsSeen + s.ElementsSkipped() - st.ElementsRetained
+			recordProjectedParse(st)
+			return Freeze(doc), st, nil
+		}
+	}
+}
+
+// starAttr is the shared "keep all attributes" filter.
+var starAttr = []string{"*"}
+
+func attrWanted(filter []string, name string) bool {
+	for _, f := range filter {
+		if f == "*" || f == name {
+			return true
+		}
+	}
+	return false
+}
+
+func countElements(n *Node) int64 {
+	var c int64
+	Walk(n, func(m *Node) bool {
+		if m.Kind == ElementNode {
+			c++
+		}
+		return true
+	})
+	return c
+}

@@ -1,0 +1,926 @@
+package xmltree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// TokenKind classifies one event from the streaming Scanner.
+type TokenKind int
+
+// The event kinds a Scanner emits. Self-closing elements emit a
+// TokStartElement with SelfClose set followed by a synthetic TokEndElement,
+// so consumers always see balanced start/end pairs.
+const (
+	TokStartElement TokenKind = iota
+	TokEndElement
+	TokText
+	TokComment
+	TokPI
+	TokEOF
+)
+
+// ScanAttr is one attribute of a TokStartElement, in document order.
+type ScanAttr struct {
+	Name, Value string
+}
+
+// Token is one parse event. Name holds the element name (start/end) or PI
+// target; Data holds text, comment data, or PI data.
+type Token struct {
+	Kind      TokenKind
+	Name      string
+	Data      string
+	Attrs     []ScanAttr
+	SelfClose bool
+}
+
+// Scanner is an event-driven XML tokenizer over an io.Reader: the streaming
+// twin of the whole-string parser in parse.go. It accepts exactly the same
+// language and reports exactly the same *ParseError text and positions —
+// the differential harness compares projected parses against string parses
+// of the same bytes, so the two front ends must never disagree about what
+// is well-formed.
+//
+// A Scanner parses one complete document: optional XML declaration, misc
+// items, one root element, trailing misc, then TokEOF forever. SkipElement
+// consumes a just-opened element's entire subtree with full validation but
+// without building tokens, names, or text — the projection parser's
+// no-allocation path over pruned branches.
+type Scanner struct {
+	r    *bufio.Reader
+	opts ParseOptions
+
+	line, col int
+	consumed  int64
+
+	// stack holds the open element names (Next-mode elements only; skip
+	// mode tracks its nested names in the arena).
+	stack []string
+
+	seenRoot   bool
+	begun      bool // XML-declaration window passed
+	queuedEnd  bool // synthetic end for a self-closing element
+	queuedName string
+	err        error
+
+	// textBuf accumulates one coalesced text run; reused across tokens.
+	textBuf []byte
+	// arena is skip-mode scratch for element/attribute names and raw
+	// attribute values, reused so steady-state skipping does not allocate.
+	arena        []byte
+	elemsSkipped int64
+}
+
+// NewScanner returns a Scanner over r with the given options.
+func NewScanner(r io.Reader, opts ParseOptions) *Scanner {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<14)
+	}
+	return &Scanner{r: br, opts: opts, line: 1, col: 1}
+}
+
+// BytesRead reports how many input bytes the scanner has consumed.
+func (s *Scanner) BytesRead() int64 { return s.consumed }
+
+// ElementsSkipped reports how many elements SkipElement has consumed
+// without building (the projection layer's pruning counter).
+func (s *Scanner) ElementsSkipped() int64 { return s.elemsSkipped }
+
+// Depth reports the number of currently open elements.
+func (s *Scanner) Depth() int { return len(s.stack) }
+
+func (s *Scanner) maxDepth() int {
+	if s.opts.MaxDepth > 0 {
+		return s.opts.MaxDepth
+	}
+	return DefaultMaxDepth
+}
+
+func (s *Scanner) errorf(format string, args ...interface{}) error {
+	return s.errorfAt(s.line, s.col, format, args...)
+}
+
+func (s *Scanner) errorfAt(line, col int, format string, args ...interface{}) error {
+	e := &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	s.err = e
+	return e
+}
+
+// peekByte returns the next byte without consuming it; ok is false at EOF.
+func (s *Scanner) peekByte() (byte, bool) {
+	b, err := s.r.Peek(1)
+	if err != nil || len(b) == 0 {
+		return 0, false
+	}
+	return b[0], true
+}
+
+// hasPrefix reports whether the unread input starts with p.
+func (s *Scanner) hasPrefix(p string) bool {
+	b, _ := s.r.Peek(len(p))
+	return len(b) >= len(p) && string(b) == p
+}
+
+// advanceByte consumes one byte, maintaining line/col exactly like the
+// string parser (byte-wise columns, '\n' starts a new line).
+func (s *Scanner) advanceByte() (byte, bool) {
+	b, err := s.r.ReadByte()
+	if err != nil {
+		return 0, false
+	}
+	if b == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	s.consumed++
+	return b, true
+}
+
+func (s *Scanner) advance(n int) {
+	for i := 0; i < n; i++ {
+		if _, ok := s.advanceByte(); !ok {
+			return
+		}
+	}
+}
+
+func (s *Scanner) expect(lit string) error {
+	if !s.hasPrefix(lit) {
+		return s.errorf("expected %q", lit)
+	}
+	s.advance(len(lit))
+	return nil
+}
+
+func (s *Scanner) skipSpace() {
+	for {
+		b, ok := s.peekByte()
+		if !ok {
+			return
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			s.advance(1)
+		default:
+			return
+		}
+	}
+}
+
+// peekRune decodes the next rune without consuming it.
+func (s *Scanner) peekRune() (rune, int) {
+	b, _ := s.r.Peek(utf8.UTFMax)
+	if len(b) == 0 {
+		return utf8.RuneError, 0
+	}
+	return utf8.DecodeRune(b)
+}
+
+// readNameBytes scans an XML name into the arena and returns its span
+// (valid until the arena is truncated past mark).
+func (s *Scanner) readNameBytes() (mark int, err error) {
+	mark = len(s.arena)
+	r, size := s.peekRune()
+	if size == 0 || !isNameStart(r) {
+		return mark, s.errorf("expected name")
+	}
+	for {
+		for i := 0; i < size; i++ {
+			b, _ := s.advanceByte()
+			s.arena = append(s.arena, b)
+		}
+		r, size = s.peekRune()
+		if size == 0 || !isNameChar(r) {
+			return mark, nil
+		}
+	}
+}
+
+func (s *Scanner) readName() (string, error) {
+	mark, err := s.readNameBytes()
+	if err != nil {
+		return "", err
+	}
+	name := string(s.arena[mark:])
+	s.arena = s.arena[:mark]
+	return name, nil
+}
+
+// Next returns the next token. After an error or TokEOF every further call
+// returns the same outcome.
+func (s *Scanner) Next() (Token, error) {
+	if s.err != nil {
+		return Token{}, s.err
+	}
+	if s.queuedEnd {
+		s.queuedEnd = false
+		name := s.queuedName
+		s.queuedName = ""
+		return Token{Kind: TokEndElement, Name: name}, nil
+	}
+	if len(s.stack) == 0 {
+		return s.nextDocLevel()
+	}
+	return s.nextContent()
+}
+
+// nextDocLevel produces tokens at document level: the parseMisc loop of the
+// string parser.
+func (s *Scanner) nextDocLevel() (Token, error) {
+	if !s.begun {
+		s.begun = true
+		if s.hasPrefix("<?xml") {
+			// The string parser searches for "?>" before advancing, so an
+			// unterminated declaration reports position 1:1.
+			if err := s.discardUntil("?>", 1, 1, "unterminated XML declaration"); err != nil {
+				return Token{}, err
+			}
+		}
+	}
+	for {
+		s.skipSpace()
+		if _, ok := s.peekByte(); !ok {
+			if !s.seenRoot {
+				return Token{}, s.errorf("document has no root element")
+			}
+			return Token{Kind: TokEOF}, nil
+		}
+		switch {
+		case s.hasPrefix("<!--"):
+			tok, keep, err := s.scanComment()
+			if err != nil {
+				return Token{}, err
+			}
+			if keep {
+				return tok, nil
+			}
+		case s.hasPrefix("<!DOCTYPE"):
+			if err := s.skipDoctype(); err != nil {
+				return Token{}, err
+			}
+		case s.hasPrefix("<?"):
+			return s.scanPI()
+		default:
+			b, _ := s.peekByte()
+			if b != '<' {
+				return Token{}, s.errorf("unexpected content %q at document level", string(b))
+			}
+			if s.seenRoot {
+				return Token{}, s.errorf("multiple root elements")
+			}
+			s.seenRoot = true
+			return s.scanStartTag()
+		}
+	}
+}
+
+// nextContent produces tokens inside an open element: the parseContent
+// loop. Text runs coalesce across entities and CDATA sections and flush at
+// the next structural token, exactly like the string parser.
+func (s *Scanner) nextContent() (Token, error) {
+	s.textBuf = s.textBuf[:0]
+	// flush materializes the accumulated run as a token, or drops it when
+	// empty or whitespace-only under TrimWhitespace; either way the buffer
+	// drains, so a dropped run never bleeds into the next one.
+	flush := func() (Token, bool) {
+		if len(s.textBuf) == 0 {
+			return Token{}, false
+		}
+		d := string(s.textBuf)
+		s.textBuf = s.textBuf[:0]
+		if s.opts.TrimWhitespace && strings.TrimSpace(d) == "" {
+			return Token{}, false
+		}
+		return Token{Kind: TokText, Data: d}, true
+	}
+	for {
+		b, ok := s.peekByte()
+		if !ok {
+			return Token{}, s.errorf("unterminated element <%s>", s.stack[len(s.stack)-1])
+		}
+		switch {
+		case s.hasPrefix("</"):
+			if tok, ok := flush(); ok {
+				return tok, nil
+			}
+			return s.scanEndTag()
+		case s.hasPrefix("<!--"):
+			if tok, ok := flush(); ok {
+				return tok, nil
+			}
+			tok, keep, err := s.scanComment()
+			if err != nil {
+				return Token{}, err
+			}
+			if keep {
+				return tok, nil
+			}
+		case s.hasPrefix("<![CDATA["):
+			s.advance(len("<![CDATA["))
+			line, col := s.line, s.col
+			if err := s.appendUntil(&s.textBuf, "]]>", line, col, "unterminated CDATA section"); err != nil {
+				return Token{}, err
+			}
+		case s.hasPrefix("<?"):
+			if tok, ok := flush(); ok {
+				return tok, nil
+			}
+			return s.scanPI()
+		case b == '<':
+			if tok, ok := flush(); ok {
+				return tok, nil
+			}
+			return s.scanStartTag()
+		case b == '&':
+			rep, err := s.scanEntity(true)
+			if err != nil {
+				return Token{}, err
+			}
+			s.textBuf = append(s.textBuf, rep...)
+		default:
+			s.advance(1)
+			s.textBuf = append(s.textBuf, b)
+		}
+	}
+}
+
+// scanComment consumes a comment; keep is false when DropComments is set.
+func (s *Scanner) scanComment() (Token, bool, error) {
+	s.advance(len("<!--"))
+	line, col := s.line, s.col
+	if s.opts.DropComments {
+		if err := s.discardUntil("-->", line, col, "unterminated comment"); err != nil {
+			return Token{}, false, err
+		}
+		return Token{}, false, nil
+	}
+	var buf []byte
+	if err := s.appendUntil(&buf, "-->", line, col, "unterminated comment"); err != nil {
+		return Token{}, false, err
+	}
+	return Token{Kind: TokComment, Data: string(buf)}, true, nil
+}
+
+// scanPI consumes a processing instruction.
+func (s *Scanner) scanPI() (Token, error) {
+	s.advance(len("<?"))
+	target, err := s.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	line, col := s.line, s.col
+	var buf []byte
+	if err := s.appendUntil(&buf, "?>", line, col, "unterminated processing instruction"); err != nil {
+		return Token{}, err
+	}
+	data := strings.TrimLeft(string(buf), " \t\r\n")
+	return Token{Kind: TokPI, Name: target, Data: data}, nil
+}
+
+// skipDoctype mirrors the string parser: skip to '>' tolerating an internal
+// subset in brackets.
+func (s *Scanner) skipDoctype() error {
+	depth := 0
+	for {
+		b, ok := s.peekByte()
+		if !ok {
+			return s.errorf("unterminated DOCTYPE")
+		}
+		switch b {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				s.advance(1)
+				return nil
+			}
+		}
+		s.advance(1)
+	}
+}
+
+// scanStartTag consumes "<name attrs…>" or "<name attrs…/>". Self-closing
+// elements queue a synthetic end token.
+func (s *Scanner) scanStartTag() (Token, error) {
+	if len(s.stack)+1 > s.maxDepth() {
+		return Token{}, s.errorf("element nesting exceeds %d levels", s.maxDepth())
+	}
+	if err := s.expect("<"); err != nil {
+		return Token{}, err
+	}
+	name, err := s.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	var attrs []ScanAttr
+	selfClose, err := s.scanAttrs(name, func(aname, aval string) error {
+		for _, a := range attrs {
+			if a.Name == aname {
+				return s.errorf("duplicate attribute %q on <%s>", aname, name)
+			}
+		}
+		attrs = append(attrs, ScanAttr{Name: aname, Value: aval})
+		return nil
+	})
+	if err != nil {
+		return Token{}, err
+	}
+	if selfClose {
+		s.queuedEnd = true
+		s.queuedName = name
+		return Token{Kind: TokStartElement, Name: name, Attrs: attrs, SelfClose: true}, nil
+	}
+	s.stack = append(s.stack, name)
+	return Token{Kind: TokStartElement, Name: name, Attrs: attrs}, nil
+}
+
+// scanAttrs consumes the attribute list and closing ">" or "/>" of a start
+// tag whose name is already read, calling add for each decoded attribute.
+func (s *Scanner) scanAttrs(name string, add func(aname, aval string) error) (selfClose bool, err error) {
+	for {
+		s.skipSpace()
+		b, ok := s.peekByte()
+		if !ok {
+			return false, s.errorf("unterminated start tag <%s", name)
+		}
+		if b == '>' || b == '/' {
+			break
+		}
+		aname, err := s.readName()
+		if err != nil {
+			return false, err
+		}
+		s.skipSpace()
+		if err := s.expect("="); err != nil {
+			return false, err
+		}
+		s.skipSpace()
+		aval, err := s.scanAttrValue()
+		if err != nil {
+			return false, err
+		}
+		if err := add(aname, aval); err != nil {
+			return false, err
+		}
+	}
+	if b, _ := s.peekByte(); b == '/' {
+		s.advance(1)
+		if err := s.expect(">"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if err := s.expect(">"); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// scanEndTag consumes "</name>" and validates the match.
+func (s *Scanner) scanEndTag() (Token, error) {
+	s.advance(2)
+	got, err := s.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	want := s.stack[len(s.stack)-1]
+	if got != want {
+		return Token{}, s.errorf("end tag </%s> does not match <%s>", got, want)
+	}
+	s.skipSpace()
+	if err := s.expect(">"); err != nil {
+		return Token{}, err
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	return Token{Kind: TokEndElement, Name: got}, nil
+}
+
+// scanAttrValue consumes a quoted attribute value and decodes entities.
+// Decoding happens after the closing quote is consumed, so error positions
+// match the string parser, whose decode pass runs post-advance.
+func (s *Scanner) scanAttrValue() (string, error) {
+	mark := len(s.arena)
+	defer func() { s.arena = s.arena[:mark] }()
+	hasAmp, err := s.scanAttrRaw()
+	if err != nil {
+		return "", err
+	}
+	raw := s.arena[mark:]
+	if !hasAmp {
+		return string(raw), nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(raw); {
+		if raw[i] != '&' {
+			b.WriteByte(raw[i])
+			i++
+			continue
+		}
+		end := -1
+		for j := i; j < len(raw); j++ {
+			if raw[j] == ';' {
+				end = j - i
+				break
+			}
+		}
+		if end < 0 {
+			return "", s.errorf("unterminated entity in attribute value")
+		}
+		r, err := resolveEntityBytes(raw[i+1:i+end], true)
+		if err != nil {
+			return "", s.errorf("%v", err)
+		}
+		b.WriteString(r)
+		i += end + 1
+	}
+	return b.String(), nil
+}
+
+// scanAttrRaw consumes a quoted value into the arena without decoding,
+// reporting whether it contains '&'.
+func (s *Scanner) scanAttrRaw() (hasAmp bool, err error) {
+	quote, ok := s.peekByte()
+	if !ok || (quote != '"' && quote != '\'') {
+		return false, s.errorf("expected quoted attribute value")
+	}
+	s.advance(1)
+	for {
+		c, ok := s.peekByte()
+		if !ok {
+			return false, s.errorf("unterminated attribute value")
+		}
+		if c == quote {
+			break
+		}
+		if c == '<' {
+			return false, s.errorf("'<' in attribute value")
+		}
+		if c == '&' {
+			hasAmp = true
+		}
+		s.advance(1)
+		s.arena = append(s.arena, c)
+	}
+	s.advance(1)
+	return hasAmp, nil
+}
+
+// scanEntity consumes "&name;" or a character reference and returns the
+// replacement. With build false the reference is validated but the result
+// is discarded, allocation-free for the predeclared entities.
+func (s *Scanner) scanEntity(build bool) (string, error) {
+	// The string parser requires ';' within 12 bytes of the '&'.
+	win, _ := s.r.Peek(13)
+	end := -1
+	for i := 1; i < len(win); i++ {
+		if win[i] == ';' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return "", s.errorf("unterminated entity reference")
+	}
+	rep, err := resolveEntityBytes(win[1:end], build)
+	if err != nil {
+		return "", s.errorf("%v", err)
+	}
+	s.advance(end + 1)
+	return rep, nil
+}
+
+// resolveEntityBytes mirrors resolveEntity over a byte span. With build
+// false the replacement is validated but "" is returned, without
+// allocating for the predeclared names.
+func resolveEntityBytes(ent []byte, build bool) (string, error) {
+	switch string(ent) { // compiled without allocation
+	case "lt":
+		return pick(build, "<"), nil
+	case "gt":
+		return pick(build, ">"), nil
+	case "amp":
+		return pick(build, "&"), nil
+	case "quot":
+		return pick(build, `"`), nil
+	case "apos":
+		return pick(build, "'"), nil
+	}
+	if len(ent) >= 2 && ent[0] == '#' && (ent[1] == 'x' || ent[1] == 'X') {
+		v, ok := parseUintBytes(ent[2:], 16)
+		if !ok {
+			return "", fmt.Errorf("bad character reference &%s;", ent)
+		}
+		if !build {
+			return "", nil
+		}
+		return string(rune(v)), nil
+	}
+	if len(ent) >= 1 && ent[0] == '#' {
+		v, ok := parseUintBytes(ent[1:], 10)
+		if !ok {
+			return "", fmt.Errorf("bad character reference &%s;", ent)
+		}
+		if !build {
+			return "", nil
+		}
+		return string(rune(v)), nil
+	}
+	return "", fmt.Errorf("unknown entity &%s;", ent)
+}
+
+func pick(build bool, s string) string {
+	if !build {
+		return ""
+	}
+	return s
+}
+
+// parseUintBytes parses digits in the given base with strconv.ParseUint's
+// 32-bit bounds, without allocating.
+func parseUintBytes(b []byte, base uint32) (uint32, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if d >= base {
+			return 0, false
+		}
+		v = v*uint64(base) + uint64(d)
+		if v > 1<<32-1 {
+			return 0, false
+		}
+	}
+	return uint32(v), true
+}
+
+// discardUntil consumes input up to and including delim, building nothing.
+// On EOF the error reports at (line, col), the position the string
+// parser's failed Index search would report.
+func (s *Scanner) discardUntil(delim string, line, col int, unterminated string) error {
+	n := len(delim)
+	var win [4]byte
+	filled := 0
+	for {
+		b, ok := s.advanceByte()
+		if !ok {
+			return s.errorfAt(line, col, "%s", unterminated)
+		}
+		copy(win[:], win[1:n])
+		win[n-1] = b
+		if filled < n {
+			filled++
+		}
+		if filled == n && string(win[:n]) == delim {
+			return nil
+		}
+	}
+}
+
+// appendUntil consumes input up to and including delim, appending the bytes
+// before delim to *buf. The delimiter match never straddles bytes appended
+// before this call (mirroring the string parser's bounded Index search).
+func (s *Scanner) appendUntil(buf *[]byte, delim string, line, col int, unterminated string) error {
+	n := len(delim)
+	var win [4]byte
+	filled := 0
+	for {
+		b, ok := s.advanceByte()
+		if !ok {
+			return s.errorfAt(line, col, "%s", unterminated)
+		}
+		*buf = append(*buf, b)
+		copy(win[:], win[1:n])
+		win[n-1] = b
+		if filled < n {
+			filled++
+		}
+		if filled == n && string(win[:n]) == delim {
+			*buf = (*buf)[:len(*buf)-n]
+			return nil
+		}
+	}
+}
+
+// SkipElement consumes the content and end tag of the element most recently
+// opened by a non-self-closing TokStartElement, validating everything the
+// string parser would (nesting bound, tag matching, attribute rules, entity
+// references, comment/CDATA/PI termination) while building nothing. Names
+// and raw attribute values live in a reused arena, so skipping a pruned
+// subtree is allocation-free in steady state.
+func (s *Scanner) SkipElement() error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.stack) == 0 {
+		return fmt.Errorf("xmltree: SkipElement with no open element")
+	}
+	base := len(s.stack)
+	arenaMark := len(s.arena)
+	defer func() { s.arena = s.arena[:arenaMark] }()
+	// spans are the arena extents of element names opened inside the skip;
+	// strict nesting means the innermost open name is always the arena top.
+	var spans [][2]int
+	openName := func() string {
+		if len(spans) > 0 {
+			sp := spans[len(spans)-1]
+			return string(s.arena[sp[0]:sp[1]])
+		}
+		return s.stack[base-1]
+	}
+	for {
+		b, ok := s.peekByte()
+		if !ok {
+			return s.errorf("unterminated element <%s>", openName())
+		}
+		switch {
+		case s.hasPrefix("</"):
+			s.advance(2)
+			mark, err := s.readNameBytes()
+			if err != nil {
+				return err
+			}
+			got := s.arena[mark:]
+			if len(spans) == 0 {
+				if string(got) != s.stack[base-1] {
+					return s.errorf("end tag </%s> does not match <%s>", got, s.stack[base-1])
+				}
+			} else {
+				sp := spans[len(spans)-1]
+				if string(got) != string(s.arena[sp[0]:sp[1]]) {
+					return s.errorf("end tag </%s> does not match <%s>", got, s.arena[sp[0]:sp[1]])
+				}
+			}
+			s.skipSpace()
+			if err := s.expect(">"); err != nil {
+				return err
+			}
+			s.arena = s.arena[:mark]
+			if len(spans) == 0 {
+				s.stack = s.stack[:base-1]
+				return nil
+			}
+			sp := spans[len(spans)-1]
+			spans = spans[:len(spans)-1]
+			s.arena = s.arena[:sp[0]]
+		case s.hasPrefix("<!--"):
+			s.advance(len("<!--"))
+			line, col := s.line, s.col
+			if err := s.discardUntil("-->", line, col, "unterminated comment"); err != nil {
+				return err
+			}
+		case s.hasPrefix("<![CDATA["):
+			s.advance(len("<![CDATA["))
+			line, col := s.line, s.col
+			if err := s.discardUntil("]]>", line, col, "unterminated CDATA section"); err != nil {
+				return err
+			}
+		case s.hasPrefix("<?"):
+			s.advance(2)
+			nameMark, err := s.readNameBytes()
+			if err != nil {
+				return err
+			}
+			s.arena = s.arena[:nameMark]
+			line, col := s.line, s.col
+			if err := s.discardUntil("?>", line, col, "unterminated processing instruction"); err != nil {
+				return err
+			}
+		case b == '<':
+			if err := s.skipStartTag(base, &spans); err != nil {
+				return err
+			}
+		case b == '&':
+			if _, err := s.scanEntity(false); err != nil {
+				return err
+			}
+		default:
+			s.advance(1)
+		}
+	}
+}
+
+// skipStartTag validates one start tag in skip mode: nesting bound, names,
+// attribute syntax, duplicate detection, and entity validity, all against
+// the arena.
+func (s *Scanner) skipStartTag(base int, spans *[][2]int) error {
+	if base+len(*spans)+1 > s.maxDepth() {
+		return s.errorf("element nesting exceeds %d levels", s.maxDepth())
+	}
+	s.advance(1) // '<'
+	nameMark, err := s.readNameBytes()
+	if err != nil {
+		return err
+	}
+	nameEnd := len(s.arena)
+	// Attribute names append after the element name; attrSpans index them
+	// for duplicate detection.
+	var attrSpans [][2]int
+	for {
+		s.skipSpace()
+		b, ok := s.peekByte()
+		if !ok {
+			return s.errorf("unterminated start tag <%s", s.arena[nameMark:nameEnd])
+		}
+		if b == '>' || b == '/' {
+			break
+		}
+		aMark, err := s.readNameBytes()
+		if err != nil {
+			return err
+		}
+		aEnd := len(s.arena)
+		s.skipSpace()
+		if err := s.expect("="); err != nil {
+			return err
+		}
+		s.skipSpace()
+		if err := s.skipAttrValue(); err != nil {
+			return err
+		}
+		for _, sp := range attrSpans {
+			if string(s.arena[sp[0]:sp[1]]) == string(s.arena[aMark:aEnd]) {
+				return s.errorf("duplicate attribute %q on <%s>",
+					s.arena[aMark:aEnd], s.arena[nameMark:nameEnd])
+			}
+		}
+		attrSpans = append(attrSpans, [2]int{aMark, aEnd})
+	}
+	selfClose := false
+	if b, _ := s.peekByte(); b == '/' {
+		s.advance(1)
+		if err := s.expect(">"); err != nil {
+			return err
+		}
+		selfClose = true
+	} else if err := s.expect(">"); err != nil {
+		return err
+	}
+	s.elemsSkipped++
+	// Attribute names are no longer needed; keep only the element name.
+	s.arena = s.arena[:nameEnd]
+	if selfClose {
+		s.arena = s.arena[:nameMark]
+		return nil
+	}
+	*spans = append(*spans, [2]int{nameMark, nameEnd})
+	return nil
+}
+
+// skipAttrValue validates a quoted value and its entity references without
+// building the decoded string. The raw bytes pass through the arena so the
+// post-quote entity validation can run at the same position the string
+// parser's decode pass reports errors from.
+func (s *Scanner) skipAttrValue() error {
+	mark := len(s.arena)
+	defer func() { s.arena = s.arena[:mark] }()
+	hasAmp, err := s.scanAttrRaw()
+	if err != nil {
+		return err
+	}
+	if !hasAmp {
+		return nil
+	}
+	raw := s.arena[mark:]
+	for i := 0; i < len(raw); {
+		if raw[i] != '&' {
+			i++
+			continue
+		}
+		end := -1
+		for j := i; j < len(raw); j++ {
+			if raw[j] == ';' {
+				end = j - i
+				break
+			}
+		}
+		if end < 0 {
+			return s.errorf("unterminated entity in attribute value")
+		}
+		if _, err := resolveEntityBytes(raw[i+1:i+end], false); err != nil {
+			return s.errorf("%v", err)
+		}
+		i += end + 1
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package xmltree
+
+import "sync/atomic"
+
+// Process-wide streaming-parse counters, exposed through the obs stream
+// probe (this package cannot import obs) and used by the public API for
+// per-eval deltas, the same pattern as the COW sharing counters.
+var streamCounters struct {
+	readerParses     atomic.Int64
+	projectedParses  atomic.Int64
+	bytesScanned     atomic.Int64
+	elementsRetained atomic.Int64
+	elementsPruned   atomic.Int64
+}
+
+// StreamCounterStats is a snapshot of the streaming-parse counters.
+type StreamCounterStats struct {
+	// ReaderParses counts full (unprojected) reader parses.
+	ReaderParses int64
+	// ProjectedParses counts projection-pruned parses.
+	ProjectedParses int64
+	// BytesScanned totals input bytes consumed by both kinds.
+	BytesScanned int64
+	// ElementsRetained / ElementsPruned total the projected parses' keep
+	// and drop decisions.
+	ElementsRetained int64
+	ElementsPruned   int64
+}
+
+// StreamParseStats snapshots the process-wide streaming-parse counters.
+func StreamParseStats() StreamCounterStats {
+	return StreamCounterStats{
+		ReaderParses:     streamCounters.readerParses.Load(),
+		ProjectedParses:  streamCounters.projectedParses.Load(),
+		BytesScanned:     streamCounters.bytesScanned.Load(),
+		ElementsRetained: streamCounters.elementsRetained.Load(),
+		ElementsPruned:   streamCounters.elementsPruned.Load(),
+	}
+}
+
+func recordReaderParse(bytes int64) {
+	streamCounters.readerParses.Add(1)
+	streamCounters.bytesScanned.Add(bytes)
+}
+
+func recordProjectedParse(st ProjStats) {
+	streamCounters.projectedParses.Add(1)
+	streamCounters.bytesScanned.Add(st.BytesRead)
+	streamCounters.elementsRetained.Add(st.ElementsRetained)
+	streamCounters.elementsPruned.Add(st.ElementsPruned)
+}

@@ -37,6 +37,7 @@ package xq
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -172,6 +173,10 @@ type config struct {
 	// eagerApply makes Transform deep-copy instead of COW-clone (the
 	// differential oracle's reference path; see WithEagerCopyApply).
 	eagerApply bool
+	// noProjection / noStreamEval disable the streaming tiers for queries
+	// compiled via CompileStream (see WithProjection, WithStreamEval).
+	noProjection bool
+	noStreamEval bool
 }
 
 func defaultConfig() config { return config{optLevel: O2, traceIsEffectful: true} }
@@ -254,6 +259,19 @@ func WithLimits(l Limits) Option { return func(c *config) { c.limits = l } }
 
 // WithTimeout is shorthand for WithLimits on the wall-clock budget alone.
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.limits.Timeout = d } }
+
+// WithProjection controls the path-projection tier of streaming evaluation
+// (default true): when a StreamQuery's static analysis produced a path set,
+// EvalReader parses only the subtrees the query can touch. Disabling it
+// forces a full parse — the differential oracle runs the off configuration
+// to prove projected ≡ materialized semantics.
+func WithProjection(on bool) Option { return func(c *config) { c.noProjection = !on } }
+
+// WithStreamEval controls the pure-streaming tier (default true): when the
+// classifier recognized the query's downward-axis fragment, EvalReader
+// answers straight from the token stream with O(depth) memory and no tree.
+// Disabling it falls back to the projection tier (or materialization).
+func WithStreamEval(on bool) Option { return func(c *config) { c.noStreamEval = !on } }
 
 // ---- Query ----
 
@@ -497,9 +515,23 @@ func indexSnapshot() obs.IndexStats {
 	}
 }
 
+// streamSnapshot reads the tree layer's streaming-parse counters in the obs
+// shape. Registered as the obs stream probe.
+func streamSnapshot() obs.StreamStats {
+	c := xmltree.StreamParseStats()
+	return obs.StreamStats{
+		ReaderParses:     c.ReaderParses,
+		ProjectedParses:  c.ProjectedParses,
+		BytesScanned:     c.BytesScanned,
+		ElementsRetained: c.ElementsRetained,
+		ElementsPruned:   c.ElementsPruned,
+	}
+}
+
 func init() {
 	obs.SetSharingProbe(sharingSnapshot)
 	obs.SetIndexProbe(indexSnapshot)
+	obs.SetStreamProbe(streamSnapshot)
 }
 
 // EvalString evaluates and serializes the result (nodes as XML, atomics as
@@ -535,6 +567,13 @@ func (q *Query) Explain() string {
 
 // ParseXML parses an XML document.
 func ParseXML(src string) (*Node, error) { return xmltree.Parse(src) }
+
+// ParseXMLReader parses an XML document incrementally from r: the input is
+// tokenized as it streams in rather than being buffered into one string
+// first, so files and network bodies avoid a second in-memory copy. It
+// accepts exactly the language ParseXML accepts and reports identical
+// errors.
+func ParseXMLReader(r io.Reader) (*Node, error) { return xmltree.ParseReader(r) }
 
 // Freeze declares the tree rooted at n immutable, making it eligible for
 // structural/value indexing: the first indexed probe against a frozen tree
